@@ -1,0 +1,49 @@
+//! Criterion bench behind Figure 10: sequential single-source BFS
+//! throughput of the Beamer variants vs SMS-PBFS (bit/byte) on Kronecker
+//! graphs of growing scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pbfs_bench::datasets::{kronecker, pick_sources};
+use pbfs_core::beamer::{DirectionOptBfs, QueueKind};
+use pbfs_core::options::BfsOptions;
+use pbfs_core::smspbfs::{SmsPbfsBit, SmsPbfsByte};
+use pbfs_core::visitor::NoopVisitor;
+use pbfs_graph::stats::ComponentInfo;
+use pbfs_sched::WorkerPool;
+
+fn bench_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_sequential");
+    group.sample_size(10);
+    for scale in [12u32, 14, 16] {
+        let g = kronecker(scale, 42);
+        let comps = ComponentInfo::compute(&g);
+        let source = pick_sources(&g, 1, 7)[0];
+        let edges = comps.edges_from_source(source);
+        group.throughput(Throughput::Elements(edges));
+
+        for kind in [QueueKind::Gapbs, QueueKind::Sparse, QueueKind::Dense] {
+            let bfs = DirectionOptBfs::new(kind);
+            group.bench_with_input(
+                BenchmarkId::new(format!("beamer-{kind:?}").to_lowercase(), scale),
+                &g,
+                |b, g| b.iter(|| bfs.run(g, source)),
+            );
+        }
+
+        let pool = WorkerPool::new(1);
+        let opts = BfsOptions::default();
+        let mut bit = SmsPbfsBit::new(g.num_vertices());
+        group.bench_with_input(BenchmarkId::new("sms-pbfs-bit", scale), &g, |b, g| {
+            b.iter(|| bit.run(g, &pool, source, &opts, &NoopVisitor))
+        });
+        let mut byte = SmsPbfsByte::new(g.num_vertices());
+        group.bench_with_input(BenchmarkId::new("sms-pbfs-byte", scale), &g, |b, g| {
+            b.iter(|| byte.run(g, &pool, source, &opts, &NoopVisitor))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequential);
+criterion_main!(benches);

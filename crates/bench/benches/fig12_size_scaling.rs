@@ -1,0 +1,36 @@
+//! Criterion bench behind Figures 11/12: multi-source batch throughput of
+//! MS-PBFS vs per-core sequential MS-BFS instances across graph scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pbfs_bench::datasets::{kronecker, pick_sources};
+use pbfs_core::batch::{run_mspbfs_batches, run_sequential_instances, NoopConsumer};
+use pbfs_core::options::BfsOptions;
+use pbfs_graph::stats::ComponentInfo;
+use pbfs_sched::WorkerPool;
+
+fn bench_batches(c: &mut Criterion) {
+    let workers = 4usize;
+    let mut group = c.benchmark_group("fig12_size_scaling");
+    group.sample_size(10);
+    for scale in [12u32, 14] {
+        let g = kronecker(scale, 42);
+        let comps = ComponentInfo::compute(&g);
+        let sources = pick_sources(&g, 64, 9);
+        let edges: u64 = sources.iter().map(|&s| comps.edges_from_source(s)).sum();
+        group.throughput(Throughput::Elements(edges));
+        let opts = BfsOptions::default();
+
+        let pool = WorkerPool::new(workers);
+        group.bench_with_input(BenchmarkId::new("ms-pbfs", scale), &g, |b, g| {
+            b.iter(|| run_mspbfs_batches::<1, _>(g, &pool, &sources, &opts, &NoopConsumer))
+        });
+        group.bench_with_input(BenchmarkId::new("ms-bfs-instances", scale), &g, |b, g| {
+            b.iter(|| run_sequential_instances::<1, _>(g, workers, &sources, &opts, &NoopConsumer))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batches);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Micro-benchmarks of the data-structure layer: the per-word atomic OR
+//! that synchronizes top-down phase 1, and the chunk-skipped scans that
+//! drive SMS-PBFS.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pbfs_bitset::{AtomicBitVec, AtomicByteVec, Bits, StateArray};
+
+fn bench_state_array_or(c: &mut Criterion) {
+    const N: usize = 1 << 16;
+    let mut group = c.benchmark_group("micro_state_or");
+    group.throughput(Throughput::Elements(N as u64));
+    group.sample_size(20);
+
+    let arr: StateArray<1> = StateArray::new(N);
+    let bits = Bits::<1>::single(17);
+    group.bench_function("fetch_or_w1", |b| {
+        b.iter(|| {
+            for v in 0..N {
+                arr.fetch_or(v, bits);
+            }
+        })
+    });
+    group.bench_function("fetch_or_cas_w1", |b| {
+        b.iter(|| {
+            for v in 0..N {
+                arr.fetch_or_cas(v, bits);
+            }
+        })
+    });
+    let arr8: StateArray<8> = StateArray::new(N / 8);
+    let bits8 = Bits::<8>::single(300);
+    group.throughput(Throughput::Elements((N / 8) as u64));
+    group.bench_function("fetch_or_w8", |b| {
+        b.iter(|| {
+            for v in 0..N / 8 {
+                arr8.fetch_or(v, bits8);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_scans(c: &mut Criterion) {
+    const N: usize = 1 << 20;
+    let mut group = c.benchmark_group("micro_scan");
+    group.throughput(Throughput::Elements(N as u64));
+    group.sample_size(20);
+
+    // Sparse population (0.1 %): chunk skipping shines.
+    let bits = AtomicBitVec::new(N);
+    for i in (0..N).step_by(1000) {
+        bits.set(i);
+    }
+    for (name, skip) in [("bit_sparse_skip", true), ("bit_sparse_noskip", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                bits.for_each_set(0, N, skip, |i| acc += i);
+                acc
+            })
+        });
+    }
+
+    let bytes = AtomicByteVec::new(N);
+    for i in (0..N).step_by(1000) {
+        bytes.set(i);
+    }
+    for (name, skip) in [("byte_sparse_skip", true), ("byte_sparse_noskip", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                bytes.for_each_set(0, N, skip, |i| acc += i);
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ones_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_bits_ones");
+    group.sample_size(20);
+    for density in [4usize, 32, 256] {
+        let mut b512 = Bits::<8>::EMPTY;
+        for i in (0..512).step_by(512 / density) {
+            b512.set_bit(i);
+        }
+        group.bench_with_input(BenchmarkId::new("b512", density), &b512, |b, bits| {
+            b.iter(|| bits.ones().sum::<usize>())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_state_array_or, bench_scans, bench_ones_iteration);
+criterion_main!(benches);

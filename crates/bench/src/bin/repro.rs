@@ -1,0 +1,125 @@
+//! `repro` — regenerates every figure and table of the paper's evaluation.
+//!
+//! ```text
+//! repro [OPTIONS] <EXPERIMENT>...
+//!
+//! EXPERIMENT: fig2 fig3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table1
+//!             tasksize numa all
+//!
+//! OPTIONS:
+//!   --scale N      base Kronecker scale            (default 14)
+//!   --threads N    modeled machine width           (default 60)
+//!   --workers N    worker pool size for real runs  (default 8)
+//!   --seed N       RNG seed                        (default 42)
+//!   --json DIR     also write <DIR>/<id>.json per experiment
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pbfs_bench::experiments::{self, Config};
+use pbfs_bench::report::Report;
+
+const ALL: &[&str] = &[
+    "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table1",
+    "tasksize", "numa",
+];
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro [--scale N] [--threads N] [--workers N] [--seed N] [--json DIR] \
+         <experiment>...\nexperiments: {} all",
+        ALL.join(" ")
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut cfg = Config::default();
+    let mut json_dir: Option<PathBuf> = None;
+    let mut experiments_requested: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| -> Option<String> {
+            let v = args.next();
+            if v.is_none() {
+                eprintln!("missing value for {name}");
+            }
+            v
+        };
+        match arg.as_str() {
+            "--scale" => match take("--scale").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.scale = v,
+                None => return usage(),
+            },
+            "--threads" => match take("--threads").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.machine_threads = v,
+                None => return usage(),
+            },
+            "--workers" => match take("--workers").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.workers = v,
+                None => return usage(),
+            },
+            "--seed" => match take("--seed").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.seed = v,
+                None => return usage(),
+            },
+            "--json" => match take("--json") {
+                Some(v) => json_dir = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown option {other}");
+                return usage();
+            }
+            exp => experiments_requested.push(exp.to_string()),
+        }
+    }
+
+    if experiments_requested.is_empty() {
+        return usage();
+    }
+    if experiments_requested.iter().any(|e| e == "all") {
+        experiments_requested = ALL.iter().map(|s| s.to_string()).collect();
+    }
+
+    eprintln!(
+        "# config: scale={} machine_threads={} workers={} seed={}",
+        cfg.scale, cfg.machine_threads, cfg.workers, cfg.seed
+    );
+    for exp in &experiments_requested {
+        let t0 = std::time::Instant::now();
+        let report: Report = match exp.as_str() {
+            "fig2" => experiments::fig2(&cfg),
+            "fig3" => experiments::fig3(&cfg),
+            "fig6" => experiments::fig6(&cfg),
+            "fig7" => experiments::fig7(&cfg),
+            "fig8" => experiments::fig8(&cfg),
+            "fig9" => experiments::fig9(&cfg),
+            "fig10" => experiments::fig10(&cfg),
+            "fig11" => experiments::fig11(&cfg),
+            "fig12" => experiments::fig12(&cfg),
+            "table1" => experiments::table1(&cfg),
+            "tasksize" => experiments::tasksize(&cfg),
+            "numa" => experiments::numa(&cfg),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                return usage();
+            }
+        };
+        println!("{}", report.render());
+        eprintln!("# {exp} took {:.1}s", t0.elapsed().as_secs_f64());
+        if let Some(dir) = &json_dir {
+            if let Err(e) = report.write_json(dir) {
+                eprintln!("failed to write JSON for {exp}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,111 @@
+//! Evaluation datasets.
+//!
+//! The paper's Table 1 lists Kronecker graphs up to scale 32 plus five
+//! real-world/LDBC datasets. Neither 68-billion-edge graphs nor the
+//! proprietary downloads fit this container, so every dataset is rebuilt
+//! at laptop scale with a generator matching its structural signature
+//! (the substitution table lives in DESIGN.md). Sizes default small enough
+//! that the full `repro all` run finishes on one core; pass `--scale` to
+//! the CLI to grow them.
+
+use pbfs_graph::{gen, CsrGraph};
+
+/// A named evaluation dataset.
+pub struct Dataset {
+    /// Short name used in tables (e.g. `kron-16`).
+    pub name: &'static str,
+    /// What this stands in for in the paper.
+    pub stands_for: &'static str,
+    /// The graph itself.
+    pub graph: CsrGraph,
+}
+
+/// Graph500 Kronecker graph at the given scale.
+pub fn kronecker(scale: u32, seed: u64) -> CsrGraph {
+    gen::Kronecker::graph500(scale).seed(seed).generate()
+}
+
+/// The KG0 variant of the iBFS comparison: Kronecker with a much larger
+/// average degree (the paper used 1024; scaled here to 64).
+pub fn kg0(scale: u32, seed: u64) -> CsrGraph {
+    gen::Kronecker::graph500(scale)
+        .edge_factor(64)
+        .seed(seed)
+        .generate()
+}
+
+/// Builds the Table 1 dataset list. `base_scale` controls the Kronecker
+/// sizes (paper: 20/26/32; default here: `base_scale`, `+2`, `+4`).
+pub fn table1_datasets(base_scale: u32, seed: u64) -> Vec<Dataset> {
+    let n_small = 1usize << base_scale;
+    vec![
+        Dataset {
+            name: "kron-a",
+            stands_for: "Kronecker 20",
+            graph: kronecker(base_scale, seed),
+        },
+        Dataset {
+            name: "kron-b",
+            stands_for: "Kronecker 26",
+            graph: kronecker(base_scale + 2, seed + 1),
+        },
+        Dataset {
+            name: "kron-c",
+            stands_for: "Kronecker 32",
+            graph: kronecker(base_scale + 4, seed + 2),
+        },
+        Dataset {
+            name: "kg0",
+            stands_for: "KG0 (dense Kronecker, iBFS comparison)",
+            graph: kg0(base_scale.saturating_sub(2), seed + 3),
+        },
+        Dataset {
+            name: "ldbc-s",
+            stands_for: "LDBC 100",
+            graph: gen::social_network(n_small, 16, seed + 4),
+        },
+        Dataset {
+            name: "ldbc-l",
+            stands_for: "LDBC 1000",
+            graph: gen::social_network(4 * n_small, 24, seed + 5),
+        },
+        Dataset {
+            name: "collab",
+            stands_for: "hollywood-2011 (actor collaboration)",
+            graph: gen::collaboration(n_small, 3 * n_small / 2, seed + 6),
+        },
+        Dataset {
+            name: "web",
+            stands_for: "uk-2005 (web crawl)",
+            graph: gen::web_graph(2 * n_small, 20, seed + 7),
+        },
+        Dataset {
+            name: "hub",
+            stands_for: "twitter (follower graph)",
+            graph: gen::hub_heavy(base_scale + 1, 28, seed + 8),
+        },
+    ]
+}
+
+/// Deterministic pseudo-random BFS sources drawn from vertices with at
+/// least one neighbor (the Graph500 source rule).
+pub fn pick_sources(g: &CsrGraph, count: usize, seed: u64) -> Vec<u32> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.num_vertices() as u32;
+    let mut out = Vec::with_capacity(count);
+    let mut guard = 0usize;
+    while out.len() < count {
+        let v = rng.random_range(0..n);
+        if g.degree(v) > 0 {
+            out.push(v);
+        }
+        guard += 1;
+        assert!(
+            guard < count * 1000 + 10_000,
+            "graph has too few connected vertices"
+        );
+    }
+    out
+}

@@ -1,0 +1,1100 @@
+//! One function per figure/table of the paper's evaluation (Section 5).
+//!
+//! Every function returns a [`Report`] whose table mirrors the data series
+//! of the corresponding figure. Parameters default to sizes that complete
+//! on a single-core container; `Config` scales them up.
+//!
+//! ## Measurement methodology on a 1-core host
+//!
+//! Wall-clock parallel speedup cannot materialize without parallel
+//! hardware, so the scaling experiments report **modeled** quantities
+//! derived from deterministic, owner-attributed work counters (adjacency
+//! entries scanned + vertex states updated per worker queue): utilization
+//! `Σwork/(T·max)` and speedup `Σwork/max`. These capture exactly the
+//! load-balancing phenomena the paper studies (task indivisibility,
+//! labeling skew, batch staircase). Wall-clock numbers are also reported
+//! where the paper's effect is work-driven (sequential comparisons,
+//! GTEPS). See DESIGN.md for the full substitution rationale.
+
+use serde::Serialize;
+
+use pbfs_core::batch::{
+    gteps, run_mspbfs_batches, run_sequential_instances, total_traversed_edges, NoopConsumer,
+};
+use pbfs_core::beamer::{DirectionOptBfs, QueueKind};
+use pbfs_core::memory::MemoryModel;
+use pbfs_core::msbfs::MsBfs;
+use pbfs_core::mspbfs::MsPbfs;
+use pbfs_core::options::BfsOptions;
+use pbfs_core::smspbfs::{SmsPbfsBit, SmsPbfsByte};
+use pbfs_core::stats::TraversalStats;
+use pbfs_core::visitor::{NoopMsVisitor, NoopVisitor};
+use pbfs_graph::labeling::LabelingScheme;
+use pbfs_graph::stats::ComponentInfo;
+use pbfs_graph::{gen, CsrGraph, Permutation};
+use pbfs_sched::WorkerPool;
+
+use crate::datasets::{kronecker, pick_sources, table1_datasets};
+use crate::report::{fmt_bytes, fmt_gteps, fmt_ns, Report};
+
+/// Experiment parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Base Kronecker scale (paper: 20–32; default 14).
+    pub scale: u32,
+    /// Modeled machine width for Figures 2, 3, 11 (paper: 60).
+    pub machine_threads: usize,
+    /// Worker pool size for measured parallel runs.
+    pub workers: usize,
+    /// RNG seed for graphs and sources.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            scale: 14,
+            machine_threads: 60,
+            workers: 8,
+            seed: 42,
+        }
+    }
+}
+
+/// Picks a task split size that gives every queue a healthy number of
+/// tasks even on scaled-down graphs (the paper's 256 assumes ≥ 2²⁰
+/// vertices).
+fn split_for(n: usize, threads: usize) -> usize {
+    let ideal = n / (threads * 8);
+    ideal.clamp(64, 256).next_multiple_of(64)
+}
+
+fn opts_for(n: usize, threads: usize) -> BfsOptions {
+    BfsOptions::default().with_split_size(split_for(n, threads))
+}
+
+// ---------------------------------------------------------------------
+// Figure 2 — CPU utilization vs number of sources
+// ---------------------------------------------------------------------
+
+/// Row of the Figure 2 series.
+#[derive(Serialize)]
+pub struct Fig2Row {
+    /// Number of BFS sources.
+    pub sources: usize,
+    /// Utilization of per-core sequential MS-BFS instances.
+    pub msbfs_utilization: f64,
+    /// Utilization of MS-PBFS.
+    pub mspbfs_utilization: f64,
+}
+
+/// Figure 2: MS-BFS can only use one thread per 64 sources, MS-PBFS
+/// saturates the machine from the first batch.
+///
+/// Uses a graph two scales above the base (so every queue holds dozens of
+/// tasks even with 60 modeled threads) relabeled with the paper's striped
+/// scheme, which the scheduler is co-designed with.
+pub fn fig2(cfg: &Config) -> Report {
+    let raw = kronecker(cfg.scale + 2, cfg.seed);
+    let t = cfg.machine_threads;
+    let n = raw.num_vertices();
+    let opts = opts_for(n, t);
+    let g = LabelingScheme::Striped {
+        workers: t,
+        task_size: opts.split_size,
+    }
+    .apply(&raw);
+    let mut rows = Vec::new();
+    let mut payload = Vec::new();
+    let pool = WorkerPool::new(t);
+    for batches in [1usize, 2, 4, 8, 16, 30, 45, 60] {
+        let s = batches * 64;
+        let sources = pick_sources(&g, s, cfg.seed + s as u64);
+        let seq = run_sequential_instances::<1, _>(&g, t, &sources, &opts, &NoopConsumer);
+        let par = run_mspbfs_batches::<1, _>(&g, &pool, &sources, &opts, &NoopConsumer);
+        let row = Fig2Row {
+            sources: s,
+            msbfs_utilization: seq.utilization(),
+            mspbfs_utilization: par.utilization(),
+        };
+        rows.push(vec![
+            s.to_string(),
+            format!("{:.1}%", 100.0 * row.msbfs_utilization),
+            format!("{:.1}%", 100.0 * row.mspbfs_utilization),
+        ]);
+        payload.push(row);
+    }
+    Report::new(
+        "fig2",
+        &format!(
+            "CPU utilization vs sources (Kronecker {}, {} threads)",
+            cfg.scale + 2,
+            t
+        ),
+        &["sources", "MS-BFS util", "MS-PBFS util"],
+        rows,
+        &payload,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Figure 3 — memory overhead vs thread count
+// ---------------------------------------------------------------------
+
+/// Row of the Figure 3 series.
+#[derive(Serialize)]
+pub struct Fig3Row {
+    /// Thread count.
+    pub threads: usize,
+    /// MS-BFS state / graph size.
+    pub msbfs_ratio: f64,
+    /// MS-PBFS state / graph size.
+    pub mspbfs_ratio: f64,
+}
+
+/// Figure 3: relative memory overhead of the BFS state compared to the
+/// graph, as threads increase (model validated against real allocations
+/// in `pbfs_core::memory` tests).
+pub fn fig3(cfg: &Config) -> Report {
+    let model = MemoryModel::graph500(1usize << (cfg.scale + 6));
+    let mut rows = Vec::new();
+    let mut payload = Vec::new();
+    for threads in [1usize, 2, 4, 6, 8, 12, 16, 24, 32, 48, 60] {
+        if threads > cfg.machine_threads {
+            break;
+        }
+        let row = Fig3Row {
+            threads,
+            msbfs_ratio: model.msbfs_overhead_ratio(threads),
+            mspbfs_ratio: model.mspbfs_overhead_ratio(threads),
+        };
+        rows.push(vec![
+            threads.to_string(),
+            format!("{:.2}x", row.msbfs_ratio),
+            format!("{:.2}x", row.mspbfs_ratio),
+        ]);
+        payload.push(row);
+    }
+    Report::new(
+        "fig3",
+        "BFS state memory relative to graph size vs threads (edge factor 16, 64-wide bitsets)",
+        &["threads", "MS-BFS", "MS-PBFS"],
+        rows,
+        &payload,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Figures 6 & 7 — static partitioning skew
+// ---------------------------------------------------------------------
+
+/// Runs one instrumented SMS-PBFS(bit) traversal with one task per worker
+/// (= static partitioning) and returns its stats.
+fn static_partition_run(g: &CsrGraph, workers: usize, source: u32) -> TraversalStats {
+    let n = g.num_vertices();
+    let pool = WorkerPool::new(workers);
+    // One task per worker: round-robin dealing degenerates to contiguous
+    // static partitions. Top-down only, like the classical traversal the
+    // figure analyzes — direction switching would move most edge scans
+    // into the (evenly spread) bottom-up pass and mask the skew.
+    let split = n.div_ceil(workers).next_multiple_of(64);
+    let opts = BfsOptions::default()
+        .with_split_size(split)
+        .with_policy(pbfs_core::policy::DirectionPolicy::AlwaysTopDown)
+        .instrumented();
+    let mut bfs = SmsPbfsBit::new(n);
+    bfs.run(g, &pool, source, &opts, &NoopVisitor)
+}
+
+/// Payload rows for Figure 6.
+#[derive(Serialize)]
+pub struct Fig6Row {
+    /// Labeling scheme name.
+    pub labeling: String,
+    /// Visited neighbors per worker (partition order).
+    pub visited_per_worker: Vec<u64>,
+}
+
+/// Figure 6: visited neighbors per worker under static partitioning on a
+/// social-network graph, for degree-ordered vs random labeling.
+pub fn fig6(cfg: &Config) -> Report {
+    let workers = cfg.workers;
+    let g = gen::social_network(1 << cfg.scale, 16, cfg.seed);
+    let comps = ComponentInfo::compute(&g);
+    let src = comps.vertex_in_largest().expect("non-empty graph");
+    let mut rows = Vec::new();
+    let mut payload = Vec::new();
+    for (name, scheme) in [
+        ("ordered", LabelingScheme::DegreeOrdered),
+        ("random", LabelingScheme::Random(cfg.seed)),
+    ] {
+        let perm = scheme.permutation(&g);
+        let h = perm.apply(&g);
+        let stats = static_partition_run(&h, workers, perm.new_of(src));
+        let visited = stats.visited_per_worker();
+        for (w, &v) in visited.iter().enumerate() {
+            rows.push(vec![name.to_string(), (w + 1).to_string(), v.to_string()]);
+        }
+        payload.push(Fig6Row {
+            labeling: name.to_string(),
+            visited_per_worker: visited,
+        });
+    }
+    Report::new(
+        "fig6",
+        &format!(
+            "Visited neighbors per worker, static partitioning, social network 2^{} ({} workers)",
+            cfg.scale, workers
+        ),
+        &["labeling", "worker", "visited neighbors"],
+        rows,
+        &payload,
+    )
+}
+
+/// Payload rows for Figure 7.
+#[derive(Serialize)]
+pub struct Fig7Row {
+    /// Iteration number.
+    pub iteration: u32,
+    /// Updated BFS states per worker.
+    pub updated_per_worker: Vec<u64>,
+}
+
+/// Figure 7: updated BFS vertex states per worker per iteration under
+/// static partitioning with degree-ordered labeling.
+pub fn fig7(cfg: &Config) -> Report {
+    let workers = cfg.workers;
+    let g = gen::social_network(1 << cfg.scale, 16, cfg.seed);
+    let comps = ComponentInfo::compute(&g);
+    let src = comps.vertex_in_largest().expect("non-empty graph");
+    let perm = Permutation::degree_ordered(&g);
+    let h = perm.apply(&g);
+    let stats = static_partition_run(&h, workers, perm.new_of(src));
+    let mut rows = Vec::new();
+    let mut payload = Vec::new();
+    for it in &stats.iterations {
+        let updated: Vec<u64> = it.per_worker.iter().map(|w| w.updated_states).collect();
+        let mut row = vec![it.iteration.to_string()];
+        row.extend(updated.iter().map(|u| u.to_string()));
+        rows.push(row);
+        payload.push(Fig7Row {
+            iteration: it.iteration,
+            updated_per_worker: updated,
+        });
+    }
+    let mut headers: Vec<String> = vec!["iteration".into()];
+    headers.extend((1..=workers).map(|w| format!("w{w}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    Report::new(
+        "fig7",
+        "Updated BFS states per worker per iteration (static partitioning, ordered labeling)",
+        &header_refs,
+        rows,
+        &payload,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Figures 8 & 9 — labeling comparison with work stealing
+// ---------------------------------------------------------------------
+
+/// Per-iteration record for the labeling comparison.
+#[derive(Serialize)]
+pub struct LabelingIterRow {
+    /// `MS-PBFS` or `SMS-PBFS`.
+    pub algorithm: String,
+    /// Labeling name.
+    pub labeling: String,
+    /// Iteration number.
+    pub iteration: u32,
+    /// Iteration wall time (single-core measurement).
+    pub wall_ns: u64,
+    /// Deterministic skew of scanned adjacency entries across worker
+    /// queues (the Figure 9 phenomenon: frontier scans cluster on the
+    /// queues that own the high-degree vertices).
+    pub visited_skew: f64,
+    /// Deterministic skew of state updates across worker queues.
+    pub update_skew: f64,
+    /// Measured busy-time skew; `None` when some worker never ran a task
+    /// (an oversubscription artifact, not an algorithm property).
+    pub busy_skew: Option<f64>,
+    /// Total work units of the iteration.
+    pub work_units: u64,
+}
+
+fn labeling_runs(cfg: &Config) -> Vec<LabelingIterRow> {
+    let workers = cfg.workers;
+    let g = kronecker(cfg.scale + 2, cfg.seed);
+    let n = g.num_vertices();
+    let split = split_for(n, workers);
+    let opts = BfsOptions::default().with_split_size(split).instrumented();
+    let pool = WorkerPool::new(workers);
+    let comps = ComponentInfo::compute(&g);
+    let src = comps.vertex_in_largest().expect("non-empty graph");
+    let ms_sources = pick_sources(&g, 64, cfg.seed + 7);
+    let mut out = Vec::new();
+    for (name, scheme) in [
+        ("ordered", LabelingScheme::DegreeOrdered),
+        ("random", LabelingScheme::Random(cfg.seed)),
+        (
+            "striped",
+            LabelingScheme::Striped {
+                workers,
+                task_size: split,
+            },
+        ),
+    ] {
+        let perm = scheme.permutation(&g);
+        let h = perm.apply(&g);
+        // MS-PBFS over one 64-source batch.
+        let sources: Vec<u32> = ms_sources.iter().map(|&s| perm.new_of(s)).collect();
+        let mut ms: MsPbfs<1> = MsPbfs::new(n);
+        let stats = ms.run(&h, &pool, &sources, &opts, &NoopMsVisitor);
+        let row = |algorithm: &str, it: &pbfs_core::stats::IterationStats| LabelingIterRow {
+            algorithm: algorithm.into(),
+            labeling: name.into(),
+            iteration: it.iteration,
+            wall_ns: it.wall_ns,
+            visited_skew: it.visited_skew(),
+            update_skew: it.update_skew(),
+            busy_skew: it.all_workers_busy().then(|| it.busy_skew()),
+            work_units: it
+                .per_worker
+                .iter()
+                .map(|w| w.visited_neighbors + w.updated_states)
+                .sum(),
+        };
+        for it in &stats.iterations {
+            out.push(row("MS-PBFS", it));
+        }
+        // SMS-PBFS from one source.
+        let mut ss = SmsPbfsBit::new(n);
+        let stats = ss.run(&h, &pool, perm.new_of(src), &opts, &NoopVisitor);
+        for it in &stats.iterations {
+            out.push(row("SMS-PBFS", it));
+        }
+    }
+    out
+}
+
+/// Figure 8: runtime (and work) per BFS iteration under the three vertex
+/// labelings, for MS-PBFS and SMS-PBFS.
+pub fn fig8(cfg: &Config) -> Report {
+    let payload = labeling_runs(cfg);
+    let mut rows: Vec<Vec<String>> = payload
+        .iter()
+        .map(|r| {
+            vec![
+                r.algorithm.clone(),
+                r.labeling.clone(),
+                r.iteration.to_string(),
+                fmt_ns(r.wall_ns),
+                r.work_units.to_string(),
+            ]
+        })
+        .collect();
+    // Per-BFS totals — the §5.1 headline (paper: 42 ms striped, 86 ms
+    // ordered, 68 ms random for SMS-PBFS on scale 27).
+    for algo in ["MS-PBFS", "SMS-PBFS"] {
+        for labeling in ["ordered", "random", "striped"] {
+            let total: u64 = payload
+                .iter()
+                .filter(|r| r.algorithm == algo && r.labeling == labeling)
+                .map(|r| r.wall_ns)
+                .sum();
+            rows.push(vec![
+                algo.to_string(),
+                labeling.to_string(),
+                "total".to_string(),
+                fmt_ns(total),
+                String::new(),
+            ]);
+        }
+    }
+    Report::new(
+        "fig8",
+        &format!(
+            "Per-iteration runtime by labeling (Kronecker {}, work stealing)",
+            cfg.scale + 2
+        ),
+        &["algorithm", "labeling", "iteration", "wall", "work units"],
+        rows,
+        &payload,
+    )
+}
+
+/// Figure 9: skew (longest/shortest worker) per iteration under the three
+/// labelings.
+pub fn fig9(cfg: &Config) -> Report {
+    let payload = labeling_runs(cfg);
+    let rows = payload
+        .iter()
+        .map(|r| {
+            vec![
+                r.algorithm.clone(),
+                r.labeling.clone(),
+                r.iteration.to_string(),
+                format!("{:.2}", r.visited_skew),
+                format!("{:.2}", r.update_skew),
+                r.busy_skew
+                    .map_or_else(|| "-".to_string(), |b| format!("{b:.2}")),
+            ]
+        })
+        .collect();
+    Report::new(
+        "fig9",
+        "Worker skew per iteration by labeling (visited/update skews deterministic)",
+        &[
+            "algorithm",
+            "labeling",
+            "iteration",
+            "visited skew",
+            "update skew",
+            "busy skew",
+        ],
+        rows,
+        &payload,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Figure 10 — sequential single-source comparison
+// ---------------------------------------------------------------------
+
+/// One measurement of the sequential comparison.
+#[derive(Serialize)]
+pub struct Fig10Row {
+    /// log2 of the vertex count.
+    pub scale: u32,
+    /// Algorithm variant name.
+    pub variant: String,
+    /// Throughput in GTEPS.
+    pub gteps: f64,
+}
+
+/// Figure 10: single-threaded throughput of Beamer's three variants vs
+/// SMS-PBFS (bit and byte) across graph sizes.
+pub fn fig10(cfg: &Config) -> Report {
+    let scales: Vec<u32> = (cfg.scale.saturating_sub(4)..=cfg.scale + 2)
+        .step_by(2)
+        .collect();
+    let reps = 3usize;
+    let mut rows = Vec::new();
+    let mut payload = Vec::new();
+    for &scale in &scales {
+        let g = kronecker(scale, cfg.seed);
+        let comps = ComponentInfo::compute(&g);
+        let sources = pick_sources(&g, reps, cfg.seed + scale as u64);
+        let edges: u64 = total_traversed_edges(&comps, &sources);
+        let pool = WorkerPool::new(1);
+        let n = g.num_vertices();
+        let opts = opts_for(n, 1);
+
+        let mut measure = |variant: &str, mut run: Box<dyn FnMut(u32)>| {
+            let t0 = std::time::Instant::now();
+            for &s in &sources {
+                run(s);
+            }
+            let ns = t0.elapsed().as_nanos() as u64;
+            let row = Fig10Row {
+                scale,
+                variant: variant.into(),
+                gteps: gteps(edges, ns),
+            };
+            rows.push(vec![
+                scale.to_string(),
+                variant.into(),
+                fmt_gteps(row.gteps),
+            ]);
+            payload.push(row);
+        };
+
+        for kind in [QueueKind::Gapbs, QueueKind::Sparse, QueueKind::Dense] {
+            let bfs = DirectionOptBfs::new(kind);
+            let g = &g;
+            measure(
+                &format!("beamer-{kind:?}").to_lowercase(),
+                Box::new(move |s| {
+                    let _ = bfs.run(g, s);
+                }),
+            );
+        }
+        {
+            let mut bit = SmsPbfsBit::new(n);
+            let (g, pool, opts) = (&g, &pool, &opts);
+            measure(
+                "sms-pbfs-bit",
+                Box::new(move |s| {
+                    bit.run(g, pool, s, opts, &NoopVisitor);
+                }),
+            );
+        }
+        {
+            let mut byte = SmsPbfsByte::new(n);
+            let (g, pool, opts) = (&g, &pool, &opts);
+            measure(
+                "sms-pbfs-byte",
+                Box::new(move |s| {
+                    byte.run(g, pool, s, opts, &NoopVisitor);
+                }),
+            );
+        }
+    }
+    Report::new(
+        "fig10",
+        "Single-threaded BFS throughput over graph sizes",
+        &["scale", "variant", "GTEPS"],
+        rows,
+        &payload,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Figure 11 — thread-count scaling (modeled speedup)
+// ---------------------------------------------------------------------
+
+/// One point of the scaling series.
+#[derive(Serialize)]
+pub struct Fig11Row {
+    /// Thread count.
+    pub threads: usize,
+    /// Algorithm variant.
+    pub variant: String,
+    /// Modeled speedup `Σwork / max(work per queue)`.
+    pub speedup: f64,
+}
+
+/// Figure 11: relative speedup as the thread count grows, for MS-PBFS,
+/// per-core MS-BFS instances, MS-PBFS one-per-socket, and SMS-PBFS(byte).
+/// Speedups are modeled from deterministic per-queue work (see module
+/// docs); thread counts divide the modeled machine width.
+pub fn fig11(cfg: &Config) -> Report {
+    let g = kronecker(cfg.scale + 2, cfg.seed);
+    let n = g.num_vertices();
+    let t_max = cfg.machine_threads;
+    let thread_list: Vec<usize> = [1usize, 2, 4, 6, 10, 12, 20, 30, 60]
+        .iter()
+        .copied()
+        .filter(|&t| t <= t_max)
+        .collect();
+    let mut rows = Vec::new();
+    let mut payload = Vec::new();
+
+    // MS-BFS: per-batch work measured once; speedup for T threads follows
+    // from static round-robin batch assignment.
+    let sources = pick_sources(&g, 64 * t_max, cfg.seed + 3);
+    let batch_works: Vec<u64> = {
+        let mut bfs: MsBfs<1> = MsBfs::new(n);
+        let opts = BfsOptions::default();
+        sources
+            .chunks(64)
+            .map(|chunk| {
+                let stats = bfs.run(&g, chunk, &opts, &NoopMsVisitor);
+                stats
+                    .iterations
+                    .iter()
+                    .flat_map(|i| &i.per_worker)
+                    .map(|w| w.visited_neighbors + w.updated_states)
+                    .sum()
+            })
+            .collect()
+    };
+    let msbfs_speedup = |t: usize| -> f64 {
+        let mut per_thread = vec![0u64; t];
+        for (i, &w) in batch_works.iter().enumerate() {
+            per_thread[i % t] += w;
+        }
+        let max = *per_thread.iter().max().unwrap() as f64;
+        batch_works.iter().sum::<u64>() as f64 / max
+    };
+
+    for &t in &thread_list {
+        // MS-PBFS: one 64-source batch on a pool of `t` workers.
+        let pool = WorkerPool::new(t);
+        let opts = opts_for(n, t).instrumented();
+        let par = run_mspbfs_batches::<1, _>(&g, &pool, &sources[..64], &opts, &NoopConsumer);
+        let mspbfs = par.modeled_speedup();
+        // One per socket: 4 sockets at t ≥ 4 (the paper's machine), each
+        // running an independent MS-PBFS on t/4 workers across many
+        // batches → speedup ≈ sockets × per-socket speedup.
+        let ops = if t >= 4 && t % 4 == 0 {
+            let pool4 = WorkerPool::new(t / 4);
+            let opts4 = opts_for(n, t / 4).instrumented();
+            let r = run_mspbfs_batches::<1, _>(&g, &pool4, &sources[..64], &opts4, &NoopConsumer);
+            (4.0 * r.modeled_speedup()).min(batch_works.len() as f64 * r.modeled_speedup())
+        } else {
+            f64::NAN
+        };
+        // SMS-PBFS (byte): single source per run.
+        let sms = {
+            let mut bfs = SmsPbfsByte::new(n);
+            let stats = bfs.run(&g, &pool, sources[0], &opts, &NoopVisitor);
+            let per_worker: Vec<u64> = {
+                let mut acc = vec![0u64; t];
+                for it in &stats.iterations {
+                    for (w, s) in it.per_worker.iter().enumerate() {
+                        acc[w] += s.visited_neighbors + s.updated_states;
+                    }
+                }
+                acc
+            };
+            let max = per_worker.iter().copied().max().unwrap_or(0).max(1) as f64;
+            per_worker.iter().sum::<u64>() as f64 / max
+        };
+        let msbfs = msbfs_speedup(t);
+        for (variant, speedup) in [
+            ("MS-PBFS", mspbfs),
+            ("MS-BFS", msbfs),
+            ("MS-PBFS (one per socket)", ops),
+            ("SMS-PBFS (byte)", sms),
+        ] {
+            if speedup.is_nan() {
+                continue;
+            }
+            rows.push(vec![t.to_string(), variant.into(), format!("{speedup:.1}")]);
+            payload.push(Fig11Row {
+                threads: t,
+                variant: variant.into(),
+                speedup,
+            });
+        }
+    }
+    Report::new(
+        "fig11",
+        &format!(
+            "Modeled speedup vs thread count (Kronecker {})",
+            cfg.scale + 2
+        ),
+        &["threads", "variant", "speedup"],
+        rows,
+        &payload,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Figure 12 — graph-size scaling with all cores
+// ---------------------------------------------------------------------
+
+/// One point of the size-scaling series.
+#[derive(Serialize)]
+pub struct Fig12Row {
+    /// log2 vertex count.
+    pub scale: u32,
+    /// Algorithm variant.
+    pub variant: String,
+    /// Single-core wall-clock GTEPS.
+    pub wall_gteps: f64,
+    /// GTEPS modeled for ideal parallel hardware:
+    /// `wall_gteps × modeled_speedup`.
+    pub modeled_gteps: f64,
+}
+
+/// Figure 12: throughput as graph size grows, all workers active.
+pub fn fig12(cfg: &Config) -> Report {
+    let workers = cfg.workers;
+    let scales: Vec<u32> = (cfg.scale.saturating_sub(4)..=cfg.scale + 2)
+        .step_by(2)
+        .collect();
+    let mut rows = Vec::new();
+    let mut payload = Vec::new();
+    for &scale in &scales {
+        let g = kronecker(scale, cfg.seed);
+        let n = g.num_vertices();
+        let comps = ComponentInfo::compute(&g);
+        let pool = WorkerPool::new(workers);
+        let opts = opts_for(n, workers);
+        let sources = pick_sources(&g, 64 * workers, cfg.seed + 9);
+        let edges_per_batch = total_traversed_edges(&comps, &sources[..64]);
+
+        let mut push = |variant: &str, wall_ns: u64, edges: u64, speedup: f64| {
+            let wall = gteps(edges, wall_ns);
+            let row = Fig12Row {
+                scale,
+                variant: variant.into(),
+                wall_gteps: wall,
+                modeled_gteps: wall * speedup,
+            };
+            rows.push(vec![
+                scale.to_string(),
+                variant.into(),
+                fmt_gteps(row.wall_gteps),
+                fmt_gteps(row.modeled_gteps),
+            ]);
+            payload.push(row);
+        };
+
+        // MS-PBFS: one batch of 64 on all workers.
+        {
+            let r = run_mspbfs_batches::<1, _>(&g, &pool, &sources[..64], &opts, &NoopConsumer);
+            push("MS-PBFS", r.wall_ns, edges_per_batch, r.modeled_speedup());
+        }
+        // MS-BFS: per-core instances over `workers` batches.
+        {
+            let all_edges = total_traversed_edges(&comps, &sources);
+            let r = run_sequential_instances::<1, _>(&g, workers, &sources, &opts, &NoopConsumer);
+            push("MS-BFS", r.wall_ns, all_edges, r.modeled_speedup());
+        }
+        // MS-PBFS (sequential): the parallel code run like MS-BFS, one
+        // 1-worker instance per thread; its speedup model matches MS-BFS.
+        {
+            let pool1 = WorkerPool::new(1);
+            let mut bfs: MsPbfs<1> = MsPbfs::new(n);
+            let t0 = std::time::Instant::now();
+            for chunk in sources.chunks(64) {
+                bfs.run(&g, &pool1, chunk, &opts, &NoopMsVisitor);
+            }
+            let all_edges = total_traversed_edges(&comps, &sources);
+            push(
+                "MS-PBFS (sequential)",
+                t0.elapsed().as_nanos() as u64,
+                all_edges,
+                workers as f64,
+            );
+        }
+        // SMS-PBFS bit & byte: per-source runs on all workers.
+        {
+            let opts_i = opts.instrumented();
+            let mut bit = SmsPbfsBit::new(n);
+            let t0 = std::time::Instant::now();
+            let mut speedups = 0.0;
+            for &s in &sources[..4] {
+                let stats = bit.run(&g, &pool, s, &opts_i, &NoopVisitor);
+                speedups += modeled_speedup_of(&stats, workers);
+            }
+            let edges = total_traversed_edges(&comps, &sources[..4]);
+            push(
+                "SMS-PBFS (bit)",
+                t0.elapsed().as_nanos() as u64,
+                edges,
+                speedups / 4.0,
+            );
+            let mut byte = SmsPbfsByte::new(n);
+            let t0 = std::time::Instant::now();
+            let mut speedups = 0.0;
+            for &s in &sources[..4] {
+                let stats = byte.run(&g, &pool, s, &opts_i, &NoopVisitor);
+                speedups += modeled_speedup_of(&stats, workers);
+            }
+            push(
+                "SMS-PBFS (byte)",
+                t0.elapsed().as_nanos() as u64,
+                edges,
+                speedups / 4.0,
+            );
+        }
+    }
+    Report::new(
+        "fig12",
+        &format!("Throughput vs graph size ({workers} workers)"),
+        &["scale", "variant", "wall GTEPS", "modeled GTEPS"],
+        rows,
+        &payload,
+    )
+}
+
+/// Modeled speedup of a single traversal from its per-queue work.
+fn modeled_speedup_of(stats: &TraversalStats, workers: usize) -> f64 {
+    let mut acc = vec![0u64; workers];
+    for it in &stats.iterations {
+        for (w, s) in it.per_worker.iter().enumerate() {
+            if w < workers {
+                acc[w] += s.visited_neighbors + s.updated_states;
+            }
+        }
+    }
+    let max = acc.iter().copied().max().unwrap_or(0).max(1) as f64;
+    acc.iter().sum::<u64>() as f64 / max
+}
+
+// ---------------------------------------------------------------------
+// Table 1 — datasets and algorithm throughput
+// ---------------------------------------------------------------------
+
+/// One dataset row of Table 1.
+#[derive(Serialize)]
+pub struct Table1Row {
+    /// Dataset short name.
+    pub name: String,
+    /// What the dataset stands in for.
+    pub stands_for: String,
+    /// Connected vertices (×10⁶ in the paper; absolute here).
+    pub vertices: usize,
+    /// Undirected edges.
+    pub edges: usize,
+    /// Paper-model memory bytes.
+    pub memory_bytes: usize,
+    /// MS-PBFS wall time for one 64-source batch.
+    pub mspbfs_ns_per_64: u64,
+    /// MS-PBFS wall GTEPS over that batch.
+    pub mspbfs_gteps: f64,
+    /// MS-BFS GTEPS with enough sources for all threads.
+    pub msbfs_gteps: f64,
+    /// MS-BFS limited to 64 sources (single thread usable).
+    pub msbfs64_gteps: f64,
+    /// Best SMS-PBFS GTEPS and its representation.
+    pub smspbfs_gteps: f64,
+    /// `bit` or `byte`.
+    pub smspbfs_repr: String,
+}
+
+/// Table 1: dataset properties and algorithm throughput.
+pub fn table1(cfg: &Config) -> Report {
+    let workers = cfg.workers;
+    let mut rows = Vec::new();
+    let mut payload = Vec::new();
+    for ds in table1_datasets(cfg.scale.saturating_sub(2), cfg.seed) {
+        let g = &ds.graph;
+        let n = g.num_vertices();
+        let comps = ComponentInfo::compute(g);
+        let pool = WorkerPool::new(workers);
+        let opts = opts_for(n, workers);
+        let sources = pick_sources(g, 64 * workers, cfg.seed + 11);
+        let batch_edges = total_traversed_edges(&comps, &sources[..64]);
+
+        // MS-PBFS over one batch.
+        let r = run_mspbfs_batches::<1, _>(g, &pool, &sources[..64], &opts, &NoopConsumer);
+        let mspbfs_ns = r.wall_ns;
+        let mspbfs_gteps = gteps(batch_edges, r.wall_ns) * r.modeled_speedup();
+
+        // MS-BFS with sources for all threads.
+        let all_edges = total_traversed_edges(&comps, &sources);
+        let rs = run_sequential_instances::<1, _>(g, workers, &sources, &opts, &NoopConsumer);
+        let msbfs_gteps = gteps(all_edges, rs.wall_ns) * rs.modeled_speedup();
+
+        // MS-BFS limited to one 64-source batch → one thread.
+        let r64 =
+            run_sequential_instances::<1, _>(g, workers, &sources[..64], &opts, &NoopConsumer);
+        let msbfs64_gteps = gteps(batch_edges, r64.wall_ns) * r64.modeled_speedup();
+
+        // SMS-PBFS, both representations, a few sources.
+        let opts_i = opts.instrumented();
+        let sms = |byte: bool| -> f64 {
+            let t0 = std::time::Instant::now();
+            let mut speedup = 0.0;
+            let count = 4usize;
+            if byte {
+                let mut bfs = SmsPbfsByte::new(n);
+                for &s in &sources[..count] {
+                    let st = bfs.run(g, &pool, s, &opts_i, &NoopVisitor);
+                    speedup += modeled_speedup_of(&st, workers);
+                }
+            } else {
+                let mut bfs = SmsPbfsBit::new(n);
+                for &s in &sources[..count] {
+                    let st = bfs.run(g, &pool, s, &opts_i, &NoopVisitor);
+                    speedup += modeled_speedup_of(&st, workers);
+                }
+            }
+            let edges = total_traversed_edges(&comps, &sources[..count]);
+            gteps(edges, t0.elapsed().as_nanos() as u64) * (speedup / count as f64)
+        };
+        let (bit, byte) = (sms(false), sms(true));
+        let (smspbfs_gteps, smspbfs_repr) = if bit >= byte {
+            (bit, "bit".to_string())
+        } else {
+            (byte, "byte".to_string())
+        };
+
+        let row = Table1Row {
+            name: ds.name.into(),
+            stands_for: ds.stands_for.into(),
+            vertices: g.num_connected_vertices(),
+            edges: g.num_edges(),
+            memory_bytes: g.paper_model_bytes(),
+            mspbfs_ns_per_64: mspbfs_ns,
+            mspbfs_gteps,
+            msbfs_gteps,
+            msbfs64_gteps,
+            smspbfs_gteps,
+            smspbfs_repr: smspbfs_repr.clone(),
+        };
+        rows.push(vec![
+            row.name.clone(),
+            row.vertices.to_string(),
+            row.edges.to_string(),
+            fmt_bytes(row.memory_bytes),
+            fmt_ns(row.mspbfs_ns_per_64),
+            fmt_gteps(row.mspbfs_gteps),
+            fmt_gteps(row.msbfs_gteps),
+            fmt_gteps(row.msbfs64_gteps),
+            format!("{} ({})", fmt_gteps(row.smspbfs_gteps), smspbfs_repr),
+        ]);
+        payload.push(row);
+    }
+    Report::new(
+        "table1",
+        "Datasets and algorithm performance (GTEPS modeled for ideal parallel hardware)",
+        &[
+            "graph",
+            "nodes",
+            "edges",
+            "memory",
+            "MS-PBFS t/64",
+            "MS-PBFS",
+            "MS-BFS",
+            "MS-BFS 64",
+            "SMS-PBFS",
+        ],
+        rows,
+        &payload,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Section 4.4 — NUMA locality of the work-stealing scheduler
+// ---------------------------------------------------------------------
+
+/// One labeling's locality numbers.
+#[derive(Serialize)]
+pub struct NumaRow {
+    /// Labeling scheme name.
+    pub labeling: String,
+    /// Deterministic per-queue work imbalance (max/mean over the whole
+    /// traversal).
+    pub queue_imbalance: f64,
+    /// Upper bound on the fraction of work that must migrate off its
+    /// owning queue when all workers progress at the same speed:
+    /// `Σ max(0, w_q − mean) / Σ w_q`.
+    pub migration_bound: f64,
+    /// Share of BFS-state memory each node hosts under the Section 4.4
+    /// placement (4-node topology) — proportional by construction.
+    pub memory_share_node0: f64,
+}
+
+/// Section 4.4: "when the total runtime for the tasks in each queue is
+/// balanced, most tasks are still executed by their originally assigned
+/// workers" — i.e. NUMA-local. The deterministic per-queue work totals
+/// bound the work that has to be stolen (and hence possibly cross node):
+/// the surplus above the mean. Striped labeling drives that bound toward
+/// zero; degree ordering does not. (Measured steal counts on this host
+/// only reflect OS timeslicing of the oversubscribed workers, so the bound
+/// is the meaningful quantity; see DESIGN.md.)
+pub fn numa(cfg: &Config) -> Report {
+    let raw = kronecker(cfg.scale + 2, cfg.seed);
+    let n = raw.num_vertices();
+    let workers = cfg.workers;
+    let opts = opts_for(n, workers).instrumented();
+    let sources = pick_sources(&raw, 64, cfg.seed + 17);
+    let topology = pbfs_sched::Topology::new(4.min(workers), workers);
+    let pool = pbfs_sched::WorkerPool::with_topology(topology.clone());
+    let mut rows = Vec::new();
+    let mut payload = Vec::new();
+    for (name, scheme) in [
+        ("ordered", LabelingScheme::DegreeOrdered),
+        ("random", LabelingScheme::Random(cfg.seed)),
+        (
+            "striped",
+            LabelingScheme::Striped {
+                workers,
+                task_size: opts.split_size,
+            },
+        ),
+    ] {
+        let perm = scheme.permutation(&raw);
+        let g = perm.apply(&raw);
+        let batch: Vec<u32> = sources.iter().map(|&s| perm.new_of(s)).collect();
+        let mut bfs: MsPbfs<1> = MsPbfs::new(n);
+        let stats = bfs.run(&g, &pool, &batch, &opts, &NoopMsVisitor);
+        let mut per_queue = vec![0u64; workers];
+        for it in &stats.iterations {
+            for (w, s) in it.per_worker.iter().enumerate() {
+                per_queue[w] += s.visited_neighbors + s.updated_states;
+            }
+        }
+        let total: u64 = per_queue.iter().sum();
+        let mean = total as f64 / workers as f64;
+        let max = per_queue.iter().copied().max().unwrap_or(0) as f64;
+        let surplus: f64 = per_queue
+            .iter()
+            .map(|&w| (w as f64 - mean).max(0.0))
+            .sum::<f64>();
+        let row = NumaRow {
+            labeling: name.into(),
+            queue_imbalance: max / mean.max(1e-9),
+            migration_bound: surplus / (total.max(1) as f64),
+            memory_share_node0: topology.memory_share(0),
+        };
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.3}", row.queue_imbalance),
+            format!("{:.2}%", 100.0 * row.migration_bound),
+            format!("{:.1}%", 100.0 * row.memory_share_node0),
+        ]);
+        payload.push(row);
+    }
+    Report::new(
+        "numa",
+        &format!(
+            "NUMA locality bound: work that must leave its owning queue ({workers} workers, 4 nodes)"
+        ),
+        &["labeling", "queue imbalance", "migration bound", "node-0 memory share"],
+        rows,
+        &payload,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Section 4.2.1 — task size sweep
+// ---------------------------------------------------------------------
+
+/// One point of the task-size sweep.
+#[derive(Serialize)]
+pub struct TaskSizeRow {
+    /// Vertices per task range.
+    pub split_size: usize,
+    /// Best-of-3 wall time for one 64-source MS-PBFS batch.
+    pub wall_ns: u64,
+    /// Overhead versus the fastest split size.
+    pub overhead: f64,
+}
+
+/// Section 4.2.1: scheduling overhead across task range sizes ("task range
+/// sizes of 256 or more vertices do not have any significant scheduling
+/// overhead").
+pub fn tasksize(cfg: &Config) -> Report {
+    let g = kronecker(cfg.scale + 2, cfg.seed);
+    let n = g.num_vertices();
+    let pool = WorkerPool::new(cfg.workers);
+    let sources = pick_sources(&g, 64, cfg.seed + 13);
+    let splits = [32usize, 64, 128, 256, 512, 1024, 4096, 16384];
+    let mut best = u64::MAX;
+    let mut measured = Vec::new();
+    for &split in &splits {
+        let opts = BfsOptions::default().with_split_size(split);
+        let mut bfs: MsPbfs<1> = MsPbfs::new(n);
+        let mut min_ns = u64::MAX;
+        for _ in 0..5 {
+            let t0 = std::time::Instant::now();
+            bfs.run(&g, &pool, &sources, &opts, &NoopMsVisitor);
+            min_ns = min_ns.min(t0.elapsed().as_nanos() as u64);
+        }
+        best = best.min(min_ns);
+        measured.push((split, min_ns));
+    }
+    let mut rows = Vec::new();
+    let mut payload = Vec::new();
+    for (split, ns) in measured {
+        let row = TaskSizeRow {
+            split_size: split,
+            wall_ns: ns,
+            overhead: ns as f64 / best as f64 - 1.0,
+        };
+        rows.push(vec![
+            split.to_string(),
+            fmt_ns(ns),
+            format!("{:+.1}%", 100.0 * row.overhead),
+        ]);
+        payload.push(row);
+    }
+    Report::new(
+        "tasksize",
+        &format!(
+            "MS-PBFS wall time vs task range size (Kronecker {})",
+            cfg.scale + 2
+        ),
+        &["split size", "wall (best of 5)", "overhead vs best"],
+        rows,
+        &payload,
+    )
+}

@@ -1,0 +1,18 @@
+//! Benchmark harness for the EDBT 2017 MS-PBFS paper reproduction.
+//!
+//! The [`datasets`] module builds the evaluation graphs (Table 1, scaled to
+//! this machine — see DESIGN.md), [`experiments`] implements one function
+//! per figure/table of the paper's Section 5, and [`report`] renders their
+//! results as text tables and JSON records for EXPERIMENTS.md.
+//!
+//! The `repro` binary (`cargo run -p pbfs-bench --release --bin repro`)
+//! exposes each experiment as a subcommand.
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod experiments;
+pub mod report;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,164 @@
+//! Result rendering: aligned text tables plus JSON records.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// A rendered experiment: a title, a table, and the raw rows as JSON.
+pub struct Report {
+    /// Experiment id, e.g. `fig2`.
+    pub id: String,
+    /// Human-readable title (matches the paper's caption).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Table cells, row-major.
+    pub rows: Vec<Vec<String>>,
+    /// Machine-readable payload.
+    pub json: serde_json::Value,
+}
+
+impl Report {
+    /// Builds a report from serializable rows.
+    pub fn new<T: Serialize>(
+        id: &str,
+        title: &str,
+        headers: &[&str],
+        rows: Vec<Vec<String>>,
+        payload: &T,
+    ) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows,
+            json: serde_json::to_value(payload).expect("payload serializes"),
+        }
+    }
+
+    /// Renders the aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                let w = widths.get(i).copied().unwrap_or(c.len());
+                let _ = write!(s, "{c:>w$}  ");
+            }
+            s.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        let _ = writeln!(out, "{}", "-".repeat(total.min(120)));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Writes `<dir>/<id>.json`.
+    pub fn write_json(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        std::fs::write(path, serde_json::to_string_pretty(&self.json)?)
+    }
+}
+
+/// Formats nanoseconds as a human-readable duration.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Formats a GTEPS value with sensible precision.
+pub fn fmt_gteps(g: f64) -> String {
+    if g >= 10.0 {
+        format!("{g:.1}")
+    } else if g >= 0.1 {
+        format!("{g:.3}")
+    } else {
+        format!("{g:.5}")
+    }
+}
+
+/// Formats bytes with binary units.
+pub fn fmt_bytes(b: usize) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = b as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{b}B")
+    } else {
+        format!("{v:.2}{}", UNITS[u])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let r = Report::new(
+            "figX",
+            "demo",
+            &["a", "metric"],
+            vec![
+                vec!["1".into(), "10.0".into()],
+                vec!["2222".into(), "3".into()],
+            ],
+            &serde_json::json!({"ok": true}),
+        );
+        let text = r.render();
+        assert!(text.contains("== figX — demo =="));
+        assert!(text.contains("2222"));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_ns(500), "500ns");
+        assert_eq!(fmt_ns(1_500), "1.5µs");
+        assert_eq!(fmt_ns(2_000_000), "2.00ms");
+        assert_eq!(fmt_ns(3_200_000_000), "3.20s");
+        assert_eq!(fmt_gteps(12.34), "12.3");
+        assert_eq!(fmt_gteps(0.5), "0.500");
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(2048), "2.00KiB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.00MiB");
+    }
+
+    #[test]
+    fn write_json_roundtrip() {
+        let dir = std::env::temp_dir().join("pbfs-report-test");
+        let r = Report::new("t1", "t", &["x"], vec![], &serde_json::json!([1, 2]));
+        r.write_json(&dir).unwrap();
+        let back: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("t1.json")).unwrap()).unwrap();
+        assert_eq!(back, serde_json::json!([1, 2]));
+    }
+}

@@ -1,0 +1,179 @@
+//! Smoke tests: every experiment runs end-to-end at toy scale and emits a
+//! well-formed report with the expected series.
+
+use crate::experiments::{self, Config};
+
+fn toy() -> Config {
+    Config {
+        scale: 8,
+        machine_threads: 8,
+        workers: 3,
+        seed: 1,
+    }
+}
+
+#[test]
+fn fig2_staircase_and_flat_line() {
+    let r = experiments::fig2(&toy());
+    assert!(!r.rows.is_empty());
+    let v: Vec<serde_json::Value> = r.json.as_array().unwrap().clone();
+    let first_msbfs = v[0]["msbfs_utilization"].as_f64().unwrap();
+    let last_msbfs = v.last().unwrap()["msbfs_utilization"].as_f64().unwrap();
+    assert!(first_msbfs < 0.3, "one batch on 8 threads: {first_msbfs}");
+    assert!(last_msbfs > 2.0 * first_msbfs, "staircase must rise");
+    for row in &v {
+        let m = row["mspbfs_utilization"].as_f64().unwrap();
+        assert!(m > 0.4, "MS-PBFS utilization stays high, got {m}");
+    }
+}
+
+#[test]
+fn fig3_crossover_at_six_threads() {
+    let r = experiments::fig3(&toy());
+    let v = r.json.as_array().unwrap();
+    for row in v {
+        let t = row["threads"].as_u64().unwrap();
+        let ratio = row["msbfs_ratio"].as_f64().unwrap();
+        assert!((ratio > 1.0) == (t >= 6), "threads={t} ratio={ratio}");
+        assert!(row["mspbfs_ratio"].as_f64().unwrap() < 0.25);
+    }
+}
+
+#[test]
+fn fig6_ordered_is_skewed_random_is_flat() {
+    let r = experiments::fig6(&toy());
+    let v = r.json.as_array().unwrap();
+    let series = |name: &str| -> Vec<u64> {
+        v.iter().find(|row| row["labeling"] == name).unwrap()["visited_per_worker"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|x| x.as_u64().unwrap())
+            .collect()
+    };
+    let ordered = series("ordered");
+    let random = series("random");
+    let spread =
+        |s: &[u64]| *s.iter().max().unwrap() as f64 / (*s.iter().min().unwrap()).max(1) as f64;
+    assert!(
+        spread(&ordered) > spread(&random),
+        "ordered {ordered:?} must be more skewed than random {random:?}"
+    );
+}
+
+#[test]
+fn fig7_has_explosive_iteration() {
+    let r = experiments::fig7(&toy());
+    let v = r.json.as_array().unwrap();
+    let totals: Vec<u64> = v
+        .iter()
+        .map(|row| {
+            row["updated_per_worker"]
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|x| x.as_u64().unwrap())
+                .sum()
+        })
+        .collect();
+    let max = *totals.iter().max().unwrap();
+    assert!(
+        max > 10 * totals[0].max(1),
+        "hot iteration dominates: {totals:?}"
+    );
+}
+
+#[test]
+fn fig8_and_fig9_cover_all_labelings() {
+    let r = experiments::fig8(&toy());
+    for labeling in ["ordered", "random", "striped"] {
+        for algo in ["MS-PBFS", "SMS-PBFS"] {
+            assert!(
+                r.rows
+                    .iter()
+                    .any(|row| row[0] == algo && row[1] == labeling),
+                "{algo}/{labeling} missing"
+            );
+        }
+    }
+    let r9 = experiments::fig9(&toy());
+    assert_eq!(r9.headers.len(), 6);
+    assert!(!r9.rows.is_empty());
+}
+
+#[test]
+fn fig10_covers_all_variants_with_positive_gteps() {
+    let r = experiments::fig10(&toy());
+    let v = r.json.as_array().unwrap();
+    for variant in [
+        "beamer-gapbs",
+        "beamer-sparse",
+        "beamer-dense",
+        "sms-pbfs-bit",
+        "sms-pbfs-byte",
+    ] {
+        let points: Vec<f64> = v
+            .iter()
+            .filter(|row| row["variant"] == variant)
+            .map(|row| row["gteps"].as_f64().unwrap())
+            .collect();
+        assert!(!points.is_empty(), "{variant} missing");
+        assert!(points.iter().all(|&g| g > 0.0), "{variant}: {points:?}");
+    }
+}
+
+#[test]
+fn fig11_speedups_grow_with_threads() {
+    let r = experiments::fig11(&toy());
+    let v = r.json.as_array().unwrap();
+    let mspbfs: Vec<(u64, f64)> = v
+        .iter()
+        .filter(|row| row["variant"] == "MS-PBFS")
+        .map(|row| {
+            (
+                row["threads"].as_u64().unwrap(),
+                row["speedup"].as_f64().unwrap(),
+            )
+        })
+        .collect();
+    assert!(mspbfs.len() >= 3);
+    let first = mspbfs.first().unwrap();
+    let last = mspbfs.last().unwrap();
+    assert!((first.1 - 1.0).abs() < 0.01, "1 thread → speedup 1");
+    assert!(last.1 > 1.5, "speedup grows: {mspbfs:?}");
+}
+
+#[test]
+fn fig12_and_table1_emit_series() {
+    let r = experiments::fig12(&toy());
+    assert!(r.rows.len() >= 10);
+    let t = experiments::table1(&toy());
+    assert_eq!(t.json.as_array().unwrap().len(), 9, "nine Table 1 datasets");
+    for row in t.json.as_array().unwrap() {
+        assert!(row["edges"].as_u64().unwrap() > 0);
+        assert!(row["mspbfs_gteps"].as_f64().unwrap() > 0.0);
+    }
+}
+
+#[test]
+fn tasksize_reports_every_split() {
+    let r = experiments::tasksize(&toy());
+    assert_eq!(r.rows.len(), 8);
+    let v = r.json.as_array().unwrap();
+    assert!(v.iter().any(|row| row["overhead"].as_f64().unwrap() == 0.0));
+}
+
+#[test]
+fn numa_striped_has_lowest_migration_bound() {
+    let r = experiments::numa(&toy());
+    let v = r.json.as_array().unwrap();
+    let get = |name: &str| {
+        v.iter().find(|row| row["labeling"] == name).unwrap()["migration_bound"]
+            .as_f64()
+            .unwrap()
+    };
+    assert!(
+        get("striped") <= get("ordered"),
+        "striped must not migrate more than ordered"
+    );
+}

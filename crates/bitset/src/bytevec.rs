@@ -1,0 +1,302 @@
+//! One-byte-per-vertex state for the SMS-PBFS(byte) variant.
+//!
+//! Section 3.2 of the paper: with a bit representation the state of 512
+//! vertices shares one cache line, so concurrent top-down updates contend
+//! heavily; a byte per vertex trades 8× the memory for an update that is a
+//! single atomic *store* (no read-modify-write) and 8× fewer vertices per
+//! cache line.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// A dense vector of boolean bytes supporting concurrent mutation.
+pub struct AtomicByteVec {
+    bytes: Box<[AtomicU8]>,
+}
+
+impl AtomicByteVec {
+    /// Creates a vector of `len` zero bytes.
+    pub fn new(len: usize) -> Self {
+        let mut v = Vec::with_capacity(len);
+        v.resize_with(len, || AtomicU8::new(0));
+        Self {
+            bytes: v.into_boxed_slice(),
+        }
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True iff `len() == 0`.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Tests entry `i` (relaxed).
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.bytes[i].load(Ordering::Relaxed) != 0
+    }
+
+    /// Sets entry `i` with a plain atomic store — the simplification over
+    /// the multi-source CAS loop that SMS-PBFS enables (Section 3.2).
+    /// Concurrent setters race benignly: all of them write `1`.
+    #[inline]
+    pub fn set(&self, i: usize) {
+        self.bytes[i].store(1, Ordering::Relaxed);
+    }
+
+    /// Sets entry `i`, returning whether this call flipped it. Exactly one
+    /// concurrent setter observes `true` (used for parent/tree recording).
+    #[inline]
+    pub fn set_claim(&self, i: usize) -> bool {
+        self.bytes[i].swap(1, Ordering::Relaxed) == 0
+    }
+
+    /// Clears entry `i`.
+    #[inline]
+    pub fn clear(&self, i: usize) {
+        self.bytes[i].store(0, Ordering::Relaxed);
+    }
+
+    /// Clears every entry (single-threaded).
+    pub fn clear_all(&self) {
+        for b in self.bytes.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Clears entries in `start..end`.
+    pub fn clear_range(&self, start: usize, end: usize) {
+        for b in &self.bytes[start..end.min(self.bytes.len())] {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of set entries (relaxed snapshot).
+    pub fn count_ones(&self) -> usize {
+        self.bytes
+            .iter()
+            .filter(|b| b.load(Ordering::Relaxed) != 0)
+            .count()
+    }
+
+    /// True iff any entry in the 8-entry chunk starting at `8 * chunk` is
+    /// set — the byte-variant counterpart of the paper's 8-byte range check.
+    #[inline]
+    pub fn chunk_any(&self, chunk: usize) -> bool {
+        let start = chunk * 8;
+        let end = (start + 8).min(self.bytes.len());
+        self.bytes[start..end]
+            .iter()
+            .any(|b| b.load(Ordering::Relaxed) != 0)
+    }
+
+    /// True iff every entry in the 8-entry chunk starting at `8 * chunk` is
+    /// set (bottom-up skip: the whole chunk is already seen).
+    #[inline]
+    pub fn chunk_all(&self, chunk: usize) -> bool {
+        let start = chunk * 8;
+        let end = (start + 8).min(self.bytes.len());
+        self.bytes[start..end]
+            .iter()
+            .all(|b| b.load(Ordering::Relaxed) != 0)
+    }
+
+    /// Calls `f` for every set entry in `start..end`. With `chunk_skip`,
+    /// 8-entry chunks that are entirely clear are skipped.
+    pub fn for_each_set(
+        &self,
+        start: usize,
+        end: usize,
+        chunk_skip: bool,
+        mut f: impl FnMut(usize),
+    ) {
+        let end = end.min(self.bytes.len());
+        let mut i = start;
+        while i < end {
+            if chunk_skip && i.is_multiple_of(8) && i + 8 <= end && !self.chunk_any(i / 8) {
+                i += 8;
+                continue;
+            }
+            if self.get(i) {
+                f(i);
+            }
+            i += 1;
+        }
+    }
+
+    /// Calls `f` for every **clear** entry in `start..end`. With
+    /// `chunk_skip`, fully-set 8-entry chunks are skipped.
+    pub fn for_each_clear(
+        &self,
+        start: usize,
+        end: usize,
+        chunk_skip: bool,
+        mut f: impl FnMut(usize),
+    ) {
+        let end = end.min(self.bytes.len());
+        let mut i = start;
+        while i < end {
+            if chunk_skip && i.is_multiple_of(8) && i + 8 <= end && self.chunk_all(i / 8) {
+                i += 8;
+                continue;
+            }
+            if !self.get(i) {
+                f(i);
+            }
+            i += 1;
+        }
+    }
+
+    /// Iterates set entries in `start..end`, skipping 8-entry chunks that
+    /// are entirely clear.
+    pub fn iter_set_in(&self, start: usize, end: usize) -> impl Iterator<Item = usize> + '_ {
+        let end = end.min(self.bytes.len());
+        let start = start.min(end);
+        let mut i = start;
+        std::iter::from_fn(move || {
+            while i < end {
+                // At a chunk boundary, test the whole chunk first.
+                if i.is_multiple_of(8) && i + 8 <= end && !self.chunk_any(i / 8) {
+                    i += 8;
+                    continue;
+                }
+                let cur = i;
+                i += 1;
+                if self.get(cur) {
+                    return Some(cur);
+                }
+            }
+            None
+        })
+    }
+
+    /// Bytes of heap memory used.
+    pub fn heap_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let v = AtomicByteVec::new(100);
+        assert_eq!(v.len(), 100);
+        assert!(!v.get(42));
+        v.set(42);
+        assert!(v.get(42));
+        v.clear(42);
+        assert!(!v.get(42));
+    }
+
+    #[test]
+    fn set_claim_flips_once() {
+        let v = AtomicByteVec::new(10);
+        assert!(v.set_claim(3));
+        assert!(!v.set_claim(3));
+        assert!(v.get(3));
+    }
+
+    #[test]
+    fn clear_range_and_all() {
+        let v = AtomicByteVec::new(50);
+        for i in 0..50 {
+            v.set(i);
+        }
+        v.clear_range(10, 20);
+        assert_eq!(v.count_ones(), 40);
+        v.clear_all();
+        assert_eq!(v.count_ones(), 0);
+    }
+
+    #[test]
+    fn chunk_any() {
+        let v = AtomicByteVec::new(32);
+        assert!(!v.chunk_any(0));
+        v.set(9);
+        assert!(v.chunk_any(1));
+        assert!(!v.chunk_any(0));
+        assert!(!v.chunk_any(2));
+    }
+
+    #[test]
+    fn iter_set_in_skips_chunks() {
+        let v = AtomicByteVec::new(64);
+        for i in [0usize, 7, 8, 40, 63] {
+            v.set(i);
+        }
+        let got: Vec<usize> = v.iter_set_in(0, 64).collect();
+        assert_eq!(got, vec![0, 7, 8, 40, 63]);
+        let got: Vec<usize> = v.iter_set_in(1, 41).collect();
+        assert_eq!(got, vec![7, 8, 40]);
+        let got: Vec<usize> = v.iter_set_in(9, 9).collect();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn chunk_all() {
+        let v = AtomicByteVec::new(16);
+        assert!(!v.chunk_all(0));
+        for i in 0..8 {
+            v.set(i);
+        }
+        assert!(v.chunk_all(0));
+        assert!(!v.chunk_all(1));
+    }
+
+    #[test]
+    fn for_each_set_and_clear_are_complements() {
+        let v = AtomicByteVec::new(30);
+        for i in [0usize, 8, 9, 29] {
+            v.set(i);
+        }
+        for chunk_skip in [false, true] {
+            let mut set = Vec::new();
+            v.for_each_set(0, 30, chunk_skip, |i| set.push(i));
+            assert_eq!(set, vec![0, 8, 9, 29], "skip={chunk_skip}");
+            let mut clear = Vec::new();
+            v.for_each_clear(0, 30, chunk_skip, |i| clear.push(i));
+            assert_eq!(clear.len(), 26);
+            assert!(!clear.contains(&8));
+        }
+    }
+
+    #[test]
+    fn for_each_clear_skips_full_chunks() {
+        let v = AtomicByteVec::new(24);
+        for i in 8..16 {
+            v.set(i);
+        }
+        let mut clear = Vec::new();
+        v.for_each_clear(0, 24, true, |i| clear.push(i));
+        assert_eq!(clear.len(), 16);
+        assert!(clear.iter().all(|&i| !(8..16).contains(&i)));
+    }
+
+    #[test]
+    fn concurrent_stores_converge() {
+        use std::sync::Arc;
+        let v = Arc::new(AtomicByteVec::new(1024));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let v = Arc::clone(&v);
+                std::thread::spawn(move || {
+                    for i in 0..1024 {
+                        v.set(i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(v.count_ones(), 1024);
+    }
+}

@@ -1,0 +1,289 @@
+//! Dense per-vertex multi-BFS state arrays (`seen`, `frontier`, `next`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::Bits;
+
+/// A dense array of `Bits<W>` values, one per vertex, backed by atomic words.
+///
+/// This is the core data structure of (S)MS-PBFS: the fixed-size array
+/// replaces the frontier queues of classical BFS. Storage is atomic so the
+/// first top-down phase can merge frontiers concurrently ([`Self::fetch_or`])
+/// while all conflict-free phases use relaxed accessors with no
+/// synchronization cost on x86.
+///
+/// ```
+/// use pbfs_bitset::{Bits, StateArray};
+///
+/// let next: StateArray<1> = StateArray::new(10);
+/// next.fetch_or(3, Bits::single(5));
+/// assert!(next.get(3).bit(5));
+/// ```
+pub struct StateArray<const W: usize> {
+    words: Box<[AtomicU64]>,
+    len: usize,
+}
+
+impl<const W: usize> StateArray<W> {
+    /// Creates an array of `len` empty bitsets.
+    pub fn new(len: usize) -> Self {
+        let mut v = Vec::with_capacity(len * W);
+        v.resize_with(len * W, || AtomicU64::new(0));
+        Self {
+            words: v.into_boxed_slice(),
+            len,
+        }
+    }
+
+    /// Number of entries (vertices).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff `len() == 0`.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads entry `v` (relaxed snapshot; exact when no concurrent writer
+    /// touches `v`, which the bijective range partitioning guarantees in the
+    /// phases that read).
+    #[inline]
+    pub fn get(&self, v: usize) -> Bits<W> {
+        debug_assert!(v < self.len);
+        let base = v * W;
+        let mut words = [0u64; W];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = self.words[base + i].load(Ordering::Relaxed);
+        }
+        Bits::from_words(words)
+    }
+
+    /// Overwrites entry `v` (relaxed; caller must own `v`).
+    #[inline]
+    pub fn set(&self, v: usize, bits: Bits<W>) {
+        debug_assert!(v < self.len);
+        let base = v * W;
+        for (i, w) in bits.words().iter().enumerate() {
+            self.words[base + i].store(*w, Ordering::Relaxed);
+        }
+    }
+
+    /// `entry[v] |= bits` without atomicity (caller must own `v`).
+    #[inline]
+    pub fn or_assign_unsync(&self, v: usize, bits: Bits<W>) {
+        debug_assert!(v < self.len);
+        let base = v * W;
+        for (i, w) in bits.words().iter().enumerate() {
+            if *w != 0 {
+                let slot = &self.words[base + i];
+                let cur = slot.load(Ordering::Relaxed);
+                // Skip the store when nothing changes: avoids needless cache
+                // line invalidations (Section 3.1.1).
+                if cur | *w != cur {
+                    slot.store(cur | *w, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Atomically merges `bits` into entry `v`, returning the previous
+    /// value. This is the synchronized update of the first top-down phase.
+    ///
+    /// Implemented as per-word `fetch_or` — semantically identical to the
+    /// paper's CAS loop (bits are only ever added) but a single `lock or`
+    /// per word on x86. Words that would not change are skipped after a
+    /// relaxed pre-check to avoid needless cache line invalidations.
+    #[inline]
+    pub fn fetch_or(&self, v: usize, bits: Bits<W>) -> Bits<W> {
+        debug_assert!(v < self.len);
+        let base = v * W;
+        let mut old = [0u64; W];
+        for (i, w) in bits.words().iter().enumerate() {
+            let slot = &self.words[base + i];
+            if *w == 0 {
+                old[i] = slot.load(Ordering::Relaxed);
+            } else {
+                let cur = slot.load(Ordering::Relaxed);
+                if cur | *w == cur {
+                    old[i] = cur;
+                } else {
+                    old[i] = slot.fetch_or(*w, Ordering::Relaxed);
+                }
+            }
+        }
+        Bits::from_words(old)
+    }
+
+    /// Atomically merges `bits` into entry `v` using an explicit
+    /// compare-and-swap loop per word — the formulation in Section 3.1.1 of
+    /// the paper. Kept for the `ablation_atomic` benchmark.
+    #[inline]
+    pub fn fetch_or_cas(&self, v: usize, bits: Bits<W>) -> Bits<W> {
+        debug_assert!(v < self.len);
+        let base = v * W;
+        let mut old = [0u64; W];
+        for (i, w) in bits.words().iter().enumerate() {
+            let slot = &self.words[base + i];
+            let mut cur = slot.load(Ordering::Relaxed);
+            if *w == 0 {
+                old[i] = cur;
+                continue;
+            }
+            loop {
+                let new = cur | *w;
+                if new == cur {
+                    break;
+                }
+                match slot.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                    Ok(_) => break,
+                    Err(actual) => cur = actual,
+                }
+            }
+            old[i] = cur;
+        }
+        Bits::from_words(old)
+    }
+
+    /// Clears entry `v` (caller must own `v`).
+    #[inline]
+    pub fn clear_entry(&self, v: usize) {
+        self.set(v, Bits::EMPTY);
+    }
+
+    /// Clears every entry (single-threaded).
+    pub fn clear_all(&self) {
+        for w in self.words.iter() {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Clears entries `start..end` (used for parallel, NUMA-local init).
+    pub fn clear_range(&self, start: usize, end: usize) {
+        let end = end.min(self.len);
+        for w in &self.words[start * W..end * W] {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of entries whose bitset is non-empty (relaxed snapshot).
+    pub fn count_nonempty(&self) -> usize {
+        (0..self.len).filter(|&v| !self.get(v).is_empty()).count()
+    }
+
+    /// Sum of `count_ones` over all entries (relaxed snapshot).
+    pub fn total_ones(&self) -> u64 {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as u64)
+            .sum()
+    }
+
+    /// Bytes of heap memory used.
+    pub fn heap_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{B128, B64};
+
+    #[test]
+    fn get_set_roundtrip() {
+        let a: StateArray<2> = StateArray::new(5);
+        assert_eq!(a.len(), 5);
+        let b = B128::single(100) | B128::single(3);
+        a.set(2, b);
+        assert_eq!(a.get(2), b);
+        assert_eq!(a.get(1), B128::EMPTY);
+        a.clear_entry(2);
+        assert_eq!(a.get(2), B128::EMPTY);
+    }
+
+    #[test]
+    fn fetch_or_returns_old() {
+        let a: StateArray<1> = StateArray::new(3);
+        let old = a.fetch_or(0, B64::single(1));
+        assert_eq!(old, B64::EMPTY);
+        let old = a.fetch_or(0, B64::single(1) | B64::single(2));
+        assert_eq!(old, B64::single(1));
+        assert_eq!(a.get(0), B64::single(1) | B64::single(2));
+    }
+
+    #[test]
+    fn fetch_or_skips_noop_words() {
+        let a: StateArray<2> = StateArray::new(1);
+        a.set(0, B128::single(0));
+        // Word 1 of the operand is zero and word 0 is a subset: no change.
+        let old = a.fetch_or(0, B128::single(0));
+        assert_eq!(old, B128::single(0));
+        assert_eq!(a.get(0), B128::single(0));
+    }
+
+    #[test]
+    fn cas_variant_matches_fetch_or() {
+        let a: StateArray<4> = StateArray::new(2);
+        let b: StateArray<4> = StateArray::new(2);
+        let x = crate::B256::single(7) | crate::B256::single(200);
+        let y = crate::B256::single(200) | crate::B256::single(9);
+        assert_eq!(a.fetch_or(1, x), b.fetch_or_cas(1, x));
+        assert_eq!(a.fetch_or(1, y), b.fetch_or_cas(1, y));
+        assert_eq!(a.get(1), b.get(1));
+    }
+
+    #[test]
+    fn or_assign_unsync() {
+        let a: StateArray<1> = StateArray::new(2);
+        a.or_assign_unsync(0, B64::single(5));
+        a.or_assign_unsync(0, B64::single(6));
+        assert_eq!(a.get(0).count_ones(), 2);
+    }
+
+    #[test]
+    fn clear_range_and_counts() {
+        let a: StateArray<1> = StateArray::new(10);
+        for v in 0..10 {
+            a.set(v, B64::single(v));
+        }
+        assert_eq!(a.count_nonempty(), 10);
+        assert_eq!(a.total_ones(), 10);
+        a.clear_range(2, 7);
+        assert_eq!(a.count_nonempty(), 5);
+        a.clear_all();
+        assert_eq!(a.count_nonempty(), 0);
+    }
+
+    #[test]
+    fn concurrent_fetch_or_loses_nothing() {
+        use std::sync::Arc;
+        let a: Arc<StateArray<1>> = Arc::new(StateArray::new(64));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || {
+                    for v in 0..64 {
+                        for bit in (t..64).step_by(4) {
+                            a.fetch_or(v, B64::single(bit));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for v in 0..64 {
+            assert_eq!(a.get(v), B64::ALL);
+        }
+    }
+
+    #[test]
+    fn heap_bytes() {
+        let a: StateArray<8> = StateArray::new(100);
+        assert_eq!(a.heap_bytes(), 100 * 8 * 8);
+    }
+}

@@ -1,0 +1,119 @@
+//! Minimal flag parsing (no external dependency).
+
+use std::collections::HashMap;
+
+/// Usage text shared by `--help` and error paths.
+pub const USAGE: &str = "\
+usage:
+  pbfs generate <kind> [--scale N | --vertices N] [--degree N] [--seed N] [--text] -o FILE
+        kinds: kronecker kg0 social web collab hub uniform watts-strogatz
+  pbfs stats FILE [--text]
+  pbfs bfs FILE --source N [--algo sms-bit|sms-byte|ms|beamer|textbook]
+        [--workers N] [--validate] [--text]
+  pbfs centrality FILE --measure closeness|harmonic|betweenness [--top K]
+        [--workers N] [--text]
+  pbfs relabel FILE --scheme striped|ordered|random [--workers N] [--seed N] [--text] -o FILE";
+
+/// Parsed command line: positionals plus `--flag value` / `--flag` pairs.
+pub struct Args {
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Splits `argv` into positionals and flags. Boolean flags (`--text`,
+    /// `--validate`) store an empty value.
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        const BOOL_FLAGS: &[&str] = &["text", "validate", "help"];
+        let mut positional = Vec::new();
+        let mut flags = HashMap::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(name) = a.strip_prefix("--") {
+                if BOOL_FLAGS.contains(&name) {
+                    flags.insert(name.to_string(), String::new());
+                } else {
+                    i += 1;
+                    let value = argv
+                        .get(i)
+                        .ok_or_else(|| format!("missing value for --{name}"))?;
+                    flags.insert(name.to_string(), value.clone());
+                }
+            } else if a == "-o" {
+                i += 1;
+                let value = argv.get(i).ok_or("missing value for -o")?;
+                flags.insert("output".to_string(), value.clone());
+            } else {
+                positional.push(a.clone());
+            }
+            i += 1;
+        }
+        Ok(Self { positional, flags })
+    }
+
+    /// A boolean flag's presence.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    /// A string flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// A required string flag.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name)
+            .ok_or_else(|| format!("--{name} is required"))
+    }
+
+    /// A numeric flag with default.
+    pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{name}: {v}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_positionals_and_flags() {
+        let a = Args::parse(&argv("bfs g.bin --source 5 --validate -o out.bin")).unwrap();
+        assert_eq!(a.positional, vec!["bfs", "g.bin"]);
+        assert_eq!(a.get("source"), Some("5"));
+        assert!(a.has("validate"));
+        assert_eq!(a.get("output"), Some("out.bin"));
+        assert_eq!(a.num::<u32>("source", 0).unwrap(), 5);
+        assert_eq!(a.num::<u32>("workers", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn missing_value_errors() {
+        assert!(Args::parse(&argv("generate --scale")).is_err());
+        assert!(Args::parse(&argv("generate -o")).is_err());
+    }
+
+    #[test]
+    fn invalid_number_errors() {
+        let a = Args::parse(&argv("x --scale banana")).unwrap();
+        assert!(a.num::<u32>("scale", 1).is_err());
+    }
+
+    #[test]
+    fn require_reports_flag_name() {
+        let a = Args::parse(&argv("x")).unwrap();
+        assert!(a.require("measure").unwrap_err().contains("--measure"));
+    }
+}

@@ -1,0 +1,32 @@
+//! `pbfs` — command-line front end for the PBFS suite.
+//!
+//! ```text
+//! pbfs generate <kind> [--scale N | --vertices N] [--degree N] [--seed N] -o FILE
+//!       kinds: kronecker kg0 social web collab hub uniform watts-strogatz
+//! pbfs stats FILE
+//! pbfs bfs FILE --source N [--algo sms-bit|sms-byte|ms|beamer|textbook]
+//!       [--workers N] [--validate]
+//! pbfs centrality FILE --measure closeness|harmonic|betweenness [--top K]
+//!       [--workers N]
+//! pbfs relabel FILE --scheme striped|ordered|random [--workers N] -o FILE
+//! ```
+//!
+//! Graph files use the suite's binary format (`pbfs_graph::io`); pass
+//! `--text` to read/write the `u v` text format instead.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", args::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! Sequential direction-optimizing BFS baselines (Beamer et al.).
+//!
+//! Section 5.2 of the paper compares SMS-PBFS against three sequential
+//! Beamer variants:
+//!
+//! * [`QueueKind::Gapbs`] — a port of the reference implementation from the
+//!   GAP Benchmark Suite: parent-array semantics, sparse sliding queue in
+//!   the top-down phase, plain (non-chunk-skipped) bottom-up scan, GAPBS
+//!   heuristic constants.
+//! * [`QueueKind::Sparse`] — Beamer's algorithm re-implemented on this
+//!   crate's graph and bit-vector structures with a sparse top-down queue
+//!   and the chunk-skipped bottom-up scan shared with SMS-PBFS (bit).
+//! * [`QueueKind::Dense`] — the same with a dense bit-array frontier in the
+//!   top-down phase as well.
+//!
+//! All variants produce hop distances and per-iteration statistics.
+
+use pbfs_bitset::BitVec;
+use pbfs_graph::{CsrGraph, VertexId};
+
+use crate::policy::{Direction, DirectionPolicy, FrontierState};
+use crate::stats::{IterationStats, TraversalStats};
+use crate::visitor::SsVisitor;
+use crate::UNREACHED;
+
+/// Frontier representation of the top-down phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueueKind {
+    /// GAPBS reference port.
+    Gapbs,
+    /// Sparse vector frontier on our structures.
+    Sparse,
+    /// Dense bit-array frontier on our structures.
+    Dense,
+}
+
+/// A sequential direction-optimizing BFS.
+pub struct DirectionOptBfs {
+    /// Top-down frontier representation.
+    pub kind: QueueKind,
+    /// Direction-switching policy ([`QueueKind::Gapbs`] always uses the
+    /// GAPBS constants α=15, β=18 regardless).
+    pub policy: DirectionPolicy,
+    /// Chunk-skip the bottom-up scan (ignored by `Gapbs`, which scans
+    /// plainly like the reference code).
+    pub chunk_skip: bool,
+}
+
+impl DirectionOptBfs {
+    /// A variant with default policy and chunk skipping on.
+    pub fn new(kind: QueueKind) -> Self {
+        Self {
+            kind,
+            policy: DirectionPolicy::default(),
+            chunk_skip: true,
+        }
+    }
+
+    /// Runs the BFS and returns hop distances.
+    pub fn run(&self, g: &CsrGraph, source: VertexId) -> Vec<u32> {
+        self.run_with(g, source, &crate::visitor::NoopVisitor).0
+    }
+
+    /// Runs the BFS, returning distances, firing `visitor`, and collecting
+    /// per-iteration statistics.
+    pub fn run_with(
+        &self,
+        g: &CsrGraph,
+        source: VertexId,
+        visitor: &impl SsVisitor,
+    ) -> (Vec<u32>, TraversalStats) {
+        let n = g.num_vertices();
+        assert!((source as usize) < n, "source out of range");
+        let start = std::time::Instant::now();
+        let policy = match self.kind {
+            QueueKind::Gapbs => DirectionPolicy::Heuristic {
+                alpha: 15.0,
+                beta: 18.0,
+            },
+            _ => self.policy,
+        };
+        let chunk_skip = self.kind != QueueKind::Gapbs && self.chunk_skip;
+
+        let mut dist = vec![UNREACHED; n];
+        dist[source as usize] = 0;
+        visitor.on_found(source, 0);
+
+        // Sparse and dense frontier representations; which pair is live
+        // depends on the variant and current direction.
+        let mut frontier_sparse: Vec<VertexId> = vec![source];
+        let mut next_sparse: Vec<VertexId> = Vec::new();
+        let mut frontier_dense = BitVec::new(n);
+        let mut next_dense = BitVec::new(n);
+        let dense_top_down = self.kind == QueueKind::Dense;
+        if dense_top_down {
+            frontier_dense.set(source as usize);
+        }
+
+        let mut stats = TraversalStats::default();
+        let mut discovered_total = 1u64;
+        let mut unexplored_degree = g.num_directed_edges() as u64 - g.degree(source) as u64;
+        let mut frontier_degree = g.degree(source) as u64;
+        let mut frontier_vertices = 1u64;
+        let mut direction = Direction::TopDown;
+        let mut dense_live = dense_top_down;
+        let mut depth = 0u32;
+
+        while frontier_vertices > 0 {
+            let next_dir = policy.decide(&FrontierState {
+                frontier_vertices,
+                frontier_degree,
+                unexplored_degree,
+                total_vertices: n as u64,
+                current: direction,
+            });
+            // Representation conversions at direction switches.
+            if next_dir == Direction::BottomUp && !dense_live {
+                frontier_dense.clear_all();
+                for &v in &frontier_sparse {
+                    frontier_dense.set(v as usize);
+                }
+                dense_live = true;
+            } else if next_dir == Direction::TopDown && dense_live && !dense_top_down {
+                frontier_sparse.clear();
+                frontier_sparse.extend(frontier_dense.iter_set_in(0, n).map(|v| v as VertexId));
+                dense_live = false;
+            }
+            direction = next_dir;
+            depth += 1;
+
+            let iter_start = std::time::Instant::now();
+            let mut visited_neighbors = 0u64;
+            let mut new_frontier_degree = 0u64;
+            let discovered;
+
+            match direction {
+                Direction::TopDown if !dense_live => {
+                    next_sparse.clear();
+                    for &v in frontier_sparse.iter() {
+                        for &nbr in g.neighbors(v) {
+                            visited_neighbors += 1;
+                            if dist[nbr as usize] == UNREACHED {
+                                dist[nbr as usize] = depth;
+                                visitor.on_found(nbr, depth);
+                                visitor.on_tree_edge(v, nbr);
+                                new_frontier_degree += g.degree(nbr) as u64;
+                                next_sparse.push(nbr);
+                            }
+                        }
+                    }
+                    discovered = next_sparse.len() as u64;
+                    std::mem::swap(&mut frontier_sparse, &mut next_sparse);
+                    frontier_vertices = frontier_sparse.len() as u64;
+                }
+                Direction::TopDown => {
+                    // Dense top-down: scan frontier bits (chunk-skipped).
+                    next_dense.clear_all();
+                    let mut count = 0u64;
+                    for v in frontier_dense.iter_set_in(0, n) {
+                        for &nbr in g.neighbors(v as VertexId) {
+                            visited_neighbors += 1;
+                            if dist[nbr as usize] == UNREACHED {
+                                dist[nbr as usize] = depth;
+                                visitor.on_found(nbr, depth);
+                                visitor.on_tree_edge(v as VertexId, nbr);
+                                new_frontier_degree += g.degree(nbr) as u64;
+                                next_dense.set(nbr as usize);
+                                count += 1;
+                            }
+                        }
+                    }
+                    discovered = count;
+                    std::mem::swap(&mut frontier_dense, &mut next_dense);
+                    frontier_vertices = count;
+                }
+                Direction::BottomUp => {
+                    next_dense.clear_all();
+                    let mut count = 0u64;
+                    // Scans u's neighbors for a frontier member; returns
+                    // (edges scanned, whether u was discovered).
+                    let scan = |u: usize, frontier_dense: &BitVec| -> (u64, bool) {
+                        let mut scanned = 0u64;
+                        for &v in g.neighbors(u as VertexId) {
+                            scanned += 1;
+                            if frontier_dense.get(v as usize) {
+                                return (scanned, true);
+                            }
+                        }
+                        (scanned, false)
+                    };
+                    let mut step = |u: usize,
+                                    dist: &mut Vec<u32>,
+                                    visited_neighbors: &mut u64,
+                                    count: &mut u64| {
+                        if dist[u] != UNREACHED {
+                            return;
+                        }
+                        let (scanned, found) = scan(u, &frontier_dense);
+                        *visited_neighbors += scanned;
+                        if found {
+                            dist[u] = depth;
+                            next_dense.set(u);
+                            *count += 1;
+                        }
+                    };
+                    if chunk_skip {
+                        // Skip 8-vertex strides where everything is seen —
+                        // the analogue of the paper's 8-byte range check,
+                        // driven by the distance array.
+                        let mut u = 0usize;
+                        while u < n {
+                            let end = (u + 8).min(n);
+                            if dist[u..end].iter().all(|&d| d != UNREACHED) {
+                                u = end;
+                                continue;
+                            }
+                            for x in u..end {
+                                step(x, &mut dist, &mut visited_neighbors, &mut count);
+                            }
+                            u = end;
+                        }
+                    } else {
+                        for u in 0..n {
+                            step(u, &mut dist, &mut visited_neighbors, &mut count);
+                        }
+                    }
+                    // Fire visitor events after the scan (the scan closure
+                    // borrows dist mutably).
+                    for u in next_dense.iter_set_in(0, n) {
+                        visitor.on_found(u as VertexId, depth);
+                        // Identify one in-frontier neighbor as parent.
+                        if let Some(&p) = g
+                            .neighbors(u as VertexId)
+                            .iter()
+                            .find(|&&v| frontier_dense.get(v as usize))
+                        {
+                            visitor.on_tree_edge(p, u as VertexId);
+                        }
+                    }
+                    for u in next_dense.iter_set_in(0, n) {
+                        new_frontier_degree += g.degree(u as VertexId) as u64;
+                    }
+                    discovered = count;
+                    std::mem::swap(&mut frontier_dense, &mut next_dense);
+                    frontier_vertices = count;
+                    dense_live = true;
+                }
+            }
+
+            discovered_total += discovered;
+            unexplored_degree = unexplored_degree.saturating_sub(new_frontier_degree);
+            frontier_degree = new_frontier_degree;
+            stats.iterations.push(IterationStats {
+                iteration: depth,
+                direction,
+                wall_ns: iter_start.elapsed().as_nanos() as u64,
+                frontier_vertices,
+                discovered,
+                per_worker: vec![crate::stats::WorkerIterStats {
+                    busy_ns: iter_start.elapsed().as_nanos() as u64,
+                    visited_neighbors,
+                    updated_states: discovered,
+                    tasks: 1,
+                    ..Default::default()
+                }],
+            });
+            if discovered == 0 {
+                break;
+            }
+        }
+
+        stats.total_wall_ns = start.elapsed().as_nanos() as u64;
+        stats.total_discovered = discovered_total;
+        (dist, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::textbook;
+    use pbfs_graph::gen;
+
+    fn all_kinds() -> [DirectionOptBfs; 3] {
+        [
+            DirectionOptBfs::new(QueueKind::Gapbs),
+            DirectionOptBfs::new(QueueKind::Sparse),
+            DirectionOptBfs::new(QueueKind::Dense),
+        ]
+    }
+
+    #[test]
+    fn matches_oracle_on_fixed_topologies() {
+        let graphs = [
+            gen::path(17),
+            gen::cycle(9),
+            gen::star(33),
+            gen::complete(12),
+            gen::binary_tree(4),
+            gen::grid(7, 5),
+        ];
+        for g in &graphs {
+            let oracle = textbook::distances(g, 0);
+            for bfs in all_kinds() {
+                assert_eq!(bfs.run(g, 0), oracle, "{:?}", bfs.kind);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_random_graphs() {
+        for seed in 0..5 {
+            let g = gen::uniform(500, 2000, seed);
+            for source in [0u32, 13, 499] {
+                let oracle = textbook::distances(&g, source);
+                for bfs in all_kinds() {
+                    assert_eq!(bfs.run(&g, source), oracle, "{:?} seed={seed}", bfs.kind);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_kronecker() {
+        let g = gen::Kronecker::graph500(10).seed(2).generate();
+        let oracle = textbook::distances(&g, 5);
+        for bfs in all_kinds() {
+            assert_eq!(bfs.run(&g, 5), oracle, "{:?}", bfs.kind);
+        }
+    }
+
+    #[test]
+    fn forced_directions_match_oracle() {
+        let g = gen::Kronecker::graph500(9).seed(7).generate();
+        let oracle = textbook::distances(&g, 1);
+        for policy in [
+            DirectionPolicy::AlwaysTopDown,
+            DirectionPolicy::AlwaysBottomUp,
+        ] {
+            for kind in [QueueKind::Sparse, QueueKind::Dense] {
+                let bfs = DirectionOptBfs {
+                    kind,
+                    policy,
+                    chunk_skip: true,
+                };
+                assert_eq!(bfs.run(&g, 1), oracle, "{kind:?} {policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_skip_off_matches() {
+        let g = gen::uniform(300, 900, 3);
+        let a = DirectionOptBfs {
+            chunk_skip: false,
+            ..DirectionOptBfs::new(QueueKind::Sparse)
+        };
+        let b = DirectionOptBfs::new(QueueKind::Sparse);
+        assert_eq!(a.run(&g, 0), b.run(&g, 0));
+    }
+
+    #[test]
+    fn small_world_run_switches_to_bottom_up() {
+        let g = gen::Kronecker::graph500(11).seed(4).generate();
+        let bfs = DirectionOptBfs::new(QueueKind::Sparse);
+        let src = (0..g.num_vertices() as u32)
+            .find(|&v| g.degree(v) > 0)
+            .unwrap();
+        let (_, stats) = bfs.run_with(&g, src, &crate::visitor::NoopVisitor);
+        assert!(
+            stats.bottom_up_iterations() > 0,
+            "dense graph should trigger bottom-up"
+        );
+        assert!(stats.num_iterations() < 12);
+    }
+
+    #[test]
+    fn visitor_receives_tree() {
+        let g = gen::uniform_connected(100, 150, 9);
+        let bfs = DirectionOptBfs::new(QueueKind::Dense);
+        let dists = crate::visitor::DistanceVisitor::new(100);
+        let parents = crate::visitor::ParentVisitor::new(100, 0);
+        let pair = crate::visitor::PairVisitor(&dists, &parents);
+        let (d, _) = bfs.run_with(&g, 0, &pair);
+        assert_eq!(dists.distances(), d);
+        crate::validate::validate_tree(&g, 0, &parents.parents(), &d).unwrap();
+    }
+
+    #[test]
+    fn disconnected_component_unreached() {
+        let g = gen::disjoint_union(&[&gen::path(4), &gen::star(5)]);
+        for bfs in all_kinds() {
+            let d = bfs.run(&g, 0);
+            assert_eq!(d[0], 0);
+            assert!(d[4..].iter().all(|&x| x == UNREACHED), "{:?}", bfs.kind);
+        }
+    }
+}

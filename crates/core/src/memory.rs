@@ -1,0 +1,146 @@
+//! BFS-state memory accounting — the model behind Figure 3 and the
+//! Section 2.3 limitation analysis.
+//!
+//! The paper compares the dynamic BFS state of each algorithm to the size
+//! of the analyzed graph, modeled as Kronecker/Graph500 graphs with 16
+//! edges per vertex and 8 bytes per edge. Multi-threaded MS-BFS needs one
+//! full state *per core*, so with 60 threads the state is over 10× the
+//! graph; MS-PBFS shares a single state across all cores.
+
+use serde::Serialize;
+
+/// Memory model of one configuration (all sizes in bytes).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct MemoryModel {
+    /// Vertices in the graph.
+    pub vertices: usize,
+    /// Average undirected edges per vertex (Graph500: 16).
+    pub edge_factor: usize,
+    /// Bitset width in 64-bit words (1 = 64 concurrent BFSs).
+    pub width_words: usize,
+}
+
+impl MemoryModel {
+    /// The paper's default: Graph500 edge factor 16, 64-wide bitsets.
+    pub fn graph500(vertices: usize) -> Self {
+        Self {
+            vertices,
+            edge_factor: 16,
+            width_words: 1,
+        }
+    }
+
+    /// Graph bytes under the paper's model: `edge_factor × 8` per vertex.
+    pub fn graph_bytes(&self) -> usize {
+        self.vertices * self.edge_factor * 8
+    }
+
+    /// Dynamic state of a single (S)MS-BFS instance: three arrays of
+    /// `width_words × 8` bytes per vertex.
+    pub fn single_instance_state_bytes(&self) -> usize {
+        3 * self.vertices * self.width_words * 8
+    }
+
+    /// Dynamic state of multi-threaded MS-BFS: one instance per thread
+    /// (Section 2.3: "by running multiple sequential instances
+    /// simultaneously, the memory requirements rise drastically").
+    pub fn msbfs_state_bytes(&self, threads: usize) -> usize {
+        threads * self.single_instance_state_bytes()
+    }
+
+    /// Dynamic state of MS-PBFS: one shared instance regardless of thread
+    /// count ("MS-PBFS ... only consumes as much memory as a single
+    /// MS-BFS").
+    pub fn mspbfs_state_bytes(&self, _threads: usize) -> usize {
+        self.single_instance_state_bytes()
+    }
+
+    /// Dynamic state of MS-PBFS (one per socket): one instance per NUMA
+    /// node.
+    pub fn one_per_socket_state_bytes(&self, sockets: usize) -> usize {
+        sockets * self.single_instance_state_bytes()
+    }
+
+    /// State of SMS-PBFS: three boolean arrays (bit or byte per vertex).
+    pub fn smspbfs_state_bytes(&self, byte_repr: bool) -> usize {
+        if byte_repr {
+            3 * self.vertices
+        } else {
+            3 * self.vertices.div_ceil(8)
+        }
+    }
+
+    /// The Figure 3 y-axis: MS-BFS state relative to graph size as a
+    /// function of thread count.
+    pub fn msbfs_overhead_ratio(&self, threads: usize) -> f64 {
+        self.msbfs_state_bytes(threads) as f64 / self.graph_bytes() as f64
+    }
+
+    /// The Figure 3 y-axis for MS-PBFS (a flat line).
+    pub fn mspbfs_overhead_ratio(&self, threads: usize) -> f64 {
+        self.mspbfs_state_bytes(threads) as f64 / self.graph_bytes() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure3_anchors() {
+        // Figure 3 / Section 2.3: with 16 edges per vertex, MS-BFS state
+        // exceeds the graph at 6 threads and passes 10× at 60 threads.
+        let m = MemoryModel::graph500(1 << 20);
+        assert!(m.msbfs_overhead_ratio(5) < 1.0);
+        assert!(m.msbfs_overhead_ratio(6) > 1.0);
+        assert!(m.msbfs_overhead_ratio(60) > 10.0);
+        // MS-PBFS stays flat well below the graph size.
+        assert!(m.mspbfs_overhead_ratio(60) < 0.2);
+        assert_eq!(m.mspbfs_state_bytes(60), m.mspbfs_state_bytes(1));
+    }
+
+    #[test]
+    fn terabyte_claim() {
+        // "more than one terabyte of main memory would be needed to
+        // analyze a 100GB graph using all cores" (120 hyper-threads).
+        let vertices = 100_000_000_000usize / (16 * 8); // 100 GB graph
+        let m = MemoryModel::graph500(vertices);
+        assert!(m.msbfs_state_bytes(120) > 1_000_000_000_000);
+    }
+
+    #[test]
+    fn state_formulas() {
+        let m = MemoryModel {
+            vertices: 1000,
+            edge_factor: 16,
+            width_words: 4,
+        };
+        assert_eq!(m.graph_bytes(), 128_000);
+        assert_eq!(m.single_instance_state_bytes(), 3 * 1000 * 32);
+        assert_eq!(m.msbfs_state_bytes(10), 10 * 96_000);
+        assert_eq!(m.one_per_socket_state_bytes(4), 4 * 96_000);
+    }
+
+    #[test]
+    fn smspbfs_state_is_tiny() {
+        let m = MemoryModel::graph500(1 << 20);
+        assert_eq!(m.smspbfs_state_bytes(false), 3 * (1 << 20) / 8);
+        assert_eq!(m.smspbfs_state_bytes(true), 3 * (1 << 20));
+        assert!(m.smspbfs_state_bytes(true) < m.single_instance_state_bytes());
+    }
+
+    #[test]
+    fn matches_actual_allocations() {
+        // The model must agree with what the implementations allocate.
+        let n = 4096;
+        let m = MemoryModel::graph500(n);
+        let ms: crate::msbfs::MsBfs<1> = crate::msbfs::MsBfs::new(n);
+        assert_eq!(ms.state_bytes(), m.single_instance_state_bytes());
+        let msp: crate::mspbfs::MsPbfs<1> = crate::mspbfs::MsPbfs::new(n);
+        assert_eq!(msp.state_bytes(), m.mspbfs_state_bytes(64));
+        let bit = crate::smspbfs::SmsPbfsBit::new(n);
+        assert_eq!(bit.state_bytes(), m.smspbfs_state_bytes(false));
+        let byte = crate::smspbfs::SmsPbfsByte::new(n);
+        assert_eq!(byte.state_bytes(), m.smspbfs_state_bytes(true));
+    }
+}

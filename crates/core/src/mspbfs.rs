@@ -1,0 +1,516 @@
+//! MS-PBFS: the parallel multi-source BFS (Section 3.1 of the paper).
+//!
+//! MS-PBFS parallelizes both MS-BFS phases by partitioning the vertex
+//! range into task ranges processed by the work-stealing pool:
+//!
+//! * **Top-down, phase 1** (Listing 1 lines 1–4): reads `frontier` and the
+//!   adjacency lists, merges into `next` with an atomic OR — the only
+//!   synchronized update in the whole algorithm (Section 3.1.1).
+//! * **Top-down, phase 2** (lines 6–11): a bijective vertex→worker mapping
+//!   makes all updates conflict-free; the frontier entry is cleared here so
+//!   the buffer can be reused as `next` without a separate memset.
+//! * **Bottom-up** (Listing 2): same bijective argument, zero
+//!   synchronization, with the early-exit once no more bits can be gained.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam::utils::CachePadded;
+use pbfs_bitset::{Bits, StateArray};
+use pbfs_graph::{CsrGraph, VertexId};
+use pbfs_sched::WorkerPool;
+
+use crate::options::{AtomicKind, BfsOptions};
+use crate::policy::{Direction, FrontierState};
+use crate::stats::{IterationStats, TraversalStats, WorkerIterStats};
+use crate::visitor::MsVisitor;
+
+/// Reusable parallel multi-source BFS state for batches of up to `W * 64`
+/// sources.
+///
+/// ```
+/// use pbfs_core::mspbfs::MsPbfs;
+/// use pbfs_core::prelude::*;
+/// use pbfs_graph::gen;
+/// use pbfs_sched::WorkerPool;
+///
+/// let g = gen::Kronecker::graph500(9).seed(3).generate();
+/// let pool = WorkerPool::new(4);
+/// let mut bfs: MsPbfs<1> = MsPbfs::new(g.num_vertices());
+/// let dists: MsDistanceVisitor<1> = MsDistanceVisitor::new(g.num_vertices(), 2);
+/// bfs.run(&g, &pool, &[0, 7], &BfsOptions::default(), &dists);
+/// assert_eq!(dists.distance(0, 0), 0);
+/// ```
+pub struct MsPbfs<const W: usize> {
+    seen: StateArray<W>,
+    frontier: StateArray<W>,
+    next: StateArray<W>,
+}
+
+/// Per-worker relaxed counters, cache-line padded (no cross-worker
+/// contention).
+struct PerWorkerU64 {
+    slots: Vec<CachePadded<AtomicU64>>,
+}
+
+impl PerWorkerU64 {
+    fn new(workers: usize) -> Self {
+        let mut slots = Vec::with_capacity(workers);
+        slots.resize_with(workers, || CachePadded::new(AtomicU64::new(0)));
+        Self { slots }
+    }
+
+    #[inline]
+    fn add(&self, worker: usize, v: u64) {
+        self.slots[worker].fetch_add(v, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+impl<const W: usize> MsPbfs<W> {
+    /// Allocates state for a graph of `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            seen: StateArray::new(n),
+            frontier: StateArray::new(n),
+            next: StateArray::new(n),
+        }
+    }
+
+    /// Bytes of dynamic BFS state. Unlike per-core MS-BFS instances this is
+    /// independent of the worker count — the Figure 3 argument.
+    pub fn state_bytes(&self) -> usize {
+        self.seen.heap_bytes() + self.frontier.heap_bytes() + self.next.heap_bytes()
+    }
+
+    /// Runs one batch of concurrent BFSs from `sources` on `pool`.
+    ///
+    /// # Panics
+    /// Panics if `sources` is empty, exceeds `W * 64`, contains an
+    /// out-of-range vertex, or the state was sized for a different graph.
+    pub fn run(
+        &mut self,
+        g: &CsrGraph,
+        pool: &WorkerPool,
+        sources: &[VertexId],
+        opts: &BfsOptions,
+        visitor: &impl MsVisitor<W>,
+    ) -> TraversalStats {
+        let n = g.num_vertices();
+        assert_eq!(self.seen.len(), n, "state sized for a different graph");
+        assert!(!sources.is_empty(), "need at least one source");
+        assert!(sources.len() <= W * 64, "batch exceeds bitset width");
+        let start = std::time::Instant::now();
+        let split = opts.split_size.max(1);
+
+        // Parallel init: each worker first-touches (and later processes)
+        // the same deterministic ranges — the NUMA placement rule of
+        // Section 4.4.
+        {
+            let (seen, frontier, next) = (&self.seen, &self.frontier, &self.next);
+            pool.parallel_for(n, split, |_, r| {
+                seen.clear_range(r.start, r.end);
+                frontier.clear_range(r.start, r.end);
+                next.clear_range(r.start, r.end);
+            });
+        }
+
+        let full = Bits::<W>::first_n(sources.len());
+        let mut frontier_vertices = 0u64;
+        let mut frontier_degree = 0u64;
+        let mut unexplored_degree = g.num_directed_edges() as u64;
+        for (i, &s) in sources.iter().enumerate() {
+            assert!((s as usize) < n, "source out of range");
+            let bit = Bits::single(i);
+            if self.seen.get(s as usize).is_empty() {
+                frontier_vertices += 1;
+                frontier_degree += g.degree(s) as u64;
+            }
+            self.seen.or_assign_unsync(s as usize, bit);
+            self.frontier.or_assign_unsync(s as usize, bit);
+            visitor.on_found(s, 0, bit);
+        }
+        for &s in sources {
+            if self.seen.get(s as usize) == full {
+                unexplored_degree = unexplored_degree.saturating_sub(g.degree(s) as u64);
+            }
+        }
+
+        let mut stats = TraversalStats {
+            total_discovered: sources.len() as u64,
+            ..Default::default()
+        };
+        let mut direction = Direction::TopDown;
+        let mut depth = 0u32;
+
+        while frontier_vertices > 0 {
+            if let Some(max) = opts.max_iterations {
+                if depth >= max {
+                    break;
+                }
+            }
+            direction = opts.policy.decide(&FrontierState {
+                frontier_vertices,
+                frontier_degree,
+                unexplored_degree,
+                total_vertices: n as u64,
+                current: direction,
+            });
+            depth += 1;
+            let iter_start = std::time::Instant::now();
+
+            let discovered = AtomicU64::new(0);
+            let new_fv = AtomicU64::new(0);
+            let new_fd = AtomicU64::new(0);
+            let fully_seen_deg = AtomicU64::new(0);
+            let workers = pool.num_workers();
+            let updated_pw = PerWorkerU64::new(workers);
+            let visited_pw = PerWorkerU64::new(workers);
+
+            let (seen, frontier, next) = (&self.seen, &self.frontier, &self.next);
+
+            let mut per_worker: Vec<WorkerIterStats> = Vec::new();
+            match direction {
+                Direction::TopDown => {
+                    // Phase 1: frontier → next, synchronized by atomic OR.
+                    let phase1 = |_worker: usize, r: std::ops::Range<usize>| {
+                        let owner = (r.start / split) % workers;
+                        let mut visited = 0u64;
+                        for v in r {
+                            let f = frontier.get(v);
+                            if f.is_empty() {
+                                continue;
+                            }
+                            match opts.atomic {
+                                AtomicKind::FetchOr => {
+                                    for &nbr in g.neighbors(v as VertexId) {
+                                        next.fetch_or(nbr as usize, f);
+                                    }
+                                }
+                                AtomicKind::CasLoop => {
+                                    for &nbr in g.neighbors(v as VertexId) {
+                                        next.fetch_or_cas(nbr as usize, f);
+                                    }
+                                }
+                            }
+                            visited += g.degree(v as VertexId) as u64;
+                        }
+                        visited_pw.add(owner, visited);
+                    };
+                    // Phase 2: conflict-free discovery + frontier clearing.
+                    let phase2 = |_worker: usize, r: std::ops::Range<usize>| {
+                        let owner = (r.start / split) % workers;
+                        let (mut disc, mut fv, mut fd, mut full_deg, mut upd) =
+                            (0u64, 0u64, 0u64, 0u64, 0u64);
+                        for v in r {
+                            frontier.clear_entry(v);
+                            let nx = next.get(v);
+                            if nx.is_empty() {
+                                continue;
+                            }
+                            let seen_v = seen.get(v);
+                            let new = nx.and_not(&seen_v);
+                            if new != nx {
+                                next.set(v, new);
+                            }
+                            if !new.is_empty() {
+                                let merged = seen_v | new;
+                                seen.set(v, merged);
+                                visitor.on_found(v as VertexId, depth, new);
+                                let bits = new.count_ones() as u64;
+                                disc += bits;
+                                upd += bits;
+                                fv += 1;
+                                fd += g.degree(v as VertexId) as u64;
+                                if merged == full {
+                                    full_deg += g.degree(v as VertexId) as u64;
+                                }
+                            }
+                        }
+                        discovered.fetch_add(disc, Ordering::Relaxed);
+                        new_fv.fetch_add(fv, Ordering::Relaxed);
+                        new_fd.fetch_add(fd, Ordering::Relaxed);
+                        fully_seen_deg.fetch_add(full_deg, Ordering::Relaxed);
+                        updated_pw.add(owner, upd);
+                    };
+                    if opts.instrument {
+                        let s1 = pool.parallel_for_instrumented(n, split, |w, r, _| phase1(w, r));
+                        let s2 = pool.parallel_for_instrumented(n, split, |w, r, _| phase2(w, r));
+                        per_worker = merge_worker_stats_pub(
+                            &[s1, s2],
+                            &visited_pw.snapshot(),
+                            &updated_pw.snapshot(),
+                        );
+                    } else {
+                        pool.parallel_for(n, split, phase1);
+                        pool.parallel_for(n, split, phase2);
+                    }
+                }
+                Direction::BottomUp => {
+                    let body = |_worker: usize, r: std::ops::Range<usize>| {
+                        let owner = (r.start / split) % workers;
+                        let (mut disc, mut fv, mut fd, mut full_deg, mut upd, mut visited) =
+                            (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
+                        for u in r {
+                            let seen_u = seen.get(u);
+                            if seen_u == full {
+                                continue;
+                            }
+                            let mut acc = Bits::EMPTY;
+                            for &v in g.neighbors(u as VertexId) {
+                                visited += 1;
+                                acc |= frontier.get(v as usize);
+                                if opts.early_exit && (acc | seen_u) == full {
+                                    break;
+                                }
+                            }
+                            let new = acc.and_not(&seen_u);
+                            if !new.is_empty() {
+                                next.set(u, new);
+                                let merged = seen_u | new;
+                                seen.set(u, merged);
+                                visitor.on_found(u as VertexId, depth, new);
+                                let bits = new.count_ones() as u64;
+                                disc += bits;
+                                upd += bits;
+                                fv += 1;
+                                fd += g.degree(u as VertexId) as u64;
+                                if merged == full {
+                                    full_deg += g.degree(u as VertexId) as u64;
+                                }
+                            }
+                        }
+                        discovered.fetch_add(disc, Ordering::Relaxed);
+                        new_fv.fetch_add(fv, Ordering::Relaxed);
+                        new_fd.fetch_add(fd, Ordering::Relaxed);
+                        fully_seen_deg.fetch_add(full_deg, Ordering::Relaxed);
+                        updated_pw.add(owner, upd);
+                        visited_pw.add(owner, visited);
+                    };
+                    if opts.instrument {
+                        let s = pool.parallel_for_instrumented(n, split, |w, r, _| body(w, r));
+                        per_worker = merge_worker_stats_pub(
+                            &[s],
+                            &visited_pw.snapshot(),
+                            &updated_pw.snapshot(),
+                        );
+                    } else {
+                        pool.parallel_for(n, split, body);
+                    }
+                }
+            }
+
+            // Rotate buffers. After top-down, the old frontier was cleared
+            // in phase 2; after bottom-up it must be cleared explicitly
+            // because it is read throughout the single loop.
+            std::mem::swap(&mut self.frontier, &mut self.next);
+            if direction == Direction::BottomUp {
+                let next = &self.next;
+                pool.parallel_for(n, split, |_, r| next.clear_range(r.start, r.end));
+            }
+
+            frontier_vertices = new_fv.load(Ordering::Relaxed);
+            frontier_degree = new_fd.load(Ordering::Relaxed);
+            unexplored_degree =
+                unexplored_degree.saturating_sub(fully_seen_deg.load(Ordering::Relaxed));
+            let discovered = discovered.load(Ordering::Relaxed);
+            stats.total_discovered += discovered;
+            stats.iterations.push(IterationStats {
+                iteration: depth,
+                direction,
+                wall_ns: iter_start.elapsed().as_nanos() as u64,
+                frontier_vertices,
+                discovered,
+                per_worker,
+            });
+        }
+
+        stats.total_wall_ns = start.elapsed().as_nanos() as u64;
+        stats
+    }
+}
+
+/// Combines per-phase scheduler stats with the algorithm-level counters
+/// into one [`WorkerIterStats`] row per worker.
+pub(crate) fn merge_worker_stats_pub(
+    phases: &[pbfs_sched::RunStats],
+    visited: &[u64],
+    updated: &[u64],
+) -> Vec<WorkerIterStats> {
+    let workers = phases.iter().map(|p| p.per_worker.len()).max().unwrap_or(0);
+    (0..workers)
+        .map(|w| {
+            let mut s = WorkerIterStats {
+                visited_neighbors: visited.get(w).copied().unwrap_or(0),
+                updated_states: updated.get(w).copied().unwrap_or(0),
+                ..Default::default()
+            };
+            for p in phases {
+                if let Some(pw) = p.per_worker.get(w) {
+                    s.busy_ns += pw.busy_ns;
+                    s.tasks += pw.tasks;
+                    s.stolen += pw.stolen;
+                    s.remote += pw.remote;
+                }
+            }
+            s
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::DirectionPolicy;
+    use crate::textbook;
+    use crate::visitor::MsDistanceVisitor;
+    use pbfs_graph::gen;
+
+    fn check_batch<const W: usize>(
+        g: &CsrGraph,
+        sources: &[VertexId],
+        workers: usize,
+        opts: &BfsOptions,
+    ) {
+        let pool = WorkerPool::new(workers);
+        let mut bfs: MsPbfs<W> = MsPbfs::new(g.num_vertices());
+        let dists: MsDistanceVisitor<W> = MsDistanceVisitor::new(g.num_vertices(), sources.len());
+        bfs.run(g, &pool, sources, opts, &dists);
+        for (i, &s) in sources.iter().enumerate() {
+            let oracle = textbook::distances(g, s);
+            assert_eq!(
+                dists.distances_of(i),
+                oracle,
+                "source {s} (batch index {i})"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_oracle_single_worker() {
+        let g = gen::Kronecker::graph500(9).seed(1).generate();
+        check_batch::<1>(&g, &[0, 5, 9], 1, &BfsOptions::default());
+    }
+
+    #[test]
+    fn matches_oracle_multi_worker() {
+        let g = gen::Kronecker::graph500(10).seed(2).generate();
+        let sources: Vec<u32> = (0..64).map(|i| i * 7 % 1024).collect();
+        check_batch::<1>(&g, &sources, 4, &BfsOptions::default());
+    }
+
+    #[test]
+    fn wide_batches() {
+        let g = gen::uniform(400, 1600, 3);
+        let sources: Vec<u32> = (0..128).map(|i| i % 400).collect();
+        check_batch::<2>(&g, &sources, 3, &BfsOptions::default());
+    }
+
+    #[test]
+    fn cas_ablation_matches() {
+        let g = gen::uniform(300, 1000, 4);
+        let opts = BfsOptions {
+            atomic: AtomicKind::CasLoop,
+            ..Default::default()
+        };
+        check_batch::<1>(&g, &(0..32).collect::<Vec<_>>(), 4, &opts);
+    }
+
+    #[test]
+    fn forced_directions_match() {
+        let g = gen::Kronecker::graph500(8).seed(6).generate();
+        for policy in [
+            DirectionPolicy::AlwaysTopDown,
+            DirectionPolicy::AlwaysBottomUp,
+        ] {
+            check_batch::<1>(
+                &g,
+                &(0..16).collect::<Vec<_>>(),
+                3,
+                &BfsOptions::default().with_policy(policy),
+            );
+        }
+    }
+
+    #[test]
+    fn small_split_sizes_stay_correct() {
+        let g = gen::uniform(200, 800, 5);
+        check_batch::<1>(&g, &[0, 1], 4, &BfsOptions::default().with_split_size(7));
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let g = gen::disjoint_union(&[&gen::star(10), &gen::cycle(6)]);
+        check_batch::<1>(&g, &[0, 12], 2, &BfsOptions::default());
+    }
+
+    #[test]
+    fn instrumented_run_reports_work() {
+        let g = gen::Kronecker::graph500(9).seed(7).generate();
+        let pool = WorkerPool::new(3);
+        let mut bfs: MsPbfs<1> = MsPbfs::new(g.num_vertices());
+        let stats = bfs.run(
+            &g,
+            &pool,
+            &[0, 1],
+            &BfsOptions::default().instrumented(),
+            &crate::visitor::NoopMsVisitor,
+        );
+        assert!(stats.num_iterations() > 0);
+        for it in &stats.iterations {
+            assert_eq!(it.per_worker.len(), 3);
+            let updated: u64 = it.per_worker.iter().map(|w| w.updated_states).sum();
+            assert_eq!(updated, it.discovered, "iteration {}", it.iteration);
+        }
+        let visited: u64 = stats
+            .iterations
+            .iter()
+            .flat_map(|i| &i.per_worker)
+            .map(|w| w.visited_neighbors)
+            .sum();
+        assert!(visited > 0);
+    }
+
+    #[test]
+    fn agrees_with_sequential_msbfs_stats() {
+        // Same discoveries per iteration as the sequential algorithm under
+        // a fixed direction schedule.
+        let g = gen::uniform(300, 1500, 8);
+        let sources: Vec<u32> = (0..48).collect();
+        let opts = BfsOptions::default().with_policy(DirectionPolicy::AlwaysTopDown);
+        let pool = WorkerPool::new(4);
+        let mut par: MsPbfs<1> = MsPbfs::new(300);
+        let mut seq: crate::msbfs::MsBfs<1> = crate::msbfs::MsBfs::new(300);
+        let ps = par.run(&g, &pool, &sources, &opts, &crate::visitor::NoopMsVisitor);
+        let ss = seq.run(&g, &sources, &opts, &crate::visitor::NoopMsVisitor);
+        assert_eq!(ps.num_iterations(), ss.num_iterations());
+        for (a, b) in ps.iterations.iter().zip(&ss.iterations) {
+            assert_eq!(a.discovered, b.discovered);
+            assert_eq!(a.frontier_vertices, b.frontier_vertices);
+        }
+        assert_eq!(ps.total_discovered, ss.total_discovered);
+    }
+
+    #[test]
+    fn state_bytes_independent_of_workers() {
+        let bfs: MsPbfs<1> = MsPbfs::new(1 << 12);
+        assert_eq!(bfs.state_bytes(), 3 * (1 << 12) * 8);
+    }
+
+    #[test]
+    fn reusable_across_batches() {
+        let g = gen::cycle(20);
+        let pool = WorkerPool::new(2);
+        let mut bfs: MsPbfs<1> = MsPbfs::new(20);
+        for s in [0u32, 7, 13] {
+            let dists: MsDistanceVisitor<1> = MsDistanceVisitor::new(20, 1);
+            bfs.run(&g, &pool, &[s], &BfsOptions::default(), &dists);
+            assert_eq!(dists.distances_of(0), textbook::distances(&g, s));
+        }
+    }
+}

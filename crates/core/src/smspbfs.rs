@@ -1,0 +1,590 @@
+//! SMS-PBFS: the parallel single-source BFS (Section 3.2 of the paper).
+//!
+//! SMS-PBFS specializes MS-PBFS to one source: per-vertex state collapses
+//! from a bitset to a boolean, the CAS loop of the first top-down phase
+//! collapses to a single atomic write, and 64-bit chunk skipping fast-
+//! forwards over inactive vertex ranges.
+//!
+//! Two state representations are provided, exactly as evaluated in the
+//! paper:
+//!
+//! * [`SmsPbfsBit`] — one bit per vertex: most cache-efficient, but the
+//!   state of 512 vertices shares a cache line, so concurrent top-down
+//!   updates contend (and need an atomic RMW).
+//! * [`SmsPbfsByte`] — one byte per vertex: 8× the memory, but the
+//!   top-down update is a plain atomic store and 8× fewer vertices share a
+//!   cache line.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam::utils::CachePadded;
+use pbfs_bitset::{AtomicBitVec, AtomicByteVec};
+use pbfs_graph::{CsrGraph, VertexId};
+use pbfs_sched::WorkerPool;
+
+use crate::options::BfsOptions;
+use crate::policy::{Direction, FrontierState};
+use crate::stats::{IterationStats, TraversalStats, WorkerIterStats};
+use crate::visitor::SsVisitor;
+
+/// Boolean per-vertex state shared by the SMS-PBFS variants.
+///
+/// `*_owned` accessors assume the caller exclusively owns the vertex's
+/// storage unit (a 64-bit word for the bit representation, a byte for the
+/// byte representation); the algorithms guarantee this by aligning task
+/// ranges to [`SsState::OWNERSHIP_ALIGN`].
+pub trait SsState: Sync {
+    /// Conflict-free ownership granularity in vertices.
+    const OWNERSHIP_ALIGN: usize;
+
+    /// Allocates `n` clear entries.
+    fn with_len(n: usize) -> Self;
+    /// Number of entries.
+    fn len(&self) -> usize;
+    /// True iff the state covers zero vertices.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Reads entry `i`.
+    fn get(&self, i: usize) -> bool;
+    /// Atomically sets entry `i` from any thread; returns whether this call
+    /// flipped it (exactly one concurrent setter sees `true`).
+    fn set_shared(&self, i: usize) -> bool;
+    /// Sets entry `i`; caller must own its storage unit.
+    fn set_owned(&self, i: usize);
+    /// Clears entry `i`; caller must own its storage unit.
+    fn clear_owned(&self, i: usize);
+    /// Clears `start..end`; the range must be ownership-aligned or owned.
+    fn clear_range(&self, start: usize, end: usize);
+    /// Calls `f` for every set entry in `start..end`.
+    fn for_each_set(&self, start: usize, end: usize, chunk_skip: bool, f: impl FnMut(usize));
+    /// Calls `f` for every clear entry in `start..end`.
+    fn for_each_clear(&self, start: usize, end: usize, chunk_skip: bool, f: impl FnMut(usize));
+    /// Heap bytes used.
+    fn heap_bytes(&self) -> usize;
+}
+
+/// One bit per vertex.
+pub struct BitState(AtomicBitVec);
+
+impl SsState for BitState {
+    const OWNERSHIP_ALIGN: usize = 64;
+
+    fn with_len(n: usize) -> Self {
+        Self(AtomicBitVec::new(n))
+    }
+    #[inline]
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        self.0.get(i)
+    }
+    #[inline]
+    fn set_shared(&self, i: usize) -> bool {
+        // Cheap read first: avoids the RMW (and its cache line
+        // invalidation) when the bit is already set — Listing 3 line 4.
+        if self.0.get(i) {
+            false
+        } else {
+            self.0.set(i)
+        }
+    }
+    #[inline]
+    fn set_owned(&self, i: usize) {
+        self.0.set_unsync(i);
+    }
+    #[inline]
+    fn clear_owned(&self, i: usize) {
+        self.0.clear_unsync(i);
+    }
+    fn clear_range(&self, start: usize, end: usize) {
+        self.0.clear_range_words(start, end);
+    }
+    fn for_each_set(&self, start: usize, end: usize, chunk_skip: bool, f: impl FnMut(usize)) {
+        self.0.for_each_set(start, end, chunk_skip, f);
+    }
+    fn for_each_clear(&self, start: usize, end: usize, chunk_skip: bool, f: impl FnMut(usize)) {
+        self.0.for_each_clear(start, end, chunk_skip, f);
+    }
+    fn heap_bytes(&self) -> usize {
+        self.0.heap_bytes()
+    }
+}
+
+/// One byte per vertex.
+pub struct ByteState(AtomicByteVec);
+
+impl SsState for ByteState {
+    const OWNERSHIP_ALIGN: usize = 1;
+
+    fn with_len(n: usize) -> Self {
+        Self(AtomicByteVec::new(n))
+    }
+    #[inline]
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        self.0.get(i)
+    }
+    #[inline]
+    fn set_shared(&self, i: usize) -> bool {
+        // Check-then-claim: the common already-set case costs one load;
+        // the swap gives the exactly-once transition for tree edges.
+        if self.0.get(i) {
+            false
+        } else {
+            self.0.set_claim(i)
+        }
+    }
+    #[inline]
+    fn set_owned(&self, i: usize) {
+        self.0.set(i);
+    }
+    #[inline]
+    fn clear_owned(&self, i: usize) {
+        self.0.clear(i);
+    }
+    fn clear_range(&self, start: usize, end: usize) {
+        self.0.clear_range(start, end);
+    }
+    fn for_each_set(&self, start: usize, end: usize, chunk_skip: bool, f: impl FnMut(usize)) {
+        self.0.for_each_set(start, end, chunk_skip, f);
+    }
+    fn for_each_clear(&self, start: usize, end: usize, chunk_skip: bool, f: impl FnMut(usize)) {
+        self.0.for_each_clear(start, end, chunk_skip, f);
+    }
+    fn heap_bytes(&self) -> usize {
+        self.0.heap_bytes()
+    }
+}
+
+/// Reusable parallel single-source BFS state.
+///
+/// ```
+/// use pbfs_core::prelude::*;
+/// use pbfs_graph::gen;
+/// use pbfs_sched::WorkerPool;
+///
+/// let g = gen::grid(8, 8);
+/// let pool = WorkerPool::new(2);
+/// let mut bfs = SmsPbfsByte::new(g.num_vertices());
+/// let dists = DistanceVisitor::new(g.num_vertices());
+/// bfs.run(&g, &pool, 0, &BfsOptions::default(), &dists);
+/// assert_eq!(dists.distance(63), 14); // Manhattan distance to the corner
+/// ```
+pub struct SmsPbfs<S: SsState> {
+    seen: S,
+    frontier: S,
+    next: S,
+}
+
+/// SMS-PBFS with one bit per vertex.
+pub type SmsPbfsBit = SmsPbfs<BitState>;
+/// SMS-PBFS with one byte per vertex.
+pub type SmsPbfsByte = SmsPbfs<ByteState>;
+
+struct PerWorkerU64 {
+    slots: Vec<CachePadded<AtomicU64>>,
+}
+
+impl PerWorkerU64 {
+    fn new(workers: usize) -> Self {
+        let mut slots = Vec::with_capacity(workers);
+        slots.resize_with(workers, || CachePadded::new(AtomicU64::new(0)));
+        Self { slots }
+    }
+
+    #[inline]
+    fn add(&self, worker: usize, v: u64) {
+        self.slots[worker].fetch_add(v, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+impl<S: SsState> SmsPbfs<S> {
+    /// Allocates state for a graph of `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            seen: S::with_len(n),
+            frontier: S::with_len(n),
+            next: S::with_len(n),
+        }
+    }
+
+    /// Bytes of dynamic BFS state.
+    pub fn state_bytes(&self) -> usize {
+        self.seen.heap_bytes() + self.frontier.heap_bytes() + self.next.heap_bytes()
+    }
+
+    /// Runs a BFS from `source` on `pool`.
+    ///
+    /// # Panics
+    /// Panics if `source` is out of range or the state was sized for a
+    /// different graph.
+    pub fn run(
+        &mut self,
+        g: &CsrGraph,
+        pool: &WorkerPool,
+        source: VertexId,
+        opts: &BfsOptions,
+        visitor: &impl SsVisitor,
+    ) -> TraversalStats {
+        let n = g.num_vertices();
+        assert_eq!(self.seen.len(), n, "state sized for a different graph");
+        assert!((source as usize) < n, "source out of range");
+        let start = std::time::Instant::now();
+        // Task ranges must respect the ownership granularity of the state
+        // representation so that `*_owned` accesses never share a word.
+        let split = opts.split_size.max(1).next_multiple_of(S::OWNERSHIP_ALIGN);
+        let chunk = opts.chunk_skip;
+
+        {
+            let (seen, frontier, next) = (&self.seen, &self.frontier, &self.next);
+            pool.parallel_for(n, split, |_, r| {
+                seen.clear_range(r.start, r.end);
+                frontier.clear_range(r.start, r.end);
+                next.clear_range(r.start, r.end);
+            });
+        }
+
+        self.seen.set_owned(source as usize);
+        self.frontier.set_owned(source as usize);
+        visitor.on_found(source, 0);
+
+        let mut stats = TraversalStats {
+            total_discovered: 1,
+            ..Default::default()
+        };
+        let mut frontier_vertices = 1u64;
+        let mut frontier_degree = g.degree(source) as u64;
+        let mut unexplored_degree = g.num_directed_edges() as u64 - g.degree(source) as u64;
+        let mut direction = Direction::TopDown;
+        let mut depth = 0u32;
+
+        while frontier_vertices > 0 {
+            if let Some(max) = opts.max_iterations {
+                if depth >= max {
+                    break;
+                }
+            }
+            direction = opts.policy.decide(&FrontierState {
+                frontier_vertices,
+                frontier_degree,
+                unexplored_degree,
+                total_vertices: n as u64,
+                current: direction,
+            });
+            depth += 1;
+            let iter_start = std::time::Instant::now();
+
+            let discovered = AtomicU64::new(0);
+            let new_fd = AtomicU64::new(0);
+            let workers = pool.num_workers();
+            let updated_pw = PerWorkerU64::new(workers);
+            let visited_pw = PerWorkerU64::new(workers);
+            let (seen, frontier, next) = (&self.seen, &self.frontier, &self.next);
+
+            let mut per_worker: Vec<WorkerIterStats> = Vec::new();
+            match direction {
+                Direction::TopDown => {
+                    // Listing 3 lines 1–5: push to next, then clear the
+                    // owned frontier range for buffer reuse.
+                    let phase1 = |_worker: usize, r: std::ops::Range<usize>| {
+                        let owner = (r.start / split) % workers;
+                        let mut visited = 0u64;
+                        frontier.for_each_set(r.start, r.end, chunk, |v| {
+                            for &nbr in g.neighbors(v as VertexId) {
+                                visited += 1;
+                                if next.set_shared(nbr as usize) {
+                                    visitor.on_tree_edge(v as VertexId, nbr);
+                                }
+                            }
+                        });
+                        frontier.clear_range(r.start, r.end);
+                        visited_pw.add(owner, visited);
+                    };
+                    // Listing 3 lines 7–12: filter next by seen.
+                    let phase2 = |_worker: usize, r: std::ops::Range<usize>| {
+                        let owner = (r.start / split) % workers;
+                        let (mut disc, mut fd) = (0u64, 0u64);
+                        next.for_each_set(r.start, r.end, chunk, |v| {
+                            if seen.get(v) {
+                                next.clear_owned(v);
+                            } else {
+                                seen.set_owned(v);
+                                visitor.on_found(v as VertexId, depth);
+                                disc += 1;
+                                fd += g.degree(v as VertexId) as u64;
+                            }
+                        });
+                        discovered.fetch_add(disc, Ordering::Relaxed);
+                        new_fd.fetch_add(fd, Ordering::Relaxed);
+                        updated_pw.add(owner, disc);
+                    };
+                    if opts.instrument {
+                        let s1 = pool.parallel_for_instrumented(n, split, |w, r, _| phase1(w, r));
+                        let s2 = pool.parallel_for_instrumented(n, split, |w, r, _| phase2(w, r));
+                        per_worker = crate::mspbfs::merge_worker_stats_pub(
+                            &[s1, s2],
+                            &visited_pw.snapshot(),
+                            &updated_pw.snapshot(),
+                        );
+                    } else {
+                        pool.parallel_for(n, split, phase1);
+                        pool.parallel_for(n, split, phase2);
+                    }
+                }
+                Direction::BottomUp => {
+                    // Listing 4: pull from frontier neighbors.
+                    let body = |_worker: usize, r: std::ops::Range<usize>| {
+                        let owner = (r.start / split) % workers;
+                        let (mut disc, mut fd, mut visited) = (0u64, 0u64, 0u64);
+                        seen.for_each_clear(r.start, r.end, chunk, |u| {
+                            for &v in g.neighbors(u as VertexId) {
+                                visited += 1;
+                                if frontier.get(v as usize) {
+                                    next.set_owned(u);
+                                    seen.set_owned(u);
+                                    visitor.on_found(u as VertexId, depth);
+                                    visitor.on_tree_edge(v, u as VertexId);
+                                    disc += 1;
+                                    fd += g.degree(u as VertexId) as u64;
+                                    break;
+                                }
+                            }
+                        });
+                        discovered.fetch_add(disc, Ordering::Relaxed);
+                        new_fd.fetch_add(fd, Ordering::Relaxed);
+                        updated_pw.add(owner, disc);
+                        visited_pw.add(owner, visited);
+                    };
+                    if opts.instrument {
+                        let s = pool.parallel_for_instrumented(n, split, |w, r, _| body(w, r));
+                        per_worker = crate::mspbfs::merge_worker_stats_pub(
+                            &[s],
+                            &visited_pw.snapshot(),
+                            &updated_pw.snapshot(),
+                        );
+                    } else {
+                        pool.parallel_for(n, split, body);
+                    }
+                }
+            }
+
+            std::mem::swap(&mut self.frontier, &mut self.next);
+            if direction == Direction::BottomUp {
+                // The old frontier was read throughout the bottom-up loop
+                // and must be cleared before it can serve as `next`.
+                let next = &self.next;
+                pool.parallel_for(n, split, |_, r| next.clear_range(r.start, r.end));
+            }
+
+            let disc = discovered.load(Ordering::Relaxed);
+            frontier_vertices = disc;
+            frontier_degree = new_fd.load(Ordering::Relaxed);
+            unexplored_degree = unexplored_degree.saturating_sub(frontier_degree);
+            stats.total_discovered += disc;
+            stats.iterations.push(IterationStats {
+                iteration: depth,
+                direction,
+                wall_ns: iter_start.elapsed().as_nanos() as u64,
+                frontier_vertices,
+                discovered: disc,
+                per_worker,
+            });
+        }
+
+        stats.total_wall_ns = start.elapsed().as_nanos() as u64;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::DirectionPolicy;
+    use crate::textbook;
+    use crate::visitor::{DistanceVisitor, NoopVisitor, PairVisitor, ParentVisitor};
+    use pbfs_graph::gen;
+
+    fn check_bit(g: &CsrGraph, source: VertexId, workers: usize, opts: &BfsOptions) {
+        let pool = WorkerPool::new(workers);
+        let mut bfs = SmsPbfsBit::new(g.num_vertices());
+        let dists = DistanceVisitor::new(g.num_vertices());
+        bfs.run(g, &pool, source, opts, &dists);
+        assert_eq!(
+            dists.distances(),
+            textbook::distances(g, source),
+            "bit src={source}"
+        );
+    }
+
+    fn check_byte(g: &CsrGraph, source: VertexId, workers: usize, opts: &BfsOptions) {
+        let pool = WorkerPool::new(workers);
+        let mut bfs = SmsPbfsByte::new(g.num_vertices());
+        let dists = DistanceVisitor::new(g.num_vertices());
+        bfs.run(g, &pool, source, opts, &dists);
+        assert_eq!(
+            dists.distances(),
+            textbook::distances(g, source),
+            "byte src={source}"
+        );
+    }
+
+    #[test]
+    fn fixed_topologies_match_oracle() {
+        for g in [
+            gen::path(40),
+            gen::cycle(21),
+            gen::star(50),
+            gen::binary_tree(5),
+            gen::grid(9, 7),
+        ] {
+            check_bit(&g, 0, 3, &BfsOptions::default());
+            check_byte(&g, 0, 3, &BfsOptions::default());
+        }
+    }
+
+    #[test]
+    fn kronecker_matches_oracle() {
+        let g = gen::Kronecker::graph500(10).seed(11).generate();
+        for src in [0u32, 100, 1023] {
+            check_bit(&g, src, 4, &BfsOptions::default());
+            check_byte(&g, src, 4, &BfsOptions::default());
+        }
+    }
+
+    #[test]
+    fn forced_directions_match() {
+        let g = gen::Kronecker::graph500(9).seed(12).generate();
+        for policy in [
+            DirectionPolicy::AlwaysTopDown,
+            DirectionPolicy::AlwaysBottomUp,
+        ] {
+            let opts = BfsOptions::default().with_policy(policy);
+            check_bit(&g, 2, 4, &opts);
+            check_byte(&g, 2, 4, &opts);
+        }
+    }
+
+    #[test]
+    fn chunk_skip_off_matches() {
+        let g = gen::uniform(500, 2500, 13);
+        let opts = BfsOptions {
+            chunk_skip: false,
+            ..Default::default()
+        };
+        check_bit(&g, 1, 2, &opts);
+        check_byte(&g, 1, 2, &opts);
+    }
+
+    #[test]
+    fn odd_split_sizes_are_realigned() {
+        let g = gen::uniform(300, 900, 14);
+        // split 17 would split 64-bit words across workers for the bit
+        // variant; the algorithm must realign internally.
+        check_bit(&g, 0, 4, &BfsOptions::default().with_split_size(17));
+        check_byte(&g, 0, 4, &BfsOptions::default().with_split_size(17));
+    }
+
+    #[test]
+    fn disconnected_stays_unreached() {
+        let g = gen::disjoint_union(&[&gen::path(10), &gen::complete(5)]);
+        let pool = WorkerPool::new(2);
+        let mut bfs = SmsPbfsBit::new(g.num_vertices());
+        let dists = DistanceVisitor::new(g.num_vertices());
+        bfs.run(&g, &pool, 0, &BfsOptions::default(), &dists);
+        assert!(dists.distances()[10..]
+            .iter()
+            .all(|&d| d == crate::UNREACHED));
+    }
+
+    #[test]
+    fn parent_tree_is_valid() {
+        let g = gen::Kronecker::graph500(9).seed(15).generate();
+        let src = (0..g.num_vertices() as u32)
+            .find(|&v| g.degree(v) > 0)
+            .unwrap();
+        let pool = WorkerPool::new(4);
+        let mut bfs = SmsPbfsByte::new(g.num_vertices());
+        let dists = DistanceVisitor::new(g.num_vertices());
+        let parents = ParentVisitor::new(g.num_vertices(), src);
+        bfs.run(
+            &g,
+            &pool,
+            src,
+            &BfsOptions::default(),
+            &PairVisitor(&dists, &parents),
+        );
+        crate::validate::validate_tree(&g, src, &parents.parents(), &dists.distances()).unwrap();
+    }
+
+    #[test]
+    fn reusable_state() {
+        let g = gen::cycle(64);
+        let pool = WorkerPool::new(2);
+        let mut bfs = SmsPbfsBit::new(64);
+        for src in [0u32, 17, 63] {
+            let dists = DistanceVisitor::new(64);
+            bfs.run(&g, &pool, src, &BfsOptions::default(), &dists);
+            assert_eq!(dists.distances(), textbook::distances(&g, src));
+        }
+    }
+
+    #[test]
+    fn instrumented_iterations_report_updates() {
+        let g = gen::Kronecker::graph500(9).seed(16).generate();
+        let pool = WorkerPool::new(3);
+        let mut bfs = SmsPbfsBit::new(g.num_vertices());
+        let stats = bfs.run(
+            &g,
+            &pool,
+            0,
+            &BfsOptions::default().instrumented(),
+            &NoopVisitor,
+        );
+        for it in &stats.iterations {
+            let updated: u64 = it.per_worker.iter().map(|w| w.updated_states).sum();
+            assert_eq!(updated, it.discovered, "iteration {}", it.iteration);
+        }
+    }
+
+    #[test]
+    fn small_world_switches_to_bottom_up() {
+        let g = gen::Kronecker::graph500(11).seed(17).generate();
+        let pool = WorkerPool::new(2);
+        let mut bfs = SmsPbfsBit::new(g.num_vertices());
+        let src = (0..g.num_vertices() as u32)
+            .max_by_key(|&v| g.degree(v))
+            .unwrap();
+        let stats = bfs.run(&g, &pool, src, &BfsOptions::default(), &NoopVisitor);
+        assert!(stats.bottom_up_iterations() > 0);
+    }
+
+    #[test]
+    fn state_bytes_bit_vs_byte() {
+        let bit = SmsPbfsBit::new(1 << 16);
+        let byte = SmsPbfsByte::new(1 << 16);
+        assert_eq!(bit.state_bytes(), 3 * (1 << 16) / 8);
+        assert_eq!(byte.state_bytes(), 3 * (1 << 16));
+    }
+
+    #[test]
+    fn total_discovered_counts_reachable() {
+        let g = gen::uniform_connected(200, 400, 18);
+        let pool = WorkerPool::new(2);
+        let mut bfs = SmsPbfsByte::new(200);
+        let stats = bfs.run(&g, &pool, 0, &BfsOptions::default(), &NoopVisitor);
+        assert_eq!(stats.total_discovered, 200);
+    }
+}

@@ -1,0 +1,217 @@
+//! Per-traversal statistics: the measurement substrate for Figures 6–9.
+
+use serde::Serialize;
+
+use crate::policy::Direction;
+
+/// What one worker did during one BFS iteration.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct WorkerIterStats {
+    /// Nanoseconds spent in task bodies across both phases.
+    pub busy_ns: u64,
+    /// Adjacency entries scanned (the "visited neighbors" of Figure 6).
+    pub visited_neighbors: u64,
+    /// Vertex states newly set (the "updated BFS states" of Figure 7; for
+    /// multi-source runs each set bit counts once).
+    pub updated_states: u64,
+    /// Task ranges executed.
+    pub tasks: u64,
+    /// Task ranges stolen from other queues.
+    pub stolen: u64,
+    /// Task ranges stolen across NUMA nodes.
+    pub remote: u64,
+}
+
+/// One BFS iteration.
+#[derive(Clone, Debug, Serialize)]
+pub struct IterationStats {
+    /// Iteration number (1 = first expansion from the sources).
+    pub iteration: u32,
+    /// Direction used.
+    pub direction: Direction,
+    /// Wall-clock nanoseconds of the iteration.
+    pub wall_ns: u64,
+    /// Vertices in the frontier at the start of the iteration.
+    pub frontier_vertices: u64,
+    /// States newly discovered in this iteration (bits for multi-source).
+    pub discovered: u64,
+    /// Per-worker breakdown (empty when instrumentation is off).
+    pub per_worker: Vec<WorkerIterStats>,
+}
+
+impl IterationStats {
+    /// Ratio of the longest to the shortest per-worker busy time
+    /// (Figure 9). Idle workers are clamped to 1 ns.
+    pub fn busy_skew(&self) -> f64 {
+        let max = self.per_worker.iter().map(|w| w.busy_ns).max().unwrap_or(0);
+        let min = self
+            .per_worker
+            .iter()
+            .map(|w| w.busy_ns.max(1))
+            .min()
+            .unwrap_or(1);
+        max as f64 / min as f64
+    }
+
+    /// Max/mean ratio: how much longer the heaviest-loaded worker queue
+    /// runs than a perfectly balanced one would (1.0 = balanced, `T` = all
+    /// work on one of `T` queues). Deterministic and bounded, unlike
+    /// max/min which explodes whenever one queue happens to own almost
+    /// nothing in a sparse iteration.
+    fn imbalance(values: impl Iterator<Item = u64> + Clone) -> f64 {
+        let max = values.clone().max().unwrap_or(0);
+        let count = values.clone().count();
+        if count == 0 || max == 0 {
+            return 0.0;
+        }
+        let mean = values.sum::<u64>() as f64 / count as f64;
+        max as f64 / mean.max(1e-9)
+    }
+
+    /// Deterministic imbalance of updated states across worker queues
+    /// (max/mean; see [`Self::busy_skew`] for the measured counterpart).
+    pub fn update_skew(&self) -> f64 {
+        Self::imbalance(self.per_worker.iter().map(|w| w.updated_states))
+    }
+
+    /// Deterministic imbalance of visited neighbors across worker queues
+    /// (max/mean). The paper's Figure 9 effect concentrates here:
+    /// identifying newly reachable vertices scans the (clustered)
+    /// high-degree frontier in the first top-down phase, while state
+    /// updates spread evenly.
+    pub fn visited_skew(&self) -> f64 {
+        Self::imbalance(self.per_worker.iter().map(|w| w.visited_neighbors))
+    }
+
+    /// True iff every worker executed at least one task body this
+    /// iteration; when false, measured busy-time skew is an artifact of
+    /// oversubscription, not of the algorithm.
+    pub fn all_workers_busy(&self) -> bool {
+        !self.per_worker.is_empty() && self.per_worker.iter().all(|w| w.busy_ns > 0)
+    }
+}
+
+/// A whole traversal.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct TraversalStats {
+    /// Per-iteration details.
+    pub iterations: Vec<IterationStats>,
+    /// End-to-end wall time (includes state initialization).
+    pub total_wall_ns: u64,
+    /// Total states discovered (= reached vertices; for multi-source the
+    /// sum over all concurrent BFSs, sources included).
+    pub total_discovered: u64,
+}
+
+impl TraversalStats {
+    /// Number of iterations executed.
+    pub fn num_iterations(&self) -> u32 {
+        self.iterations.len() as u32
+    }
+
+    /// Iterations that ran bottom-up.
+    pub fn bottom_up_iterations(&self) -> usize {
+        self.iterations
+            .iter()
+            .filter(|i| i.direction == Direction::BottomUp)
+            .count()
+    }
+
+    /// Sum of per-worker busy time over all iterations, indexed by worker.
+    pub fn busy_per_worker(&self) -> Vec<u64> {
+        let workers = self
+            .iterations
+            .iter()
+            .map(|i| i.per_worker.len())
+            .max()
+            .unwrap_or(0);
+        let mut out = vec![0u64; workers];
+        for it in &self.iterations {
+            for (w, s) in it.per_worker.iter().enumerate() {
+                out[w] += s.busy_ns;
+            }
+        }
+        out
+    }
+
+    /// Sum of visited neighbors per worker over all iterations (Figure 6).
+    pub fn visited_per_worker(&self) -> Vec<u64> {
+        let workers = self
+            .iterations
+            .iter()
+            .map(|i| i.per_worker.len())
+            .max()
+            .unwrap_or(0);
+        let mut out = vec![0u64; workers];
+        for it in &self.iterations {
+            for (w, s) in it.per_worker.iter().enumerate() {
+                out[w] += s.visited_neighbors;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iter_with(busy: &[u64], updated: &[u64]) -> IterationStats {
+        IterationStats {
+            iteration: 1,
+            direction: Direction::TopDown,
+            wall_ns: 100,
+            frontier_vertices: 1,
+            discovered: 10,
+            per_worker: busy
+                .iter()
+                .zip(updated)
+                .map(|(&b, &u)| WorkerIterStats {
+                    busy_ns: b,
+                    updated_states: u,
+                    ..Default::default()
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn skews() {
+        let mut it = iter_with(&[100, 20, 50], &[8, 2, 2]);
+        assert!((it.busy_skew() - 5.0).abs() < 1e-12);
+        // max/mean: 8 / ((8+2+2)/3) = 2.
+        assert!((it.update_skew() - 2.0).abs() < 1e-12);
+        it.per_worker[0].visited_neighbors = 90;
+        it.per_worker[1].visited_neighbors = 0;
+        it.per_worker[2].visited_neighbors = 0;
+        // All the scanning on one of three queues → imbalance 3.
+        assert!((it.visited_skew() - 3.0).abs() < 1e-12);
+        assert!(it.all_workers_busy());
+        it.per_worker[1].busy_ns = 0;
+        assert!(!it.all_workers_busy());
+    }
+
+    #[test]
+    fn skew_with_idle_worker_is_finite() {
+        let it = iter_with(&[100, 0], &[5, 0]);
+        assert_eq!(it.busy_skew(), 100.0);
+        // max/mean with all updates on one of two queues → 2.
+        assert_eq!(it.update_skew(), 2.0);
+        let empty = iter_with(&[], &[]);
+        assert_eq!(empty.update_skew(), 0.0);
+        assert_eq!(empty.visited_skew(), 0.0);
+        assert!(!empty.all_workers_busy());
+    }
+
+    #[test]
+    fn per_worker_aggregation() {
+        let t = TraversalStats {
+            iterations: vec![iter_with(&[10, 20], &[1, 2]), iter_with(&[5, 5], &[3, 4])],
+            total_wall_ns: 0,
+            total_discovered: 0,
+        };
+        assert_eq!(t.busy_per_worker(), vec![15, 25]);
+        assert_eq!(t.num_iterations(), 2);
+        assert_eq!(t.bottom_up_iterations(), 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Queue-based sequential BFS — the correctness oracle.
+//!
+//! The classical formulation from Section 2 of the paper: a frontier queue,
+//! a `seen` mapping, and a `next` queue. Every other algorithm in this
+//! crate is differentially tested against it.
+
+use std::collections::VecDeque;
+
+use pbfs_graph::{CsrGraph, VertexId, INVALID_VERTEX};
+
+use crate::UNREACHED;
+
+/// Result of an oracle BFS: hop distances and the BFS tree.
+pub struct BfsTree {
+    /// `distances[v]` is the hop count from the source ([`UNREACHED`] if
+    /// unreachable).
+    pub distances: Vec<u32>,
+    /// `parents[v]` is the tree parent ([`pbfs_graph::INVALID_VERTEX`] if
+    /// unreachable); the source is its own parent.
+    pub parents: Vec<VertexId>,
+}
+
+/// Runs a textbook BFS from `source`.
+///
+/// # Panics
+/// Panics if `source` is out of range.
+pub fn bfs(g: &CsrGraph, source: VertexId) -> BfsTree {
+    bfs_bounded(g, source, u32::MAX)
+}
+
+/// Runs a textbook BFS from `source`, stopping after `max_depth` hops
+/// (vertices farther away stay [`UNREACHED`]).
+pub fn bfs_bounded(g: &CsrGraph, source: VertexId, max_depth: u32) -> BfsTree {
+    let n = g.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let mut distances = vec![UNREACHED; n];
+    let mut parents = vec![INVALID_VERTEX; n];
+    let mut queue = VecDeque::new();
+    distances[source as usize] = 0;
+    parents[source as usize] = source;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = distances[v as usize];
+        if d >= max_depth {
+            continue;
+        }
+        for &nbr in g.neighbors(v) {
+            if distances[nbr as usize] == UNREACHED {
+                distances[nbr as usize] = d + 1;
+                parents[nbr as usize] = v;
+                queue.push_back(nbr);
+            }
+        }
+    }
+    BfsTree { distances, parents }
+}
+
+/// Distances from `source` for every vertex — shorthand for
+/// `bfs(g, source).distances`.
+pub fn distances(g: &CsrGraph, source: VertexId) -> Vec<u32> {
+    bfs(g, source).distances
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbfs_graph::gen;
+
+    #[test]
+    fn path_distances() {
+        let g = gen::path(5);
+        let t = bfs(&g, 0);
+        assert_eq!(t.distances, vec![0, 1, 2, 3, 4]);
+        assert_eq!(t.parents, vec![0, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cycle_distances() {
+        let g = gen::cycle(6);
+        let t = bfs(&g, 0);
+        assert_eq!(t.distances, vec![0, 1, 2, 3, 2, 1]);
+    }
+
+    #[test]
+    fn star_from_leaf() {
+        let g = gen::star(5);
+        let t = bfs(&g, 3);
+        assert_eq!(t.distances[3], 0);
+        assert_eq!(t.distances[0], 1);
+        assert_eq!(t.distances[1], 2);
+        assert_eq!(t.parents[1], 0);
+    }
+
+    #[test]
+    fn disconnected_vertices_stay_unreached() {
+        let g = gen::disjoint_union(&[&gen::path(3), &gen::path(2)]);
+        let t = bfs(&g, 0);
+        assert_eq!(t.distances[3], UNREACHED);
+        assert_eq!(t.parents[4], INVALID_VERTEX);
+    }
+
+    #[test]
+    fn grid_manhattan_distances() {
+        let g = gen::grid(4, 3);
+        let t = bfs(&g, 0);
+        for y in 0..3u32 {
+            for x in 0..4u32 {
+                assert_eq!(t.distances[(y * 4 + x) as usize], x + y);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_bfs_stops() {
+        let g = gen::path(6);
+        let t = bfs_bounded(&g, 0, 2);
+        assert_eq!(t.distances, vec![0, 1, 2, UNREACHED, UNREACHED, UNREACHED]);
+    }
+
+    #[test]
+    fn parents_form_tree() {
+        let g = gen::uniform_connected(64, 100, 5);
+        let t = bfs(&g, 0);
+        for v in 1..64u32 {
+            let p = t.parents[v as usize];
+            assert!(g.has_edge(p, v));
+            assert_eq!(t.distances[v as usize], t.distances[p as usize] + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn bad_source_panics() {
+        let _ = bfs(&gen::path(2), 5);
+    }
+}

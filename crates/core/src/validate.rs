@@ -1,0 +1,262 @@
+//! Graph500-style BFS result validation.
+//!
+//! The Graph500 benchmark (which the paper's evaluation follows) validates
+//! each BFS by checking the returned parent tree rather than re-running a
+//! reference traversal. These checks catch every class of bug the parallel
+//! algorithms could introduce: lost updates (unreached vertices), duplicate
+//! discoveries (level mismatches), and phantom edges.
+
+use pbfs_graph::{CsrGraph, VertexId, INVALID_VERTEX};
+
+use crate::UNREACHED;
+
+/// Why a BFS result failed validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidationError {
+    /// The source must be its own parent at distance 0.
+    BadSource {
+        /// Offending source vertex.
+        source: VertexId,
+    },
+    /// A vertex has a parent but no distance, or vice versa.
+    Inconsistent {
+        /// Offending vertex.
+        vertex: VertexId,
+    },
+    /// A tree edge does not exist in the graph.
+    PhantomEdge {
+        /// Child whose parent link is not a graph edge.
+        vertex: VertexId,
+        /// The claimed parent.
+        parent: VertexId,
+    },
+    /// A child's distance is not exactly its parent's plus one.
+    LevelMismatch {
+        /// Offending vertex.
+        vertex: VertexId,
+        /// Its distance.
+        dist: u32,
+        /// Its parent's distance.
+        parent_dist: u32,
+    },
+    /// An edge of the graph spans more than one level — some vertex was
+    /// discovered too late.
+    EdgeSpansLevels {
+        /// Endpoint one.
+        u: VertexId,
+        /// Endpoint two.
+        v: VertexId,
+    },
+    /// A vertex in the source's component was not reached.
+    Unreached {
+        /// The missed vertex.
+        vertex: VertexId,
+    },
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::BadSource { source } => {
+                write!(f, "source {source} is not its own parent at distance 0")
+            }
+            ValidationError::Inconsistent { vertex } => {
+                write!(f, "vertex {vertex}: parent/distance reachability disagree")
+            }
+            ValidationError::PhantomEdge { vertex, parent } => {
+                write!(f, "tree edge ({parent}, {vertex}) is not a graph edge")
+            }
+            ValidationError::LevelMismatch {
+                vertex,
+                dist,
+                parent_dist,
+            } => {
+                write!(
+                    f,
+                    "vertex {vertex} at level {dist}, parent at {parent_dist}"
+                )
+            }
+            ValidationError::EdgeSpansLevels { u, v } => {
+                write!(f, "graph edge ({u}, {v}) spans more than one BFS level")
+            }
+            ValidationError::Unreached { vertex } => {
+                write!(
+                    f,
+                    "vertex {vertex} is connected to the source but unreached"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validates a BFS tree: `parents` and `distances` as produced by
+/// [`crate::visitor::ParentVisitor`] / [`crate::visitor::DistanceVisitor`].
+///
+/// Checks (Graph500 §Validation):
+/// 1. the source is its own parent at distance 0;
+/// 2. reached-ness agrees between parents and distances;
+/// 3. every tree edge exists in the graph;
+/// 4. every tree edge spans exactly one level;
+/// 5. every graph edge spans at most one level (and never connects a
+///    reached vertex to an unreached one);
+/// 6. every vertex connected to a reached vertex is reached.
+pub fn validate_tree(
+    g: &CsrGraph,
+    source: VertexId,
+    parents: &[VertexId],
+    distances: &[u32],
+) -> Result<(), ValidationError> {
+    let n = g.num_vertices();
+    assert_eq!(parents.len(), n);
+    assert_eq!(distances.len(), n);
+
+    if parents[source as usize] != source || distances[source as usize] != 0 {
+        return Err(ValidationError::BadSource { source });
+    }
+
+    for v in 0..n as VertexId {
+        let p = parents[v as usize];
+        let d = distances[v as usize];
+        let reached = d != UNREACHED;
+        if (p == INVALID_VERTEX) == reached {
+            return Err(ValidationError::Inconsistent { vertex: v });
+        }
+        if !reached || v == source {
+            continue;
+        }
+        if !g.has_edge(p, v) {
+            return Err(ValidationError::PhantomEdge {
+                vertex: v,
+                parent: p,
+            });
+        }
+        let pd = distances[p as usize];
+        if pd == UNREACHED || d != pd + 1 {
+            return Err(ValidationError::LevelMismatch {
+                vertex: v,
+                dist: d,
+                parent_dist: pd,
+            });
+        }
+    }
+
+    // Each graph edge spans ≤ 1 level; reached vertices cannot neighbor
+    // unreached ones.
+    for (u, v) in g.edges() {
+        let (du, dv) = (distances[u as usize], distances[v as usize]);
+        match (du == UNREACHED, dv == UNREACHED) {
+            (true, true) => {}
+            (false, false) => {
+                if du.abs_diff(dv) > 1 {
+                    return Err(ValidationError::EdgeSpansLevels { u, v });
+                }
+            }
+            (true, false) => return Err(ValidationError::Unreached { vertex: u }),
+            (false, true) => return Err(ValidationError::Unreached { vertex: v }),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::textbook;
+    use pbfs_graph::gen;
+
+    fn valid_tree(g: &CsrGraph, src: VertexId) -> (Vec<VertexId>, Vec<u32>) {
+        let t = textbook::bfs(g, src);
+        (t.parents, t.distances)
+    }
+
+    #[test]
+    fn oracle_trees_validate() {
+        for g in [
+            gen::path(9),
+            gen::grid(4, 4),
+            gen::Kronecker::graph500(8).seed(1).generate(),
+        ] {
+            let (p, d) = valid_tree(&g, 0);
+            validate_tree(&g, 0, &p, &d).unwrap();
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_validates() {
+        let g = gen::disjoint_union(&[&gen::path(3), &gen::path(3)]);
+        let (p, d) = valid_tree(&g, 0);
+        validate_tree(&g, 0, &p, &d).unwrap();
+    }
+
+    #[test]
+    fn detects_bad_source() {
+        let g = gen::path(3);
+        let (mut p, d) = valid_tree(&g, 0);
+        p[0] = 1;
+        assert_eq!(
+            validate_tree(&g, 0, &p, &d),
+            Err(ValidationError::BadSource { source: 0 })
+        );
+    }
+
+    #[test]
+    fn detects_inconsistency() {
+        let g = gen::path(3);
+        let (mut p, d) = valid_tree(&g, 0);
+        p[2] = INVALID_VERTEX; // distance says reached, parent says not
+        assert_eq!(
+            validate_tree(&g, 0, &p, &d),
+            Err(ValidationError::Inconsistent { vertex: 2 })
+        );
+    }
+
+    #[test]
+    fn detects_phantom_edge() {
+        let g = gen::path(4);
+        let (mut p, d) = valid_tree(&g, 0);
+        p[3] = 0; // (0, 3) is not an edge of the path
+        assert_eq!(
+            validate_tree(&g, 0, &p, &d),
+            Err(ValidationError::PhantomEdge {
+                vertex: 3,
+                parent: 0
+            })
+        );
+    }
+
+    #[test]
+    fn detects_level_mismatch() {
+        let g = gen::cycle(6);
+        let (p, mut d) = valid_tree(&g, 0);
+        d[2] = 4; // should be 2
+        assert!(matches!(
+            validate_tree(&g, 0, &p, &d),
+            Err(ValidationError::LevelMismatch { vertex: 2, .. })
+                | Err(ValidationError::EdgeSpansLevels { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_unreached_vertex() {
+        let g = gen::path(4);
+        let (mut p, mut d) = valid_tree(&g, 0);
+        d[3] = UNREACHED;
+        p[3] = INVALID_VERTEX;
+        assert_eq!(
+            validate_tree(&g, 0, &p, &d),
+            Err(ValidationError::Unreached { vertex: 3 })
+        );
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = ValidationError::LevelMismatch {
+            vertex: 7,
+            dist: 3,
+            parent_dist: 1,
+        };
+        assert!(e.to_string().contains("vertex 7"));
+    }
+}

@@ -1,0 +1,202 @@
+//! The Graph500 Kronecker (R-MAT) generator.
+//!
+//! Kronecker graphs [Leskovec et al., JMLR 2010] with the Graph500
+//! initiator probabilities reproduce the heavy-tailed degree distribution
+//! and small diameter of large social networks; they are the synthetic
+//! workload of every scaling experiment in the paper.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::{CsrGraph, VertexId};
+
+/// Graph500 initiator matrix entry A.
+pub const GRAPH500_A: f64 = 0.57;
+/// Graph500 initiator matrix entry B.
+pub const GRAPH500_B: f64 = 0.19;
+/// Graph500 initiator matrix entry C.
+pub const GRAPH500_C: f64 = 0.19;
+/// Graph500 edge factor: edges = `EDGE_FACTOR * 2^scale`.
+pub const GRAPH500_EDGE_FACTOR: usize = 16;
+
+/// Configurable Kronecker / R-MAT generator.
+///
+/// ```
+/// use pbfs_graph::gen::Kronecker;
+///
+/// let g = Kronecker::graph500(10).seed(42).generate();
+/// assert_eq!(g.num_vertices(), 1 << 10);
+/// // Cleanup (dedup + self loops) eats a few of the 16 * 2^10 edges.
+/// assert!(g.num_edges() > 10_000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Kronecker {
+    scale: u32,
+    edge_factor: usize,
+    a: f64,
+    b: f64,
+    c: f64,
+    seed: u64,
+    shuffle_vertices: bool,
+}
+
+impl Kronecker {
+    /// Graph500 reference parameters: `2^scale` vertices, `16 * 2^scale`
+    /// generated edges, initiator (0.57, 0.19, 0.19, 0.05), shuffled vertex
+    /// labels.
+    pub fn graph500(scale: u32) -> Self {
+        Self {
+            scale,
+            edge_factor: GRAPH500_EDGE_FACTOR,
+            a: GRAPH500_A,
+            b: GRAPH500_B,
+            c: GRAPH500_C,
+            seed: 0,
+            shuffle_vertices: true,
+        }
+    }
+
+    /// Overrides the average out-degree (`edges = edge_factor * 2^scale`).
+    /// The KG0 graph of the iBFS comparison uses a much larger factor.
+    pub fn edge_factor(mut self, edge_factor: usize) -> Self {
+        self.edge_factor = edge_factor;
+        self
+    }
+
+    /// Overrides the initiator probabilities (D is implied as
+    /// `1 - a - b - c`).
+    ///
+    /// # Panics
+    /// Panics if the probabilities are negative or sum above 1.
+    pub fn initiator(mut self, a: f64, b: f64, c: f64) -> Self {
+        assert!(a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0 + 1e-9);
+        self.a = a;
+        self.b = b;
+        self.c = c;
+        self
+    }
+
+    /// Sets the RNG seed (generation is fully deterministic per seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Disables the random vertex-label shuffle. Without the shuffle,
+    /// R-MAT labels correlate strongly with degree, which distorts the
+    /// labeling experiments; Graph500 always shuffles.
+    pub fn no_shuffle(mut self) -> Self {
+        self.shuffle_vertices = false;
+        self
+    }
+
+    /// Number of vertices the generated graph will have.
+    pub fn num_vertices(&self) -> usize {
+        1usize << self.scale
+    }
+
+    /// Generates the raw edge list (before cleanup).
+    pub fn edges(&self) -> Vec<(VertexId, VertexId)> {
+        let n = self.num_vertices();
+        let m = self.edge_factor * n;
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut edges = Vec::with_capacity(m);
+        for _ in 0..m {
+            edges.push(self.one_edge(&mut rng));
+        }
+        if self.shuffle_vertices {
+            let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
+            perm.shuffle(&mut rng);
+            for e in &mut edges {
+                e.0 = perm[e.0 as usize];
+                e.1 = perm[e.1 as usize];
+            }
+        }
+        edges
+    }
+
+    /// Generates the cleaned-up, symmetrized CSR graph.
+    pub fn generate(&self) -> CsrGraph {
+        CsrGraph::from_edges(self.num_vertices(), &self.edges())
+    }
+
+    #[inline]
+    fn one_edge(&self, rng: &mut StdRng) -> (VertexId, VertexId) {
+        let (mut u, mut v) = (0u64, 0u64);
+        for _ in 0..self.scale {
+            u <<= 1;
+            v <<= 1;
+            let r: f64 = rng.random();
+            if r < self.a {
+                // quadrant A: (0, 0)
+            } else if r < self.a + self.b {
+                v |= 1;
+            } else if r < self.a + self.b + self.c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        (u as VertexId, v as VertexId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Kronecker::graph500(8).seed(7).edges();
+        let b = Kronecker::graph500(8).seed(7).edges();
+        let c = Kronecker::graph500(8).seed(8).edges();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn edge_count_and_range() {
+        let k = Kronecker::graph500(9).seed(1);
+        let edges = k.edges();
+        assert_eq!(edges.len(), 16 << 9);
+        assert!(edges
+            .iter()
+            .all(|&(u, v)| (u as usize) < 512 && (v as usize) < 512));
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = Kronecker::graph500(12).seed(3).generate();
+        let max_deg = g.vertices().map(|v| g.degree(v)).max().unwrap();
+        let avg = g.num_directed_edges() as f64 / g.num_vertices() as f64;
+        // Power-law graphs have hubs far above the average degree.
+        assert!(
+            max_deg as f64 > 8.0 * avg,
+            "expected hub skew: max={max_deg} avg={avg:.1}"
+        );
+    }
+
+    #[test]
+    fn shuffle_decorrelates_degree_from_label() {
+        // Without a shuffle, low labels accumulate most R-MAT mass.
+        let raw = Kronecker::graph500(10).seed(5).no_shuffle().generate();
+        let shuf = Kronecker::graph500(10).seed(5).generate();
+        let head_mass = |g: &CsrGraph| -> usize { (0..32u32).map(|v| g.degree(v)).sum() };
+        assert!(head_mass(&raw) > 2 * head_mass(&shuf));
+    }
+
+    #[test]
+    fn custom_edge_factor() {
+        let g = Kronecker::graph500(6).edge_factor(64).seed(2).generate();
+        // 64 * 64 = 4096 generated edges on 64 vertices: dense.
+        assert!(g.num_edges() > 500);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_initiator_panics() {
+        let _ = Kronecker::graph500(4).initiator(0.6, 0.3, 0.3);
+    }
+}

@@ -1,0 +1,20 @@
+//! Workload generators.
+//!
+//! * [`kronecker`] — the Graph500 Kronecker (R-MAT) generator used for the
+//!   paper's synthetic scaling experiments.
+//! * [`synthetic`] — structural stand-ins for the paper's real-world
+//!   datasets (twitter, uk-2005, hollywood-2011, LDBC); see the
+//!   substitution table in DESIGN.md.
+//! * [`simple`] — deterministic topologies and uniform random graphs for
+//!   testing and property checks.
+
+pub mod kronecker;
+pub mod simple;
+pub mod synthetic;
+
+pub use kronecker::{Kronecker, GRAPH500_A, GRAPH500_B, GRAPH500_C, GRAPH500_EDGE_FACTOR};
+pub use simple::{
+    binary_tree, complete, cycle, disjoint_union, grid, path, star, uniform, uniform_connected,
+    watts_strogatz,
+};
+pub use synthetic::{collaboration, hub_heavy, social_network, web_graph};

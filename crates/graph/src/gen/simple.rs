@@ -1,0 +1,262 @@
+//! Deterministic topologies and uniform random graphs.
+//!
+//! These are not paper workloads; they exist so the test suite can check
+//! BFS results against closed-form distances (paths, grids, trees) and so
+//! property tests can sample arbitrary graphs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{CsrGraph, VertexId};
+
+/// A path `0 - 1 - … - (n-1)`; distance from 0 to v is exactly v.
+pub fn path(n: usize) -> CsrGraph {
+    let edges: Vec<_> = (1..n as VertexId).map(|v| (v - 1, v)).collect();
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// A cycle of `n ≥ 3` vertices; distance from 0 to v is `min(v, n - v)`.
+pub fn cycle(n: usize) -> CsrGraph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut edges: Vec<_> = (1..n as VertexId).map(|v| (v - 1, v)).collect();
+    edges.push((n as VertexId - 1, 0));
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// A star: vertex 0 is adjacent to all others.
+pub fn star(n: usize) -> CsrGraph {
+    assert!(n >= 1);
+    let edges: Vec<_> = (1..n as VertexId).map(|v| (0, v)).collect();
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// The complete graph on `n` vertices.
+pub fn complete(n: usize) -> CsrGraph {
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n as VertexId {
+        for v in u + 1..n as VertexId {
+            edges.push((u, v));
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// A complete binary tree of the given depth (depth 0 = single vertex);
+/// vertex `v`'s children are `2v + 1` and `2v + 2`.
+pub fn binary_tree(depth: u32) -> CsrGraph {
+    let n = (1usize << (depth + 1)) - 1;
+    let edges: Vec<_> = (1..n as VertexId).map(|v| ((v - 1) / 2, v)).collect();
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// A `w × h` grid; vertex `(x, y)` has index `y * w + x`. Distances from a
+/// corner are Manhattan distances — and the diameter `w + h - 2` makes this
+/// the anti-small-world stress case for direction-switching policies.
+pub fn grid(w: usize, h: usize) -> CsrGraph {
+    let mut edges = Vec::with_capacity(2 * w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let v = (y * w + x) as VertexId;
+            if x + 1 < w {
+                edges.push((v, v + 1));
+            }
+            if y + 1 < h {
+                edges.push((v, v + w as VertexId));
+            }
+        }
+    }
+    CsrGraph::from_edges(w * h, &edges)
+}
+
+/// Uniform (Erdős–Rényi) `G(n, m)` multigraph edges; cleanup happens at
+/// build time so the final edge count can be slightly below `m`.
+pub fn uniform(n: usize, m: usize, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edges: Vec<_> = (0..m)
+        .map(|_| {
+            (
+                rng.random_range(0..n as VertexId),
+                rng.random_range(0..n as VertexId),
+            )
+        })
+        .collect();
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Uniform random graph guaranteed connected: a random spanning path plus
+/// `extra` uniform edges. Useful when a test needs every vertex reachable.
+pub fn uniform_connected(n: usize, extra: usize, seed: u64) -> CsrGraph {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    // Fisher-Yates to randomize the spanning path.
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut edges: Vec<_> = order.windows(2).map(|w| (w[0], w[1])).collect();
+    for _ in 0..extra {
+        edges.push((
+            rng.random_range(0..n as VertexId),
+            rng.random_range(0..n as VertexId),
+        ));
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Watts–Strogatz small-world graph: a ring lattice where every vertex
+/// links to its `k/2` nearest neighbors on each side, with each edge
+/// rewired to a random endpoint with probability `beta`. The canonical
+/// "small-world network" model the paper's workload assumption cites
+/// (Amaral et al.).
+///
+/// # Panics
+/// Panics if `k` is odd, `k >= n`, or `beta` is outside `[0, 1]`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
+    assert!(k.is_multiple_of(2), "k must be even");
+    assert!(k < n, "k must be below n");
+    assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n * k / 2);
+    for v in 0..n {
+        for hop in 1..=k / 2 {
+            let mut target = ((v + hop) % n) as VertexId;
+            if rng.random::<f64>() < beta {
+                target = rng.random_range(0..n as VertexId);
+            }
+            edges.push((v as VertexId, target));
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Disjoint union of graphs: relabels each input into its own id block.
+/// Produces multi-component graphs for reachability tests.
+pub fn disjoint_union(parts: &[&CsrGraph]) -> CsrGraph {
+    let total: usize = parts.iter().map(|g| g.num_vertices()).sum();
+    let mut edges = Vec::new();
+    let mut base: VertexId = 0;
+    for g in parts {
+        for (u, v) in g.edges() {
+            edges.push((base + u, base + v));
+        }
+        base += g.num_vertices() as VertexId;
+    }
+    CsrGraph::from_edges(total, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(2), &[1, 3]);
+        assert_eq!(g.neighbors(4), &[3]);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(0), &[1, 3]);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(6);
+        assert_eq!(g.degree(0), 5);
+        assert!((1..6).all(|v| g.degree(v) == 1));
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(5);
+        assert_eq!(g.num_edges(), 10);
+        assert!(g.vertices().all(|v| g.degree(v) == 4));
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(3);
+        assert_eq!(g.num_vertices(), 15);
+        assert_eq!(g.num_edges(), 14);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.degree(14), 1);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 2);
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 7);
+        assert_eq!(g.neighbors(0), &[1, 3]);
+        assert_eq!(g.neighbors(4), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn uniform_is_deterministic() {
+        let a = uniform(100, 300, 1);
+        let b = uniform(100, 300, 1);
+        assert_eq!(a.targets(), b.targets());
+    }
+
+    #[test]
+    fn uniform_connected_has_one_component() {
+        let g = uniform_connected(50, 10, 3);
+        // Walk from 0; everything must be reachable.
+        let mut seen = [false; 50];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        while let Some(v) = stack.pop() {
+            for &n in g.neighbors(v) {
+                if !seen[n as usize] {
+                    seen[n as usize] = true;
+                    stack.push(n);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn watts_strogatz_no_rewire_is_ring_lattice() {
+        let g = watts_strogatz(12, 4, 0.0, 1);
+        // Every vertex connects to 2 neighbors on each side.
+        for v in 0..12u32 {
+            assert_eq!(g.degree(v), 4, "vertex {v}");
+            assert!(g.has_edge(v, (v + 1) % 12));
+            assert!(g.has_edge(v, (v + 2) % 12));
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_rewire_shrinks_diameter() {
+        let lattice = watts_strogatz(600, 4, 0.0, 2);
+        let small_world = watts_strogatz(600, 4, 0.2, 2);
+        let d_lat = crate::stats::estimate_diameter(&lattice, 4, 1);
+        let d_sw = crate::stats::estimate_diameter(&small_world, 4, 1);
+        assert!(
+            d_sw * 3 < d_lat,
+            "rewiring must shorten paths: {d_sw} vs {d_lat}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be even")]
+    fn watts_strogatz_odd_k_panics() {
+        let _ = watts_strogatz(10, 3, 0.1, 1);
+    }
+
+    #[test]
+    fn disjoint_union_blocks() {
+        let g = disjoint_union(&[&path(3), &star(4)]);
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 2 + 3);
+        assert_eq!(g.neighbors(3), &[4, 5, 6]); // star center relabeled to 3
+        assert!(!g.has_edge(2, 3));
+    }
+}

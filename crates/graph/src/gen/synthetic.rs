@@ -1,0 +1,259 @@
+//! Structural stand-ins for the paper's real-world datasets.
+//!
+//! The paper evaluates on twitter (follower graph), uk-2005 (web crawl),
+//! hollywood-2011 (actor collaboration) and LDBC social-network data. None
+//! of these is redistributable here, so each generator below reproduces the
+//! *structural signature* that drives the paper's algorithmic effects:
+//! degree skew (labeling experiments), clustering/locality (cache and
+//! bottom-up behaviour) and diameter regime (direction switching). The
+//! substitution table lives in DESIGN.md.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{CsrGraph, VertexId};
+
+/// LDBC-like social network: power-law-sized communities with dense
+/// intra-community edges plus preferential-attachment long-range edges.
+///
+/// Mirrors the LDBC SNB person–knows–person graph: strong clustering,
+/// moderate hubs, small diameter.
+pub fn social_network(n: usize, avg_degree: usize, seed: u64) -> CsrGraph {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * avg_degree / 2 + n);
+
+    // Carve `n` vertices into communities with Pareto-distributed sizes.
+    let mut communities: Vec<(usize, usize)> = Vec::new(); // (start, len)
+    let mut at = 0usize;
+    while at < n {
+        // Pareto(x_min = 8, alpha = 1.6), truncated.
+        let u: f64 = rng.random::<f64>().max(1e-12);
+        let size = ((8.0 / u.powf(1.0 / 1.6)) as usize)
+            .clamp(4, n / 4 + 4)
+            .min(n - at);
+        communities.push((at, size.max(1)));
+        at += size.max(1);
+    }
+
+    // Intra-community: each member links to ~2/3 of its budget inside.
+    let intra_budget = (avg_degree * 2 / 3).max(1);
+    for &(start, len) in &communities {
+        for v in start..start + len {
+            for _ in 0..intra_budget.min(len.saturating_sub(1)) {
+                let o = rng.random_range(0..len);
+                edges.push((v as VertexId, (start + o) as VertexId));
+            }
+        }
+    }
+
+    // Inter-community: preferential attachment via the "pick a random
+    // endpoint of an existing edge" trick.
+    let inter = n * avg_degree / 3 / 2;
+    for _ in 0..inter {
+        let u = rng.random_range(0..n as VertexId);
+        let v = if edges.is_empty() {
+            rng.random_range(0..n as VertexId)
+        } else {
+            let e = &edges[rng.random_range(0..edges.len())];
+            if rng.random::<bool>() {
+                e.0
+            } else {
+                e.1
+            }
+        };
+        edges.push((u, v));
+    }
+
+    // A sparse ring keeps the graph connected like the LDBC person graph
+    // (a single giant component).
+    for v in 1..n {
+        if rng.random_range(0..4) == 0 {
+            edges.push(((v - 1) as VertexId, v as VertexId));
+        }
+    }
+
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// uk-2005-like web graph: host blocks of lognormal size, highly local
+/// intra-host links, power-law cross-host links. Larger diameter and
+/// strong id locality, like a crawl ordered by URL.
+pub fn web_graph(n: usize, avg_degree: usize, seed: u64) -> CsrGraph {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * avg_degree / 2 + n);
+
+    // Host blocks: lognormal-ish sizes via exp of a uniform sum.
+    let mut hosts: Vec<(usize, usize)> = Vec::new();
+    let mut at = 0usize;
+    while at < n {
+        let z: f64 = (0..4).map(|_| rng.random::<f64>()).sum::<f64>() - 2.0;
+        let size = ((12.0 * (0.9 * z).exp()) as usize)
+            .clamp(3, 4000)
+            .min(n - at);
+        hosts.push((at, size.max(1)));
+        at += size.max(1);
+    }
+
+    // Intra-host: ~80 % of the budget, to nearby ids within the host
+    // (navigational links between neighboring pages).
+    let intra = (avg_degree * 4 / 5).max(1);
+    for &(start, len) in &hosts {
+        for v in start..start + len {
+            for _ in 0..intra.min(len.saturating_sub(1)) {
+                // Geometric-ish short hop.
+                let mut hop = 1usize;
+                while hop < len && rng.random::<f64>() < 0.5 {
+                    hop += 1;
+                }
+                let o = (v - start + hop) % len;
+                edges.push((v as VertexId, (start + o) as VertexId));
+            }
+        }
+    }
+
+    // Cross-host: power-law targets (hubs = portals) chosen preferentially.
+    let cross = n * avg_degree / 5 / 2;
+    for _ in 0..cross {
+        let u = rng.random_range(0..n as VertexId);
+        let v = if edges.is_empty() || rng.random::<f64>() < 0.2 {
+            rng.random_range(0..n as VertexId)
+        } else {
+            let e = &edges[rng.random_range(0..edges.len())];
+            e.1
+        };
+        edges.push((u, v));
+    }
+
+    // Chain hosts so the crawl is one weakly-connected component.
+    for w in hosts.windows(2) {
+        edges.push((w[0].0 as VertexId, w[1].0 as VertexId));
+    }
+
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// hollywood-2011-like collaboration graph: bipartite projection of
+/// "events" (movies) onto their participants — overlapping cliques with a
+/// heavy-tailed participation distribution.
+pub fn collaboration(n: usize, num_events: usize, seed: u64) -> CsrGraph {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    // Participation list for preferential attachment: busy actors appear in
+    // more movies.
+    let mut credits: Vec<VertexId> = Vec::with_capacity(num_events * 6);
+    for _ in 0..num_events {
+        // Cast size 2..~20, heavy-tailed.
+        let u: f64 = rng.random::<f64>().max(1e-12);
+        let cast_size = ((2.0 / u.powf(1.0 / 2.0)) as usize).clamp(2, 20);
+        let mut cast: Vec<VertexId> = Vec::with_capacity(cast_size);
+        for _ in 0..cast_size {
+            let member = if credits.is_empty() || rng.random::<f64>() < 0.35 {
+                rng.random_range(0..n as VertexId)
+            } else {
+                credits[rng.random_range(0..credits.len())]
+            };
+            if !cast.contains(&member) {
+                cast.push(member);
+            }
+        }
+        for i in 0..cast.len() {
+            for j in i + 1..cast.len() {
+                edges.push((cast[i], cast[j]));
+            }
+        }
+        credits.extend_from_slice(&cast);
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// twitter-like follower graph: extreme hub skew via a strongly diagonal
+/// R-MAT initiator and an elevated edge factor.
+pub fn hub_heavy(n_log2: u32, avg_degree: usize, seed: u64) -> CsrGraph {
+    super::kronecker::Kronecker::graph500(n_log2)
+        .initiator(0.65, 0.15, 0.15)
+        .edge_factor(avg_degree)
+        .seed(seed)
+        .generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::ComponentInfo;
+
+    fn degree_skew(g: &CsrGraph) -> f64 {
+        let max = g.vertices().map(|v| g.degree(v)).max().unwrap_or(0) as f64;
+        let avg = g.num_directed_edges() as f64 / g.num_vertices().max(1) as f64;
+        max / avg.max(1e-9)
+    }
+
+    #[test]
+    fn social_network_is_clustered_and_connected_enough() {
+        let g = social_network(4000, 16, 1);
+        assert_eq!(g.num_vertices(), 4000);
+        let avg = g.num_directed_edges() as f64 / 4000.0;
+        assert!(avg > 6.0, "too sparse: {avg}");
+        let comps = ComponentInfo::compute(&g);
+        assert!(
+            comps.largest_size() as f64 > 0.8 * 4000.0,
+            "giant component too small: {}",
+            comps.largest_size()
+        );
+    }
+
+    #[test]
+    fn social_network_deterministic() {
+        let a = social_network(500, 12, 9);
+        let b = social_network(500, 12, 9);
+        assert_eq!(a.targets(), b.targets());
+    }
+
+    #[test]
+    fn web_graph_has_locality() {
+        let g = web_graph(4000, 12, 2);
+        // Majority of edges should be short-range (same host block).
+        let short = g.edges().filter(|&(u, v)| v - u < 4000 / 8).count();
+        let total = g.num_edges();
+        assert!(
+            short as f64 > 0.6 * total as f64,
+            "expected local edges: {short}/{total}"
+        );
+    }
+
+    #[test]
+    fn collaboration_is_cliquey() {
+        let g = collaboration(2000, 1500, 3);
+        // Cliques → neighbors of a vertex are frequently adjacent. Spot
+        // check triangle density on a sample.
+        let mut triangles = 0usize;
+        let mut wedges = 0usize;
+        for v in (0..2000u32).step_by(37) {
+            let nb = g.neighbors(v);
+            for i in 0..nb.len().min(10) {
+                for j in i + 1..nb.len().min(10) {
+                    wedges += 1;
+                    if g.has_edge(nb[i], nb[j]) {
+                        triangles += 1;
+                    }
+                }
+            }
+        }
+        assert!(wedges > 0);
+        assert!(
+            triangles as f64 > 0.25 * wedges as f64,
+            "clustering too low: {triangles}/{wedges}"
+        );
+    }
+
+    #[test]
+    fn hub_heavy_is_more_skewed_than_graph500() {
+        let hub = hub_heavy(12, 16, 4);
+        let g500 = super::super::kronecker::Kronecker::graph500(12)
+            .seed(4)
+            .generate();
+        assert!(degree_skew(&hub) > degree_skew(&g500));
+    }
+}

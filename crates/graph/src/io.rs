@@ -1,0 +1,245 @@
+//! Edge-list I/O: whitespace-separated text and a compact binary format.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut};
+use serde::{Deserialize, Serialize};
+
+use crate::{CsrGraph, VertexId};
+
+/// Magic prefix of the binary format.
+const MAGIC: &[u8; 8] = b"PBFSG1\0\0";
+
+/// Metadata describing a stored graph (written as a JSON side-car by the
+/// experiment harness).
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct GraphMeta {
+    /// Human-readable dataset name (e.g. `kronecker-s20`).
+    pub name: String,
+    /// Generator description / provenance.
+    pub source: String,
+    /// Vertices including isolated ones.
+    pub num_vertices: usize,
+    /// Undirected edges after cleanup.
+    pub num_edges: usize,
+    /// Seed used for generation (0 when not applicable).
+    pub seed: u64,
+}
+
+/// Writes `g` as text: a `# vertices <n>` header line followed by one
+/// `u v` pair per undirected edge.
+pub fn write_text<W: Write>(g: &CsrGraph, out: W) -> io::Result<()> {
+    let mut out = BufWriter::new(out);
+    writeln!(out, "# vertices {}", g.num_vertices())?;
+    for (u, v) in g.edges() {
+        writeln!(out, "{u} {v}")?;
+    }
+    out.flush()
+}
+
+/// Reads the text format produced by [`write_text`]. Lines starting with
+/// `#` other than the header are skipped; the vertex count is the header
+/// value or, absent a header, one past the maximum endpoint.
+pub fn read_text<R: Read>(input: R) -> io::Result<CsrGraph> {
+    let reader = BufReader::new(input);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut num_vertices: Option<usize> = None;
+    let mut max_seen: usize = 0;
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let mut parts = rest.split_whitespace();
+            if parts.next() == Some("vertices") {
+                if let Some(Ok(n)) = parts.next().map(str::parse) {
+                    num_vertices = Some(n);
+                }
+            }
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let parse = |s: Option<&str>| -> io::Result<VertexId> {
+            s.ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing endpoint"))?
+                .parse()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        };
+        let u = parse(parts.next())?;
+        let v = parse(parts.next())?;
+        max_seen = max_seen.max(u as usize).max(v as usize);
+        edges.push((u, v));
+    }
+    let n = num_vertices.unwrap_or(if edges.is_empty() { 0 } else { max_seen + 1 });
+    Ok(CsrGraph::from_edges(n, &edges))
+}
+
+/// Writes `g` in the binary format: magic, vertex count, undirected edge
+/// count, then little-endian `u32` endpoint pairs.
+pub fn write_binary<W: Write>(g: &CsrGraph, out: W) -> io::Result<()> {
+    let mut out = BufWriter::new(out);
+    let mut header = Vec::with_capacity(24);
+    header.put_slice(MAGIC);
+    header.put_u64_le(g.num_vertices() as u64);
+    header.put_u64_le(g.num_edges() as u64);
+    out.write_all(&header)?;
+    let mut buf = Vec::with_capacity(8 * 1024);
+    for (u, v) in g.edges() {
+        buf.put_u32_le(u);
+        buf.put_u32_le(v);
+        if buf.len() >= 8 * 1024 {
+            out.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    out.write_all(&buf)?;
+    out.flush()
+}
+
+/// Reads the binary format produced by [`write_binary`].
+pub fn read_binary<R: Read>(mut input: R) -> io::Result<CsrGraph> {
+    let mut header = [0u8; 24];
+    input.read_exact(&mut header)?;
+    let mut cursor = &header[..];
+    let mut magic = [0u8; 8];
+    cursor.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let n = cursor.get_u64_le() as usize;
+    let m = cursor.get_u64_le() as usize;
+    let mut payload = vec![0u8; m * 8];
+    input.read_exact(&mut payload)?;
+    let mut cursor = &payload[..];
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let u = cursor.get_u32_le();
+        let v = cursor.get_u32_le();
+        edges.push((u, v));
+    }
+    Ok(CsrGraph::from_edges(n, &edges))
+}
+
+/// Convenience: writes the binary format to `path`.
+pub fn save(g: &CsrGraph, path: impl AsRef<Path>) -> io::Result<()> {
+    write_binary(g, std::fs::File::create(path)?)
+}
+
+/// Convenience: reads the binary format from `path`.
+pub fn load(path: impl AsRef<Path>) -> io::Result<CsrGraph> {
+    read_binary(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn roundtrip_text(g: &CsrGraph) -> CsrGraph {
+        let mut buf = Vec::new();
+        write_text(g, &mut buf).unwrap();
+        read_text(&buf[..]).unwrap()
+    }
+
+    fn roundtrip_binary(g: &CsrGraph) -> CsrGraph {
+        let mut buf = Vec::new();
+        write_binary(g, &mut buf).unwrap();
+        read_binary(&buf[..]).unwrap()
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = gen::uniform(50, 120, 1);
+        let h = roundtrip_text(&g);
+        assert_eq!(g.num_vertices(), h.num_vertices());
+        assert_eq!(g.offsets(), h.offsets());
+        assert_eq!(g.targets(), h.targets());
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = gen::Kronecker::graph500(8).seed(4).generate();
+        let h = roundtrip_binary(&g);
+        assert_eq!(g.offsets(), h.offsets());
+        assert_eq!(g.targets(), h.targets());
+    }
+
+    #[test]
+    fn roundtrip_preserves_isolated_vertices() {
+        let g = CsrGraph::from_edges(10, &[(0, 1)]);
+        assert_eq!(roundtrip_text(&g).num_vertices(), 10);
+        assert_eq!(roundtrip_binary(&g).num_vertices(), 10);
+    }
+
+    #[test]
+    fn text_without_header_infers_vertex_count() {
+        let input = b"0 3\n1 2\n";
+        let g = read_text(&input[..]).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn text_skips_comments_and_blank_lines() {
+        let input = b"# vertices 5\n# a comment\n\n0 4\n";
+        let g = read_text(&input[..]).unwrap();
+        assert_eq!(g.num_vertices(), 5);
+        assert!(g.has_edge(0, 4));
+    }
+
+    #[test]
+    fn malformed_text_errors() {
+        assert!(read_text(&b"0\n"[..]).is_err());
+        assert!(read_text(&b"a b\n"[..]).is_err());
+    }
+
+    #[test]
+    fn bad_magic_errors() {
+        let buf = [0u8; 24];
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_binary_errors() {
+        let g = gen::path(4);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert_eq!(roundtrip_binary(&g).num_vertices(), 0);
+        assert_eq!(roundtrip_text(&g).num_vertices(), 0);
+    }
+
+    #[test]
+    fn save_and_load_files() {
+        let dir = std::env::temp_dir().join("pbfs-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.bin");
+        let g = gen::cycle(12);
+        save(&g, &path).unwrap();
+        let h = load(&path).unwrap();
+        assert_eq!(g.targets(), h.targets());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn meta_serializes() {
+        let meta = GraphMeta {
+            name: "kronecker-s8".into(),
+            source: "Kronecker::graph500(8)".into(),
+            num_vertices: 256,
+            num_edges: 4096,
+            seed: 4,
+        };
+        let json = serde_json::to_string(&meta).unwrap();
+        let back: GraphMeta = serde_json::from_str(&json).unwrap();
+        assert_eq!(meta, back);
+    }
+}

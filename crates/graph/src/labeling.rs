@@ -1,0 +1,358 @@
+//! Vertex labeling schemes (Section 4.1 and 4.3 of the paper).
+//!
+//! Array-based BFS performance depends heavily on how vertex ids map to
+//! array positions:
+//!
+//! * **random** — skew-resilient but cache-hostile;
+//! * **degree-ordered** — cache-friendly (hot, high-degree states cluster)
+//!   but badly skewed under static or coarse task partitioning because the
+//!   first ranges own orders of magnitude more incident edges;
+//! * **striped** (the paper's contribution) — degree-ordered vertices dealt
+//!   round-robin across the workers' task ranges: clustered enough for
+//!   caches, spread enough that every task queue carries a similar edge
+//!   budget, with the most expensive tasks scheduled first.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::{CsrGraph, VertexId};
+
+/// A bijective relabeling of `0..n`.
+///
+/// `new_of_old[v]` is the new label of the vertex currently called `v`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Permutation {
+    new_of_old: Vec<VertexId>,
+}
+
+impl Permutation {
+    /// The identity labeling.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            new_of_old: (0..n as VertexId).collect(),
+        }
+    }
+
+    /// A uniformly random labeling.
+    pub fn random(n: usize, seed: u64) -> Self {
+        let mut new_of_old: Vec<VertexId> = (0..n as VertexId).collect();
+        new_of_old.shuffle(&mut StdRng::seed_from_u64(seed));
+        Self { new_of_old }
+    }
+
+    /// Degree-ordered labeling: the highest-degree vertex gets label 0
+    /// (ties broken by old id, so the scheme is deterministic).
+    pub fn degree_ordered(g: &CsrGraph) -> Self {
+        let mut by_degree: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
+        by_degree.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+        let mut new_of_old = vec![0 as VertexId; g.num_vertices()];
+        for (rank, &old) in by_degree.iter().enumerate() {
+            new_of_old[old as usize] = rank as VertexId;
+        }
+        Self { new_of_old }
+    }
+
+    /// The paper's striped labeling (Section 4.3), parameterized by the
+    /// number of workers and the task range size used by the scheduler.
+    ///
+    /// Degree rank `r` is dealt as follows: tasks are grouped into rounds
+    /// of `workers` consecutive tasks (one per worker queue, matching the
+    /// round-robin task deal of `create_tasks`); within a round, ranks fill
+    /// position 0 of each task, then position 1, and so on. The highest-
+    /// degree vertex therefore starts worker 0's first task, the second-
+    /// highest starts worker 1's first task, etc.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0` or `task_size == 0`.
+    pub fn striped(g: &CsrGraph, workers: usize, task_size: usize) -> Self {
+        assert!(workers > 0 && task_size > 0);
+        let n = g.num_vertices();
+        let mut by_degree: Vec<VertexId> = (0..n as VertexId).collect();
+        by_degree.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+
+        let num_tasks = n.div_ceil(task_size);
+        let cap = |t: usize| -> usize { task_size.min(n - t * task_size) };
+        let mut new_of_old = vec![0 as VertexId; n];
+        let mut rank = 0usize;
+        let mut round_start = 0usize;
+        while round_start < num_tasks {
+            let round_end = (round_start + workers).min(num_tasks);
+            for pos in 0..task_size {
+                for t in round_start..round_end {
+                    if pos < cap(t) {
+                        let old = by_degree[rank];
+                        new_of_old[old as usize] = (t * task_size + pos) as VertexId;
+                        rank += 1;
+                    }
+                }
+            }
+            round_start = round_end;
+        }
+        debug_assert_eq!(rank, n);
+        Self { new_of_old }
+    }
+
+    /// Builds from an explicit mapping.
+    ///
+    /// # Panics
+    /// Panics if `new_of_old` is not a permutation of `0..len`.
+    pub fn from_mapping(new_of_old: Vec<VertexId>) -> Self {
+        let p = Self { new_of_old };
+        assert!(p.is_valid(), "mapping is not a permutation");
+        p
+    }
+
+    /// Number of vertices covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.new_of_old.len()
+    }
+
+    /// True iff the permutation covers zero vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.new_of_old.is_empty()
+    }
+
+    /// New label of old vertex `v`.
+    #[inline]
+    pub fn new_of(&self, v: VertexId) -> VertexId {
+        self.new_of_old[v as usize]
+    }
+
+    /// Checks bijectivity.
+    pub fn is_valid(&self) -> bool {
+        let mut seen = vec![false; self.new_of_old.len()];
+        for &v in &self.new_of_old {
+            let Some(slot) = seen.get_mut(v as usize) else {
+                return false;
+            };
+            if *slot {
+                return false;
+            }
+            *slot = true;
+        }
+        true
+    }
+
+    /// The inverse permutation (`old_of_new`).
+    pub fn inverse(&self) -> Self {
+        let mut inv = vec![0 as VertexId; self.new_of_old.len()];
+        for (old, &new) in self.new_of_old.iter().enumerate() {
+            inv[new as usize] = old as VertexId;
+        }
+        Self { new_of_old: inv }
+    }
+
+    /// Rebuilds the graph under this labeling.
+    pub fn apply(&self, g: &CsrGraph) -> CsrGraph {
+        assert_eq!(self.len(), g.num_vertices());
+        let edges: Vec<(VertexId, VertexId)> = g
+            .edges()
+            .map(|(u, v)| (self.new_of(u), self.new_of(v)))
+            .collect();
+        CsrGraph::from_edges(g.num_vertices(), &edges)
+    }
+
+    /// Translates a per-vertex result array indexed by *new* labels back to
+    /// *old* labels, e.g. to compare BFS distances across labelings.
+    pub fn unapply_values<T: Copy>(&self, new_indexed: &[T]) -> Vec<T> {
+        assert_eq!(self.len(), new_indexed.len());
+        self.new_of_old
+            .iter()
+            .map(|&new| new_indexed[new as usize])
+            .collect()
+    }
+}
+
+/// Convenient scheme selector used by experiments and the CLI harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LabelingScheme {
+    /// Keep generator labels.
+    Identity,
+    /// Uniform random labels (seeded).
+    Random(u64),
+    /// Degree-descending labels.
+    DegreeOrdered,
+    /// The paper's striped labels for a given worker count and task size.
+    Striped {
+        /// Worker queues the labeling is co-designed with.
+        workers: usize,
+        /// Task range size of the scheduler.
+        task_size: usize,
+    },
+}
+
+impl LabelingScheme {
+    /// Computes the permutation for `g`.
+    pub fn permutation(&self, g: &CsrGraph) -> Permutation {
+        match *self {
+            LabelingScheme::Identity => Permutation::identity(g.num_vertices()),
+            LabelingScheme::Random(seed) => Permutation::random(g.num_vertices(), seed),
+            LabelingScheme::DegreeOrdered => Permutation::degree_ordered(g),
+            LabelingScheme::Striped { workers, task_size } => {
+                Permutation::striped(g, workers, task_size)
+            }
+        }
+    }
+
+    /// Relabels `g`.
+    pub fn apply(&self, g: &CsrGraph) -> CsrGraph {
+        self.permutation(g).apply(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn identity_roundtrip() {
+        let g = gen::path(6);
+        let p = Permutation::identity(6);
+        assert!(p.is_valid());
+        let h = p.apply(&g);
+        assert_eq!(h.targets(), g.targets());
+    }
+
+    #[test]
+    fn random_is_valid_and_seeded() {
+        let a = Permutation::random(100, 5);
+        let b = Permutation::random(100, 5);
+        let c = Permutation::random(100, 6);
+        assert!(a.is_valid());
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn degree_ordered_puts_hub_first() {
+        let g = gen::star(10);
+        let p = Permutation::degree_ordered(&g);
+        assert_eq!(p.new_of(0), 0, "the star center has the highest degree");
+        assert!(p.is_valid());
+        let h = p.apply(&g);
+        assert_eq!(h.degree(0), 9);
+    }
+
+    #[test]
+    fn degree_ordered_is_monotone() {
+        let g = gen::uniform(200, 800, 1);
+        let p = Permutation::degree_ordered(&g);
+        let h = p.apply(&g);
+        let degs: Vec<usize> = h.vertices().map(|v| h.degree(v)).collect();
+        assert!(
+            degs.windows(2).all(|w| w[0] >= w[1]),
+            "degrees must be non-increasing"
+        );
+    }
+
+    #[test]
+    fn striped_deals_top_degrees_across_workers() {
+        // 16 vertices, 4 workers, task size 2 → tasks: [0..2),[2..4),...
+        // Highest-degree vertex must start task 0, 2nd task 1, ... within
+        // the first round of 4 tasks.
+        let g = gen::star(16); // vertex 0 is the single hub
+        let p = Permutation::striped(&g, 4, 2);
+        assert!(p.is_valid());
+        assert_eq!(p.new_of(0), 0, "hub starts worker 0's first task");
+        // Leaves all have degree 1 with ties broken by id: ranks 1.. map
+        // round-robin across tasks 1, 2, 3 at position 0 first.
+        assert_eq!(p.new_of(1), 2, "rank 1 starts task 1");
+        assert_eq!(p.new_of(2), 4, "rank 2 starts task 2");
+        assert_eq!(p.new_of(3), 6, "rank 3 starts task 3");
+        assert_eq!(p.new_of(4), 1, "rank 4 fills task 0 position 1");
+    }
+
+    #[test]
+    fn striped_handles_partial_tail() {
+        for n in [1usize, 5, 17, 63, 100] {
+            for workers in [1usize, 3, 8] {
+                for ts in [1usize, 4, 7] {
+                    let g = gen::uniform(n, 2 * n, 3);
+                    let p = Permutation::striped(&g, workers, ts);
+                    assert!(p.is_valid(), "n={n} workers={workers} ts={ts}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn striped_balances_edge_budget_across_queues() {
+        let g = gen::Kronecker::graph500(10).seed(1).generate();
+        let workers = 8;
+        let ts = 16;
+        let h = Permutation::striped(&g, workers, ts).apply(&g);
+        // Sum degrees per worker queue under the round-robin task deal.
+        let mut per_worker = vec![0usize; workers];
+        for v in h.vertices() {
+            let task = v as usize / ts;
+            per_worker[task % workers] += h.degree(v);
+        }
+        let max = *per_worker.iter().max().unwrap() as f64;
+        let min = *per_worker.iter().min().unwrap().max(&1) as f64;
+        assert!(max / min < 1.5, "striped queues skewed: {per_worker:?}");
+
+        // Degree ordering, by contrast, must be much more skewed.
+        let d = Permutation::degree_ordered(&g).apply(&g);
+        let mut per_worker_d = vec![0usize; workers];
+        for v in d.vertices() {
+            let task = v as usize / ts;
+            per_worker_d[task % workers] += d.degree(v);
+        }
+        let max_d = *per_worker_d.iter().max().unwrap() as f64;
+        let min_d = *per_worker_d.iter().min().unwrap().max(&1) as f64;
+        assert!(max_d / min_d > max / min, "degree ordering should be worse");
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let p = Permutation::random(50, 9);
+        let inv = p.inverse();
+        for v in 0..50u32 {
+            assert_eq!(inv.new_of(p.new_of(v)), v);
+        }
+    }
+
+    #[test]
+    fn unapply_values_translates_results() {
+        let g = gen::path(4);
+        let p = Permutation::from_mapping(vec![2, 0, 3, 1]);
+        let h = p.apply(&g);
+        // Distances from new-label p.new_of(0)=2 in h, indexed by new id.
+        let mut dist_new = vec![u32::MAX; 4];
+        dist_new[p.new_of(0) as usize] = 0;
+        dist_new[p.new_of(1) as usize] = 1;
+        dist_new[p.new_of(2) as usize] = 2;
+        dist_new[p.new_of(3) as usize] = 3;
+        let dist_old = p.unapply_values(&dist_new);
+        assert_eq!(dist_old, vec![0, 1, 2, 3]);
+        assert_eq!(h.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn invalid_mapping_panics() {
+        let _ = Permutation::from_mapping(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn scheme_selector() {
+        let g = gen::uniform(64, 128, 2);
+        for scheme in [
+            LabelingScheme::Identity,
+            LabelingScheme::Random(1),
+            LabelingScheme::DegreeOrdered,
+            LabelingScheme::Striped {
+                workers: 4,
+                task_size: 8,
+            },
+        ] {
+            let h = scheme.apply(&g);
+            assert_eq!(h.num_edges(), g.num_edges(), "{scheme:?}");
+            assert_eq!(h.num_vertices(), g.num_vertices());
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! NUMA-partitioned adjacency storage (Section 4.4 of the paper).
+//!
+//! "We minimize cross-NUMA accesses by allocating the neighbor lists of
+//! the vertices processed in each task range on the same NUMA node as the
+//! worker which the task is assigned to." On real hardware each segment
+//! below would be first-touched (and thus physically placed) by its owning
+//! worker; here the *structure* is identical — one separately allocated
+//! adjacency segment per node, split exactly at task-range boundaries —
+//! and the placement is recorded so locality can be audited.
+
+use crate::{CsrGraph, VertexId};
+
+/// A CSR graph whose adjacency data is split into one allocation per NUMA
+/// node, at task-range granularity.
+///
+/// Lookups cost one extra indirection compared to [`CsrGraph`]; the paper
+/// accepts this to keep each worker's reads node-local. The node of a
+/// vertex's data follows the round-robin task deal of the scheduler: task
+/// `t` belongs to worker `t % workers`, whose node is assigned in
+/// contiguous blocks.
+pub struct PartitionedCsr {
+    /// Global offsets (per vertex) into the *virtual* concatenated target
+    /// space, used to derive degrees.
+    offsets: Box<[u64]>,
+    /// Per-vertex start within its node segment.
+    local_start: Box<[u64]>,
+    /// Per-vertex owning node.
+    node_of_vertex: Box<[u8]>,
+    /// One adjacency segment per node.
+    segments: Vec<Box<[VertexId]>>,
+    /// Vertices per task range used for the split.
+    split_size: usize,
+    /// Worker count used for the round-robin deal.
+    workers: usize,
+}
+
+impl PartitionedCsr {
+    /// Partitions `g` for `workers` workers over `nodes` NUMA nodes with
+    /// the given task range size, mirroring
+    /// `pbfs_sched::Topology::new(nodes, workers)` block assignment.
+    ///
+    /// # Panics
+    /// Panics if `nodes`, `workers` or `split_size` is zero, or if
+    /// `nodes > 255`.
+    pub fn partition(g: &CsrGraph, nodes: usize, workers: usize, split_size: usize) -> Self {
+        assert!(nodes > 0 && workers > 0 && split_size > 0);
+        assert!(nodes <= 255, "node ids are stored as u8");
+        let n = g.num_vertices();
+
+        // Same block assignment as Topology::new: first `rem` nodes host
+        // one extra worker.
+        let base = workers / nodes;
+        let rem = workers % nodes;
+        let node_of_worker = |w: usize| -> usize {
+            let big = (base + 1) * rem;
+            if w < big {
+                w / (base + 1)
+            } else {
+                rem + (w - big) / base.max(1)
+            }
+        };
+        let node_of_vertex_fn =
+            |v: usize| -> usize { node_of_worker((v / split_size) % workers) };
+
+        // Per-node segment sizes.
+        let mut seg_len = vec![0u64; nodes];
+        for v in 0..n {
+            seg_len[node_of_vertex_fn(v)] += g.degree(v as VertexId) as u64;
+        }
+        let mut segments: Vec<Vec<VertexId>> =
+            seg_len.iter().map(|&l| Vec::with_capacity(l as usize)).collect();
+
+        let mut local_start = vec![0u64; n];
+        let mut node_of_vertex = vec![0u8; n];
+        for v in 0..n {
+            let node = node_of_vertex_fn(v);
+            node_of_vertex[v] = node as u8;
+            local_start[v] = segments[node].len() as u64;
+            segments[node].extend_from_slice(g.neighbors(v as VertexId));
+        }
+
+        Self {
+            offsets: g.offsets().to_vec().into_boxed_slice(),
+            local_start: local_start.into_boxed_slice(),
+            node_of_vertex: node_of_vertex.into_boxed_slice(),
+            segments: segments.into_iter().map(Vec::into_boxed_slice).collect(),
+            split_size,
+            workers,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        (*self.offsets.last().unwrap() as usize) / 2
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// Sorted neighbor list of `v`, served from its owning node's segment.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let vi = v as usize;
+        let start = self.local_start[vi] as usize;
+        &self.segments[self.node_of_vertex[vi] as usize][start..start + self.degree(v)]
+    }
+
+    /// The NUMA node hosting `v`'s adjacency data.
+    #[inline]
+    pub fn node_of(&self, v: VertexId) -> usize {
+        self.node_of_vertex[v as usize] as usize
+    }
+
+    /// Number of NUMA node segments.
+    pub fn num_nodes(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Adjacency bytes hosted per node — Section 4.4 makes this
+    /// proportional to the workers per node.
+    pub fn bytes_per_node(&self) -> Vec<usize> {
+        self.segments.iter().map(|s| s.len() * 4).collect()
+    }
+
+    /// Task split size the partition was built for.
+    pub fn split_size(&self) -> usize {
+        self.split_size
+    }
+
+    /// Worker count the partition was built for.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Fraction of adjacency reads that stay node-local when vertex `v`'s
+    /// scan is executed by a worker on `executor_node`. An audit helper
+    /// for locality experiments.
+    pub fn is_local_scan(&self, v: VertexId, executor_node: usize) -> bool {
+        self.node_of(v) == executor_node
+    }
+
+    /// Reassembles a plain [`CsrGraph`] (for equivalence testing).
+    pub fn to_csr(&self) -> CsrGraph {
+        let n = self.num_vertices();
+        let mut targets = Vec::with_capacity(*self.offsets.last().unwrap() as usize);
+        for v in 0..n as VertexId {
+            targets.extend_from_slice(self.neighbors(v));
+        }
+        CsrGraph::from_raw_parts(self.offsets.clone(), targets.into_boxed_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn partition_preserves_adjacency() {
+        let g = gen::Kronecker::graph500(9).seed(3).generate();
+        for (nodes, workers, split) in [(1usize, 4usize, 64usize), (2, 4, 64), (4, 8, 128)] {
+            let p = PartitionedCsr::partition(&g, nodes, workers, split);
+            assert_eq!(p.num_vertices(), g.num_vertices());
+            assert_eq!(p.num_edges(), g.num_edges());
+            for v in g.vertices() {
+                assert_eq!(p.neighbors(v), g.neighbors(v), "vertex {v}");
+                assert_eq!(p.degree(v), g.degree(v));
+            }
+        }
+    }
+
+    #[test]
+    fn to_csr_roundtrip() {
+        let g = gen::social_network(500, 10, 7);
+        let p = PartitionedCsr::partition(&g, 2, 6, 32);
+        let back = p.to_csr();
+        assert_eq!(back.offsets(), g.offsets());
+        assert_eq!(back.targets(), g.targets());
+    }
+
+    #[test]
+    fn node_assignment_follows_round_robin_deal() {
+        // 2 nodes × 2 workers, split 4: task t → worker t % 2 → node t % 2.
+        let g = gen::path(16);
+        let p = PartitionedCsr::partition(&g, 2, 2, 4);
+        for v in 0..16u32 {
+            let task = v as usize / 4;
+            assert_eq!(p.node_of(v), task % 2, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn bytes_per_node_are_roughly_proportional() {
+        let g = gen::Kronecker::graph500(11).seed(5).generate();
+        // Striped labeling balances the per-queue edge budget, which is
+        // exactly what makes the per-node shares proportional.
+        let h = crate::labeling::LabelingScheme::Striped { workers: 4, task_size: 64 }.apply(&g);
+        let p = PartitionedCsr::partition(&h, 4, 4, 64);
+        let bytes = p.bytes_per_node();
+        let max = *bytes.iter().max().unwrap() as f64;
+        let min = *bytes.iter().min().unwrap() as f64;
+        assert!(max / min < 1.2, "unbalanced node shares: {bytes:?}");
+    }
+
+    #[test]
+    fn single_node_is_one_segment() {
+        let g = gen::cycle(10);
+        let p = PartitionedCsr::partition(&g, 1, 4, 2);
+        assert_eq!(p.num_nodes(), 1);
+        assert_eq!(p.bytes_per_node(), vec![g.num_directed_edges() * 4]);
+        assert!(p.is_local_scan(3, 0));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = crate::CsrGraph::from_edges(0, &[]);
+        let p = PartitionedCsr::partition(&g, 2, 2, 8);
+        assert_eq!(p.num_vertices(), 0);
+        assert_eq!(p.num_edges(), 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Graph transformations: subgraph extraction and compaction.
+//!
+//! The evaluation protocol only traverses the component of each source and
+//! only counts vertices with at least one neighbor, so experiment drivers
+//! frequently want the giant component as a compact standalone graph.
+
+use crate::stats::ComponentInfo;
+use crate::{CsrGraph, VertexId, INVALID_VERTEX};
+
+/// A subgraph together with the mapping back to the original ids.
+pub struct Subgraph {
+    /// The extracted graph, with dense ids `0..k`.
+    pub graph: CsrGraph,
+    /// `original_of[new] = old` vertex id.
+    pub original_of: Vec<VertexId>,
+    /// `new_of[old] = new` id, or [`INVALID_VERTEX`] if dropped.
+    pub new_of: Vec<VertexId>,
+}
+
+impl Subgraph {
+    /// Translates a per-vertex result on the subgraph back to the original
+    /// id space, filling dropped vertices with `fill`.
+    pub fn unmap_values<T: Copy>(&self, sub_indexed: &[T], fill: T) -> Vec<T> {
+        assert_eq!(sub_indexed.len(), self.original_of.len());
+        let mut out = vec![fill; self.new_of.len()];
+        for (new, &old) in self.original_of.iter().enumerate() {
+            out[old as usize] = sub_indexed[new];
+        }
+        out
+    }
+}
+
+/// Extracts the subgraph induced by the vertices for which `keep` returns
+/// true, relabeling them densely in ascending original order.
+pub fn induced_subgraph(g: &CsrGraph, keep: impl Fn(VertexId) -> bool) -> Subgraph {
+    let n = g.num_vertices();
+    let mut new_of = vec![INVALID_VERTEX; n];
+    let mut original_of = Vec::new();
+    for v in 0..n as VertexId {
+        if keep(v) {
+            new_of[v as usize] = original_of.len() as VertexId;
+            original_of.push(v);
+        }
+    }
+    let mut edges = Vec::new();
+    for &old in &original_of {
+        for &nbr in g.neighbors(old) {
+            if old <= nbr && new_of[nbr as usize] != INVALID_VERTEX {
+                edges.push((new_of[old as usize], new_of[nbr as usize]));
+            }
+        }
+    }
+    let graph = CsrGraph::from_edges(original_of.len(), &edges);
+    Subgraph {
+        graph,
+        original_of,
+        new_of,
+    }
+}
+
+/// Extracts the largest connected component as a compact graph.
+pub fn largest_component(g: &CsrGraph) -> Subgraph {
+    let comps = ComponentInfo::compute(g);
+    let target = comps.largest_component();
+    induced_subgraph(g, |v| comps.component_of(v) == target)
+}
+
+/// Drops all isolated vertices, compacting ids (the paper's vertex counts
+/// "only consider vertices that have at least one neighbor").
+pub fn remove_isolated(g: &CsrGraph) -> Subgraph {
+    induced_subgraph(g, |v| g.degree(v) > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        // Path 0-1-2-3; keep {0, 1, 3}: only edge (0,1) survives.
+        let g = gen::path(4);
+        let sub = induced_subgraph(&g, |v| v != 2);
+        assert_eq!(sub.graph.num_vertices(), 3);
+        assert_eq!(sub.graph.num_edges(), 1);
+        assert!(sub.graph.has_edge(0, 1));
+        assert_eq!(sub.original_of, vec![0, 1, 3]);
+        assert_eq!(sub.new_of, vec![0, 1, INVALID_VERTEX, 2]);
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        let g = gen::disjoint_union(&[&gen::path(3), &gen::complete(5)]);
+        let sub = largest_component(&g);
+        assert_eq!(sub.graph.num_vertices(), 5);
+        assert_eq!(sub.graph.num_edges(), 10);
+        assert_eq!(sub.original_of, vec![3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn remove_isolated_compacts() {
+        let g = CsrGraph::from_edges(6, &[(1, 4)]);
+        let sub = remove_isolated(&g);
+        assert_eq!(sub.graph.num_vertices(), 2);
+        assert!(sub.graph.has_edge(0, 1));
+        assert_eq!(sub.original_of, vec![1, 4]);
+    }
+
+    #[test]
+    fn unmap_values_roundtrip() {
+        let g = gen::disjoint_union(&[&gen::path(2), &gen::path(3)]);
+        let sub = largest_component(&g);
+        let sub_values: Vec<u32> = (0..sub.graph.num_vertices() as u32)
+            .map(|v| v * 10)
+            .collect();
+        let full = sub.unmap_values(&sub_values, u32::MAX);
+        assert_eq!(full, vec![u32::MAX, u32::MAX, 0, 10, 20]);
+    }
+
+    #[test]
+    fn empty_selection() {
+        let g = gen::path(3);
+        let sub = induced_subgraph(&g, |_| false);
+        assert_eq!(sub.graph.num_vertices(), 0);
+        assert_eq!(sub.graph.num_edges(), 0);
+    }
+}

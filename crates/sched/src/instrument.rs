@@ -1,0 +1,333 @@
+//! Per-worker instrumentation for the skew and utilization experiments.
+//!
+//! Figures 2, 6, 7 and 9 of the paper measure *per-worker* quantities:
+//! busy time per iteration, visited neighbors, updated states, and CPU
+//! utilization. The pool records scheduling-level numbers (busy time, task
+//! counts, stealing, NUMA locality) here; algorithm-level work counters
+//! (neighbors visited, states updated) are added by the BFS crate through
+//! [`WorkerRun::work_units`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam::utils::CachePadded;
+
+/// What one worker did during one parallel loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerRun {
+    /// Nanoseconds spent executing task bodies (excludes idling/waiting).
+    pub busy_ns: u64,
+    /// Task ranges executed.
+    pub tasks: u64,
+    /// Task ranges taken from another worker's queue.
+    pub stolen: u64,
+    /// Task ranges whose owning queue lives on a different NUMA node.
+    pub remote: u64,
+    /// Items (e.g. vertices) covered by the executed ranges.
+    pub items: u64,
+    /// Algorithm-defined work units (e.g. neighbors visited or vertex
+    /// states updated), reported via [`Probe::add_work`].
+    pub work_units: u64,
+}
+
+/// Aggregated statistics of one parallel loop.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Per-worker breakdown, indexed by worker id.
+    pub per_worker: Vec<WorkerRun>,
+    /// Wall-clock duration of the whole loop in nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl RunStats {
+    /// Parallel utilization in `[0, 1]`: total busy time over
+    /// `workers × wall time`. This is the quantity plotted in Figure 2.
+    pub fn utilization(&self) -> f64 {
+        if self.per_worker.is_empty() || self.wall_ns == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.per_worker.iter().map(|w| w.busy_ns).sum();
+        busy as f64 / (self.per_worker.len() as f64 * self.wall_ns as f64)
+    }
+
+    /// Ratio of the longest to the shortest per-worker busy time — the skew
+    /// metric of Figure 9. Workers with zero busy time are clamped to 1 ns
+    /// so the ratio stays finite.
+    pub fn busy_skew(&self) -> f64 {
+        let max = self.per_worker.iter().map(|w| w.busy_ns).max().unwrap_or(0);
+        let min = self
+            .per_worker
+            .iter()
+            .map(|w| w.busy_ns.max(1))
+            .min()
+            .unwrap_or(1);
+        max as f64 / min as f64
+    }
+
+    /// Ratio of the largest to the smallest per-worker `work_units`
+    /// (deterministic skew metric; used alongside [`Self::busy_skew`]
+    /// because wall-clock skew is noisy on an oversubscribed single core).
+    pub fn work_skew(&self) -> f64 {
+        let max = self
+            .per_worker
+            .iter()
+            .map(|w| w.work_units)
+            .max()
+            .unwrap_or(0);
+        let min = self
+            .per_worker
+            .iter()
+            .map(|w| w.work_units.max(1))
+            .min()
+            .unwrap_or(1);
+        max as f64 / min as f64
+    }
+
+    /// Total task ranges executed.
+    pub fn total_tasks(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.tasks).sum()
+    }
+
+    /// Total stolen task ranges.
+    pub fn total_stolen(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.stolen).sum()
+    }
+
+    /// Total task ranges executed on a remote NUMA node.
+    pub fn total_remote(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.remote).sum()
+    }
+
+    /// Total algorithm work units.
+    pub fn total_work(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.work_units).sum()
+    }
+
+    /// Merges another loop's stats into this one (summing workers
+    /// position-wise and wall time; used to accumulate a whole BFS from its
+    /// per-phase loops).
+    pub fn merge(&mut self, other: &RunStats) {
+        if self.per_worker.len() < other.per_worker.len() {
+            self.per_worker
+                .resize(other.per_worker.len(), WorkerRun::default());
+        }
+        for (a, b) in self.per_worker.iter_mut().zip(other.per_worker.iter()) {
+            a.busy_ns += b.busy_ns;
+            a.tasks += b.tasks;
+            a.stolen += b.stolen;
+            a.remote += b.remote;
+            a.items += b.items;
+            a.work_units += b.work_units;
+        }
+        self.wall_ns += other.wall_ns;
+    }
+}
+
+/// Shared collector the pool writes into during an instrumented loop. One
+/// cache-line-padded slot per worker; each worker only touches its own slot,
+/// so relaxed atomics suffice and there is no cross-worker contention.
+pub(crate) struct Collector {
+    slots: Vec<CachePadded<Slot>>,
+}
+
+#[derive(Default)]
+struct Slot {
+    busy_ns: AtomicU64,
+    tasks: AtomicU64,
+    stolen: AtomicU64,
+    remote: AtomicU64,
+    items: AtomicU64,
+    work_units: AtomicU64,
+}
+
+impl Collector {
+    pub(crate) fn new(workers: usize) -> Self {
+        let mut slots = Vec::with_capacity(workers);
+        slots.resize_with(workers, || CachePadded::new(Slot::default()));
+        Self { slots }
+    }
+
+    pub(crate) fn record(
+        &self,
+        worker: usize,
+        busy_ns: u64,
+        tasks: u64,
+        stolen: u64,
+        remote: u64,
+        items: u64,
+    ) {
+        let s = &self.slots[worker];
+        s.busy_ns.fetch_add(busy_ns, Ordering::Relaxed);
+        s.tasks.fetch_add(tasks, Ordering::Relaxed);
+        s.stolen.fetch_add(stolen, Ordering::Relaxed);
+        s.remote.fetch_add(remote, Ordering::Relaxed);
+        s.items.fetch_add(items, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_work(&self, worker: usize, units: u64) {
+        self.slots[worker]
+            .work_units
+            .fetch_add(units, Ordering::Relaxed);
+    }
+
+    pub(crate) fn finish(self, wall_ns: u64) -> RunStats {
+        let per_worker = self
+            .slots
+            .into_iter()
+            .map(|s| WorkerRun {
+                busy_ns: s.busy_ns.load(Ordering::Relaxed),
+                tasks: s.tasks.load(Ordering::Relaxed),
+                stolen: s.stolen.load(Ordering::Relaxed),
+                remote: s.remote.load(Ordering::Relaxed),
+                items: s.items.load(Ordering::Relaxed),
+                work_units: s.work_units.load(Ordering::Relaxed),
+            })
+            .collect();
+        RunStats {
+            per_worker,
+            wall_ns,
+        }
+    }
+}
+
+/// Handle passed to instrumented loop bodies for reporting algorithm-level
+/// work units (neighbors visited, states updated, …).
+pub struct Probe<'a> {
+    pub(crate) collector: Option<&'a Collector>,
+    pub(crate) worker: usize,
+}
+
+impl Probe<'_> {
+    /// Adds `units` of algorithm-defined work to this worker's tally.
+    /// No-op when the loop is not instrumented.
+    #[inline]
+    pub fn add_work(&self, units: u64) {
+        if let Some(c) = self.collector {
+            c.add_work(self.worker, units);
+        }
+    }
+
+    /// A disabled probe (for uninstrumented fast paths).
+    pub const DISABLED: Probe<'static> = Probe {
+        collector: None,
+        worker: 0,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_of_balanced_run() {
+        let stats = RunStats {
+            per_worker: vec![
+                WorkerRun {
+                    busy_ns: 100,
+                    ..Default::default()
+                },
+                WorkerRun {
+                    busy_ns: 100,
+                    ..Default::default()
+                },
+            ],
+            wall_ns: 100,
+        };
+        assert!((stats.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_of_half_idle_run() {
+        let stats = RunStats {
+            per_worker: vec![
+                WorkerRun {
+                    busy_ns: 100,
+                    ..Default::default()
+                },
+                WorkerRun {
+                    busy_ns: 0,
+                    ..Default::default()
+                },
+            ],
+            wall_ns: 100,
+        };
+        assert!((stats.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skew_metrics() {
+        let stats = RunStats {
+            per_worker: vec![
+                WorkerRun {
+                    busy_ns: 1500,
+                    work_units: 30,
+                    ..Default::default()
+                },
+                WorkerRun {
+                    busy_ns: 100,
+                    work_units: 10,
+                    ..Default::default()
+                },
+            ],
+            wall_ns: 1500,
+        };
+        assert!((stats.busy_skew() - 15.0).abs() < 1e-12);
+        assert!((stats.work_skew() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let stats = RunStats::default();
+        assert_eq!(stats.utilization(), 0.0);
+        assert_eq!(stats.busy_skew(), 0.0);
+        assert_eq!(stats.total_tasks(), 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = RunStats {
+            per_worker: vec![WorkerRun {
+                busy_ns: 10,
+                tasks: 1,
+                ..Default::default()
+            }],
+            wall_ns: 10,
+        };
+        let b = RunStats {
+            per_worker: vec![
+                WorkerRun {
+                    busy_ns: 5,
+                    tasks: 2,
+                    stolen: 1,
+                    ..Default::default()
+                },
+                WorkerRun {
+                    busy_ns: 7,
+                    tasks: 3,
+                    ..Default::default()
+                },
+            ],
+            wall_ns: 7,
+        };
+        a.merge(&b);
+        assert_eq!(a.per_worker.len(), 2);
+        assert_eq!(a.per_worker[0].busy_ns, 15);
+        assert_eq!(a.per_worker[0].tasks, 3);
+        assert_eq!(a.per_worker[1].busy_ns, 7);
+        assert_eq!(a.wall_ns, 17);
+        assert_eq!(a.total_stolen(), 1);
+    }
+
+    #[test]
+    fn collector_roundtrip() {
+        let c = Collector::new(2);
+        c.record(0, 100, 2, 1, 0, 512);
+        c.add_work(0, 42);
+        c.record(1, 50, 1, 0, 1, 256);
+        let stats = c.finish(120);
+        assert_eq!(stats.per_worker[0].busy_ns, 100);
+        assert_eq!(stats.per_worker[0].work_units, 42);
+        assert_eq!(stats.per_worker[1].remote, 1);
+        assert_eq!(stats.wall_ns, 120);
+        assert_eq!(stats.total_tasks(), 3);
+    }
+}

@@ -1,0 +1,283 @@
+//! Task creation and lock-free retrieval (Listings 5 and 6 of the paper).
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam::utils::CachePadded;
+
+use crate::WorkerId;
+
+/// Default number of items per task range.
+///
+/// Section 4.2.1: ranges of 256+ vertices keep scheduling overhead below 1 %
+/// of total runtime for graphs with more than a million vertices while still
+/// yielding thousands of tasks for load balancing.
+pub const DEFAULT_SPLIT_SIZE: usize = 256;
+
+/// One per-worker queue: an index to the next unclaimed task plus the list
+/// of task ranges assigned to this worker at creation time.
+struct Queue {
+    next: CachePadded<AtomicUsize>,
+    tasks: Vec<Range<usize>>,
+}
+
+/// Per-worker task queues over the index range `0..total`.
+///
+/// Tasks are contiguous ranges of `split_size` items, dealt round-robin to
+/// the workers' queues (`create_tasks`, Listing 5), so queue lengths differ
+/// by at most one. Retrieval ([`TaskQueues::fetch`]) first drains the
+/// worker's own queue and then steals from the other queues in round-robin
+/// order (`fetch_task`, Listing 6).
+///
+/// ```
+/// use pbfs_sched::TaskQueues;
+///
+/// let q = TaskQueues::new(1000, 256, 2);
+/// assert_eq!(q.num_tasks(), 4);
+/// let mut cursor = 0;
+/// let (range, from) = q.fetch(0, &mut cursor).unwrap();
+/// assert_eq!(range, 0..256);
+/// assert_eq!(from, 0);
+/// ```
+pub struct TaskQueues {
+    queues: Vec<Queue>,
+    num_tasks: usize,
+    total: usize,
+    split_size: usize,
+}
+
+impl TaskQueues {
+    /// `create_tasks` (Listing 5): split `0..total` into ranges of
+    /// `split_size` items and deal them round-robin across `num_workers`
+    /// queues.
+    ///
+    /// # Panics
+    /// Panics if `split_size == 0` or `num_workers == 0`.
+    pub fn new(total: usize, split_size: usize, num_workers: usize) -> Self {
+        assert!(split_size > 0, "split_size must be positive");
+        assert!(num_workers > 0, "num_workers must be positive");
+        let num_tasks = total.div_ceil(split_size);
+        let mut worker_tasks: Vec<Vec<Range<usize>>> = (0..num_workers)
+            .map(|w| Vec::with_capacity(num_tasks.div_ceil(num_workers) + usize::from(w == 0)))
+            .collect();
+        let mut cur_worker = 0usize;
+        let mut offset = 0usize;
+        while offset < total {
+            let end = (offset + split_size).min(total);
+            worker_tasks[cur_worker % num_workers].push(offset..end);
+            cur_worker += 1;
+            offset = end;
+        }
+        let queues = worker_tasks
+            .into_iter()
+            .map(|tasks| Queue {
+                next: CachePadded::new(AtomicUsize::new(0)),
+                tasks,
+            })
+            .collect();
+        Self {
+            queues,
+            num_tasks,
+            total,
+            split_size,
+        }
+    }
+
+    /// Total number of task ranges across all queues.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.num_tasks
+    }
+
+    /// Number of worker queues.
+    #[inline]
+    pub fn num_queues(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Number of items covered (`0..total`).
+    #[inline]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Items per task range (last range may be shorter).
+    #[inline]
+    pub fn split_size(&self) -> usize {
+        self.split_size
+    }
+
+    /// `fetch_task` (Listing 6): claim the next task, preferring the
+    /// worker's own queue, then stealing round-robin from the others.
+    ///
+    /// `cursor` is the resume-offset optimization from the paper: it
+    /// remembers the queue offset where the previous task was found so each
+    /// exhausted queue is skipped at most once per worker. Initialize it to
+    /// `0` before the first call and reuse it across calls.
+    ///
+    /// Returns the claimed range and the queue index it came from (equal to
+    /// `worker` when no stealing happened), or `None` when every queue is
+    /// exhausted. The atomic increment is elided on queues whose counter
+    /// already passed their task count ("incrementing `curTaskIx` only if
+    /// the queue is not empty avoids atomic writes").
+    #[inline]
+    pub fn fetch(&self, worker: WorkerId, cursor: &mut usize) -> Option<(Range<usize>, usize)> {
+        let n = self.queues.len();
+        debug_assert!(worker < n);
+        let start = *cursor;
+        let mut offset = start;
+        loop {
+            let qi = (worker + offset) % n;
+            let queue = &self.queues[qi];
+            let len = queue.tasks.len();
+            // Read-only emptiness check first: no atomic write on drained
+            // queues, hence no cache line ping-pong for other visitors.
+            if queue.next.load(Ordering::Relaxed) < len {
+                let task_id = queue.next.fetch_add(1, Ordering::Relaxed);
+                if task_id < len {
+                    *cursor = offset;
+                    return Some((queue.tasks[task_id].clone(), qi));
+                }
+            }
+            offset += 1;
+            if offset - start >= n {
+                return None;
+            }
+        }
+    }
+
+    /// The queue (= worker) that owns the task range beginning at item
+    /// `offset`. Ownership follows the round-robin deal of
+    /// [`TaskQueues::new`], which is also the deterministic data-placement
+    /// rule of Section 4.4: the owner initializes (and therefore hosts) the
+    /// backing memory of its ranges.
+    #[inline]
+    pub fn owner_of_offset(&self, offset: usize) -> WorkerId {
+        debug_assert!(offset < self.total.max(1));
+        (offset / self.split_size) % self.queues.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn drain_all(q: &TaskQueues, worker: WorkerId) -> Vec<Range<usize>> {
+        let mut cursor = 0;
+        let mut out = Vec::new();
+        while let Some((r, _)) = q.fetch(worker, &mut cursor) {
+            out.push(r);
+        }
+        out
+    }
+
+    #[test]
+    fn round_robin_assignment() {
+        let q = TaskQueues::new(10, 2, 3);
+        assert_eq!(q.num_tasks(), 5);
+        // Tasks 0..5 dealt to queues 0,1,2,0,1.
+        assert_eq!(q.queues[0].tasks, vec![0..2, 6..8]);
+        assert_eq!(q.queues[1].tasks, vec![2..4, 8..10]);
+        assert_eq!(q.queues[2].tasks, vec![4..6]);
+    }
+
+    #[test]
+    fn queue_sizes_differ_by_at_most_one() {
+        for total in [0usize, 1, 255, 256, 1000, 4097] {
+            for workers in [1usize, 2, 7, 16] {
+                let q = TaskQueues::new(total, 64, workers);
+                let lens: Vec<usize> = q.queues.iter().map(|qq| qq.tasks.len()).collect();
+                let max = *lens.iter().max().unwrap();
+                let min = *lens.iter().min().unwrap();
+                assert!(
+                    max - min <= 1,
+                    "total={total} workers={workers} lens={lens:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fetch_drains_exact_partition() {
+        let q = TaskQueues::new(1003, 17, 4);
+        let ranges = drain_all(&q, 2);
+        let mut covered = BTreeSet::new();
+        for r in &ranges {
+            for i in r.clone() {
+                assert!(covered.insert(i), "item {i} claimed twice");
+            }
+        }
+        assert_eq!(covered.len(), 1003);
+        assert_eq!(*covered.first().unwrap(), 0);
+        assert_eq!(*covered.last().unwrap(), 1002);
+    }
+
+    #[test]
+    fn fetch_prefers_own_queue() {
+        let q = TaskQueues::new(8, 2, 2);
+        let mut cursor = 0;
+        let (r, from) = q.fetch(1, &mut cursor).unwrap();
+        assert_eq!(from, 1);
+        assert_eq!(r, 2..4);
+    }
+
+    #[test]
+    fn stealing_reports_source_queue() {
+        let q = TaskQueues::new(4, 2, 2);
+        // Drain queue 1's single task, then fetch again: must steal from 0.
+        let mut cursor = 0;
+        let (_, from) = q.fetch(1, &mut cursor).unwrap();
+        assert_eq!(from, 1);
+        let (_, from) = q.fetch(1, &mut cursor).unwrap();
+        assert_eq!(from, 0);
+        assert!(q.fetch(1, &mut cursor).is_none());
+    }
+
+    #[test]
+    fn empty_total_yields_nothing() {
+        let q = TaskQueues::new(0, 256, 4);
+        assert_eq!(q.num_tasks(), 0);
+        let mut cursor = 0;
+        assert!(q.fetch(0, &mut cursor).is_none());
+    }
+
+    #[test]
+    fn owner_of_offset_matches_deal() {
+        let q = TaskQueues::new(1000, 100, 3);
+        assert_eq!(q.owner_of_offset(0), 0);
+        assert_eq!(q.owner_of_offset(99), 0);
+        assert_eq!(q.owner_of_offset(100), 1);
+        assert_eq!(q.owner_of_offset(250), 2);
+        assert_eq!(q.owner_of_offset(300), 0);
+    }
+
+    #[test]
+    fn concurrent_fetch_claims_each_task_once() {
+        use std::sync::Mutex;
+        let q = TaskQueues::new(100_000, 64, 8);
+        let claimed = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for w in 0..8 {
+                let q = &q;
+                let claimed = &claimed;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    let mut cursor = 0;
+                    while let Some((r, _)) = q.fetch(w, &mut cursor) {
+                        local.push(r);
+                    }
+                    claimed.lock().unwrap().extend(local);
+                });
+            }
+        });
+        let mut items = vec![false; 100_000];
+        for r in claimed.lock().unwrap().iter() {
+            for i in r.clone() {
+                assert!(!items[i], "item {i} claimed twice");
+                items[i] = true;
+            }
+        }
+        assert!(items.iter().all(|&b| b));
+    }
+}

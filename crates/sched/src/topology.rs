@@ -1,0 +1,170 @@
+//! Simulated NUMA topology (Section 4.4 of the paper).
+//!
+//! The paper evaluates on a 4-socket machine and pins workers to cores so
+//! that BFS state pages, adjacency lists and task ranges stay NUMA-local.
+//! This container has a single core, so instead of binding real pages we
+//! *model* the topology: workers are assigned to nodes in contiguous blocks
+//! (exactly like the paper's "cores 1–15 on socket one"), task ranges
+//! inherit the node of their owning worker, and the pool counts local vs.
+//! remote task executions. The code paths that decide placement are the
+//! real ones; only the physical page binding is absent.
+
+use std::fmt;
+
+use crate::WorkerId;
+
+/// A NUMA topology: `num_nodes` nodes hosting `num_workers` workers in
+/// contiguous, maximally-even blocks.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Topology {
+    num_nodes: usize,
+    num_workers: usize,
+}
+
+impl Topology {
+    /// A single-node topology (no NUMA effects) with `num_workers` workers.
+    pub fn single(num_workers: usize) -> Self {
+        Self::new(1, num_workers)
+    }
+
+    /// A topology of `num_nodes` nodes sharing `num_workers` workers.
+    /// Workers are laid out node-major: worker ids `0..w/n` on node 0, the
+    /// next block on node 1, and so on (remainder workers go to the first
+    /// nodes).
+    ///
+    /// # Panics
+    /// Panics if either argument is zero.
+    pub fn new(num_nodes: usize, num_workers: usize) -> Self {
+        assert!(num_nodes > 0, "need at least one NUMA node");
+        assert!(num_workers > 0, "need at least one worker");
+        Self {
+            num_nodes,
+            num_workers,
+        }
+    }
+
+    /// Number of NUMA nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of workers across all nodes.
+    #[inline]
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// Workers hosted by `node`.
+    pub fn workers_on(&self, node: usize) -> std::ops::Range<WorkerId> {
+        assert!(node < self.num_nodes);
+        let base = self.num_workers / self.num_nodes;
+        let rem = self.num_workers % self.num_nodes;
+        let start = node * base + node.min(rem);
+        let len = base + usize::from(node < rem);
+        start..start + len
+    }
+
+    /// The node hosting `worker`.
+    #[inline]
+    pub fn node_of_worker(&self, worker: WorkerId) -> usize {
+        debug_assert!(worker < self.num_workers);
+        let base = self.num_workers / self.num_nodes;
+        let rem = self.num_workers % self.num_nodes;
+        // First `rem` nodes have `base + 1` workers.
+        let big = (base + 1) * rem;
+        if worker < big {
+            worker / (base + 1)
+        } else {
+            rem + (worker - big) / base.max(1)
+        }
+    }
+
+    /// Share of BFS-state memory that Section 4.4 places on `node`:
+    /// proportional to the share of workers on that node.
+    pub fn memory_share(&self, node: usize) -> f64 {
+        self.workers_on(node).len() as f64 / self.num_workers as f64
+    }
+}
+
+impl fmt::Debug for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Topology({} nodes × {} workers)",
+            self.num_nodes, self.num_workers
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node() {
+        let t = Topology::single(8);
+        assert_eq!(t.num_nodes(), 1);
+        for w in 0..8 {
+            assert_eq!(t.node_of_worker(w), 0);
+        }
+        assert_eq!(t.workers_on(0), 0..8);
+        assert!((t.memory_share(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn even_split() {
+        // The paper's machine: 4 sockets × 15 cores.
+        let t = Topology::new(4, 60);
+        assert_eq!(t.workers_on(0), 0..15);
+        assert_eq!(t.workers_on(3), 45..60);
+        assert_eq!(t.node_of_worker(0), 0);
+        assert_eq!(t.node_of_worker(14), 0);
+        assert_eq!(t.node_of_worker(15), 1);
+        assert_eq!(t.node_of_worker(59), 3);
+        assert!((t.memory_share(2) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uneven_split() {
+        let t = Topology::new(3, 10);
+        // 10 workers over 3 nodes: 4, 3, 3.
+        assert_eq!(t.workers_on(0), 0..4);
+        assert_eq!(t.workers_on(1), 4..7);
+        assert_eq!(t.workers_on(2), 7..10);
+        for node in 0..3 {
+            for w in t.workers_on(node) {
+                assert_eq!(t.node_of_worker(w), node, "worker {w}");
+            }
+        }
+        assert!((t.memory_share(0) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_nodes_than_workers() {
+        let t = Topology::new(4, 2);
+        // Nodes 0 and 1 get one worker each; 2 and 3 are empty.
+        assert_eq!(t.workers_on(0), 0..1);
+        assert_eq!(t.workers_on(1), 1..2);
+        assert_eq!(t.workers_on(2).len(), 0);
+        assert_eq!(t.node_of_worker(0), 0);
+        assert_eq!(t.node_of_worker(1), 1);
+    }
+
+    #[test]
+    fn blocks_partition_workers() {
+        for nodes in 1..6 {
+            for workers in 1..20 {
+                let t = Topology::new(nodes, workers);
+                let mut seen = vec![false; workers];
+                for node in 0..nodes {
+                    for w in t.workers_on(node) {
+                        assert!(!seen[w]);
+                        seen[w] = true;
+                    }
+                }
+                assert!(seen.iter().all(|&s| s), "nodes={nodes} workers={workers}");
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! A Graph500-style benchmark run: generate the Kronecker graph, traverse
+//! 64 random sources, validate every BFS tree, and report GTEPS — the
+//! protocol behind the paper's evaluation (Section 5).
+//!
+//! ```sh
+//! cargo run --release --example graph500 -- [scale]
+//! ```
+
+use pbfs::core::batch::{gteps, total_traversed_edges};
+use pbfs::core::prelude::*;
+use pbfs::core::validate::validate_tree;
+use pbfs::graph::gen;
+use pbfs::graph::labeling::LabelingScheme;
+use pbfs::graph::stats::ComponentInfo;
+use pbfs::sched::WorkerPool;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(15);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+
+    // Kernel 1: construction.
+    let t0 = std::time::Instant::now();
+    let raw = gen::Kronecker::graph500(scale).seed(1).generate();
+    // Apply the paper's striped labeling, co-designed with the scheduler.
+    let g = LabelingScheme::Striped {
+        workers,
+        task_size: 256,
+    }
+    .apply(&raw);
+    println!(
+        "kernel 1: scale {scale}, {} vertices, {} edges, built in {:.2}s",
+        g.num_vertices(),
+        g.num_edges(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    // 64 random sources with at least one neighbor.
+    let comps = ComponentInfo::compute(&g);
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut sources = Vec::new();
+    while sources.len() < 64 {
+        let v = rng.random_range(0..g.num_vertices() as u32);
+        if g.degree(v) > 0 {
+            sources.push(v);
+        }
+    }
+
+    // Kernel 2 (multi-source flavour): one MS-PBFS batch answers all 64.
+    let pool = WorkerPool::new(workers);
+    let opts = BfsOptions::default();
+    let mut ms: pbfs::core::mspbfs::MsPbfs<1> = pbfs::core::mspbfs::MsPbfs::new(g.num_vertices());
+    let t0 = std::time::Instant::now();
+    let stats = ms.run(&g, &pool, &sources, &opts, &NoopMsVisitor);
+    let ms_ns = t0.elapsed().as_nanos() as u64;
+    let edges = total_traversed_edges(&comps, &sources);
+    println!(
+        "MS-PBFS: 64 sources in {:.1} ms → {:.3} GTEPS ({} iterations)",
+        ms_ns as f64 / 1e6,
+        gteps(edges, ms_ns),
+        stats.num_iterations(),
+    );
+
+    // Kernel 2 (single-source flavour) + Graph500 validation of each tree.
+    let mut ss = SmsPbfsBit::new(g.num_vertices());
+    let t0 = std::time::Instant::now();
+    for &s in sources.iter().take(8) {
+        let dist = DistanceVisitor::new(g.num_vertices());
+        let parent = ParentVisitor::new(g.num_vertices(), s);
+        let both = pbfs::core::visitor::PairVisitor(&dist, &parent);
+        ss.run(&g, &pool, s, &opts, &both);
+        validate_tree(&g, s, &parent.parents(), &dist.distances())
+            .unwrap_or_else(|e| panic!("validation failed for source {s}: {e}"));
+    }
+    let ss_ns = t0.elapsed().as_nanos() as u64;
+    let edges8 = total_traversed_edges(&comps, &sources[..8]);
+    println!(
+        "SMS-PBFS: 8 validated sources in {:.1} ms → {:.3} GTEPS",
+        ss_ns as f64 / 1e6,
+        gteps(edges8, ss_ns),
+    );
+    println!("all BFS trees validated");
+}

@@ -1,0 +1,54 @@
+//! Reachability and k-hop neighborhood queries on a web-crawl-like graph,
+//! plus effective-diameter estimation via the neighborhood function —
+//! three of the BFS-based primitives listed in the paper's introduction.
+//!
+//! ```sh
+//! cargo run --release --example reachability
+//! ```
+
+use pbfs::core::analytics::{k_hop_neighborhood, neighborhood_function, reachable_from};
+use pbfs::core::prelude::*;
+use pbfs::graph::gen;
+use pbfs::graph::stats::ComponentInfo;
+use pbfs::sched::WorkerPool;
+
+fn main() {
+    // A uk-2005-like web graph: host blocks, local links, portal hubs.
+    let g = gen::web_graph(30_000, 14, 11);
+    println!(
+        "web graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    let pool = WorkerPool::new(4);
+    let opts = BfsOptions::default();
+    let comps = ComponentInfo::compute(&g);
+    let start = comps.vertex_in_largest().expect("non-empty graph");
+
+    // Reachability: which pages can a crawler starting at `start` reach?
+    let mask = reachable_from(&g, &pool, start, &opts);
+    let reached = mask.iter().filter(|&&b| b).count();
+    println!(
+        "crawler from {start}: {reached} of {} pages reachable ({:.1}%)",
+        g.num_vertices(),
+        100.0 * reached as f64 / g.num_vertices() as f64
+    );
+
+    // k-hop neighborhoods: the "friends of friends" primitive.
+    for k in 1..=4 {
+        let hood = k_hop_neighborhood(&g, &pool, start, k, &opts);
+        println!("  within {k} hops: {} pages", hood.len());
+    }
+
+    // Effective diameter from a 64-source exact neighborhood function —
+    // one MS-PBFS batch.
+    let sources: Vec<u32> = (0..64u32)
+        .map(|i| (i * (g.num_vertices() as u32 / 64)).min(g.num_vertices() as u32 - 1))
+        .collect();
+    let nf = neighborhood_function::<1>(&g, &pool, &sources, 64, &opts);
+    println!(
+        "effective diameter (q=0.9, 64 sources): {:.1} hops",
+        nf.effective_diameter(0.9)
+    );
+}

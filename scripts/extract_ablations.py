@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Extracts ablation medians from a criterion `cargo bench` log.
+
+Usage: python3 scripts/extract_ablations.py bench_output.txt
+Prints a markdown table of benchmark medians for EXPERIMENTS.md.
+"""
+import re
+import sys
+
+
+def main(path: str) -> None:
+    name = None
+    rows = []
+    pat_time = re.compile(r"time:\s+\[\S+ \S+ (\S+) (\S+) \S+ \S+\]")
+    for line in open(path):
+        line = line.rstrip()
+        m = pat_time.search(line)
+        if m and name:
+            rows.append((name, f"{m.group(1)} {m.group(2)}"))
+            name = None
+            continue
+        # A benchmark id line either precedes `time:` on its own line or
+        # carries the time inline.
+        inline = re.match(r"^(\S+)\s+time:\s+\[\S+ \S+ (\S+) (\S+)\]", line)
+        if inline:
+            rows.append((inline.group(1), f"{inline.group(2)} {inline.group(3)}"))
+            name = None
+            continue
+        if line and not line.startswith(("Benchmarking", "Found", "  ", "warning", "error",
+                                         "   Compiling", "    Finished", "     Running",
+                                         "Gnuplot")):
+            name = line.strip()
+    print("| benchmark | median |")
+    print("|---|---|")
+    for n, t in rows:
+        print(f"| `{n}` | {t} |")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt")

@@ -1,0 +1,14 @@
+//! Umbrella crate for the PBFS workspace: re-exports the public API of the
+//! sub-crates so examples and downstream users need a single dependency.
+//!
+//! See the workspace `README.md` for an overview and `DESIGN.md` for the
+//! system inventory of this reproduction of *"Parallel Array-Based Single-
+//! and Multi-Source Breadth First Searches on Large Dense Graphs"*
+//! (EDBT 2017).
+
+#![warn(missing_docs)]
+
+pub use pbfs_bitset as bitset;
+pub use pbfs_core as core;
+pub use pbfs_graph as graph;
+pub use pbfs_sched as sched;

@@ -1,0 +1,219 @@
+//! Integration tests of the analytics layer and the batch drivers against
+//! brute-force reference computations.
+
+use pbfs::core::analytics::{
+    closeness_centrality, k_hop_neighborhood, neighborhood_function, pairwise_distances,
+    reachable_from,
+};
+use pbfs::core::batch::{
+    run_mspbfs_batches, run_one_per_socket, run_sequential_instances, BatchConsumer, NoopConsumer,
+};
+use pbfs::core::prelude::*;
+use pbfs::core::textbook;
+use pbfs::core::UNREACHED;
+use pbfs::graph::gen;
+use pbfs::graph::stats::ComponentInfo;
+use pbfs::sched::{Topology, WorkerPool};
+
+#[test]
+fn closeness_matches_brute_force() {
+    let g = gen::uniform_connected(120, 200, 1);
+    let pool = WorkerPool::new(3);
+    let sources: Vec<u32> = (0..120).collect();
+    let res = closeness_centrality::<1>(&g, &pool, &sources, &BfsOptions::default());
+    for v in 0..120u32 {
+        let d = textbook::distances(&g, v);
+        let sum: u64 = d
+            .iter()
+            .filter(|&&x| x != UNREACHED)
+            .map(|&x| x as u64)
+            .sum();
+        let reached = d.iter().filter(|&&x| x != UNREACHED).count() as u64;
+        assert_eq!(res.distance_sums[v as usize], sum, "vertex {v}");
+        assert_eq!(res.reached[v as usize], reached, "vertex {v}");
+        let expect = if reached <= 1 || sum == 0 {
+            0.0
+        } else {
+            ((reached - 1) as f64 / 119.0) * ((reached - 1) as f64 / sum as f64)
+        };
+        assert!((res.closeness(v as usize) - expect).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn neighborhood_function_matches_brute_force() {
+    let g = gen::social_network(400, 10, 2);
+    let pool = WorkerPool::new(2);
+    let sources: Vec<u32> = (0..64).collect();
+    let nf = neighborhood_function::<1>(&g, &pool, &sources, 32, &BfsOptions::default());
+    // Brute force: count pairs within each distance.
+    let mut expect = vec![0u64; 32];
+    for &s in &sources {
+        for &d in textbook::distances(&g, s)
+            .iter()
+            .filter(|&&d| d != UNREACHED)
+        {
+            if (d as usize) < 32 {
+                expect[d as usize] += 1;
+            }
+        }
+    }
+    for d in 1..32 {
+        expect[d] += expect[d - 1];
+    }
+    assert_eq!(nf.cumulative, expect);
+}
+
+#[test]
+fn reachability_and_khop_match_oracle() {
+    let g = gen::disjoint_union(&[&gen::grid(10, 10), &gen::cycle(30)]);
+    let pool = WorkerPool::new(2);
+    let opts = BfsOptions::default();
+    let d = textbook::distances(&g, 5);
+    let mask = reachable_from(&g, &pool, 5, &opts);
+    for v in 0..g.num_vertices() {
+        assert_eq!(mask[v], d[v] != UNREACHED, "vertex {v}");
+    }
+    for k in [0u32, 1, 3, 7] {
+        let hood = k_hop_neighborhood(&g, &pool, 5, k, &opts);
+        let expect: Vec<u32> = (0..g.num_vertices() as u32)
+            .filter(|&v| d[v as usize] != UNREACHED && d[v as usize] <= k)
+            .collect();
+        assert_eq!(hood, expect, "k={k}");
+    }
+}
+
+#[test]
+fn pairwise_distances_cover_multiple_batches() {
+    let g = gen::uniform(200, 900, 3);
+    let pool = WorkerPool::new(3);
+    // 150 sources with width 1 → 3 batches.
+    let sources: Vec<u32> = (0..150).collect();
+    let all = pairwise_distances::<1>(&g, &pool, &sources, &BfsOptions::default());
+    for (i, &s) in sources.iter().enumerate().step_by(31) {
+        assert_eq!(all[i], textbook::distances(&g, s), "source {s}");
+    }
+}
+
+/// A consumer that records per-batch distance sums, to verify the three
+/// batch drivers deliver identical per-source results.
+struct SumConsumer {
+    sums: Vec<std::sync::atomic::AtomicU64>,
+}
+
+impl BatchConsumer<1> for SumConsumer {
+    type Visitor = pbfs::core::visitor::ClosenessAccumulator<1>;
+
+    fn visitor(&self, _i: usize, sources: &[u32]) -> Self::Visitor {
+        pbfs::core::visitor::ClosenessAccumulator::new(sources.len())
+    }
+
+    fn finish(
+        &self,
+        batch_idx: usize,
+        sources: &[u32],
+        visitor: Self::Visitor,
+        _stats: &pbfs::core::stats::TraversalStats,
+    ) {
+        for i in 0..sources.len() {
+            self.sums[batch_idx * 64 + i].store(
+                visitor.distance_sum(i),
+                std::sync::atomic::Ordering::Relaxed,
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_strategies_agree_per_source() {
+    let g = gen::Kronecker::graph500(9).seed(4).generate();
+    let sources: Vec<u32> = (0..160).map(|i| (i * 3) % 512).collect();
+    let opts = BfsOptions::default();
+    let make = || SumConsumer {
+        sums: (0..sources.len())
+            .map(|_| std::sync::atomic::AtomicU64::new(0))
+            .collect(),
+    };
+    let into =
+        |c: SumConsumer| -> Vec<u64> { c.sums.into_iter().map(|a| a.into_inner()).collect() };
+
+    let pool = WorkerPool::new(4);
+    let a = make();
+    run_mspbfs_batches::<1, _>(&g, &pool, &sources, &opts, &a);
+    let b = make();
+    run_sequential_instances::<1, _>(&g, 3, &sources, &opts, &b);
+    let c = make();
+    run_one_per_socket::<1, _>(&g, &Topology::new(2, 4), &sources, &opts, &c);
+    let (a, b, c) = (into(a), into(b), into(c));
+    assert_eq!(a, b, "MS-PBFS vs sequential instances");
+    assert_eq!(a, c, "MS-PBFS vs one per socket");
+
+    // And against the oracle.
+    for (i, &s) in sources.iter().enumerate().step_by(37) {
+        let expect: u64 = textbook::distances(&g, s)
+            .iter()
+            .filter(|&&d| d != UNREACHED)
+            .map(|&d| d as u64)
+            .sum();
+        assert_eq!(a[i], expect, "source {s}");
+    }
+}
+
+#[test]
+fn utilization_staircase_matches_paper_model() {
+    // The Figure 2 phenomenon end-to-end: with T modeled threads and S
+    // sources, MS-BFS utilization ≈ min(1, ceil(S/64)/T) while MS-PBFS
+    // stays high for any S.
+    let g = gen::Kronecker::graph500(10).seed(6).generate();
+    let opts = BfsOptions::default().with_split_size(64);
+    let t = 8usize;
+    let pool = WorkerPool::new(t);
+    for batches in [1usize, 2, 4, 8] {
+        let sources: Vec<u32> = (0..batches * 64).map(|i| (i % 1024) as u32).collect();
+        let seq = run_sequential_instances::<1, _>(&g, t, &sources, &opts, &NoopConsumer);
+        let expect = batches.min(t) as f64 / t as f64;
+        assert!(
+            (seq.utilization() - expect).abs() < 0.15,
+            "MS-BFS util {} for {} batches, expected ≈{}",
+            seq.utilization(),
+            batches,
+            expect
+        );
+        let par = run_mspbfs_batches::<1, _>(&g, &pool, &sources, &opts, &NoopConsumer);
+        assert!(
+            par.utilization() > 0.55,
+            "MS-PBFS util {} for {} batches",
+            par.utilization(),
+            batches
+        );
+    }
+}
+
+#[test]
+fn memory_footprints_match_figure3_model() {
+    use pbfs::core::memory::MemoryModel;
+    let g = gen::Kronecker::graph500(9).seed(8).generate();
+    let sources: Vec<u32> = (0..256).collect();
+    let opts = BfsOptions::default();
+    let model = MemoryModel::graph500(g.num_vertices());
+    for threads in [1usize, 2, 4] {
+        let r = run_sequential_instances::<1, _>(&g, threads, &sources, &opts, &NoopConsumer);
+        assert_eq!(
+            r.state_bytes,
+            model.msbfs_state_bytes(threads),
+            "threads={threads}"
+        );
+    }
+    let pool = WorkerPool::new(4);
+    let r = run_mspbfs_batches::<1, _>(&g, &pool, &sources, &opts, &NoopConsumer);
+    assert_eq!(r.state_bytes, model.mspbfs_state_bytes(4));
+}
+
+#[test]
+fn gteps_accounting_counts_component_edges_once() {
+    let g = gen::disjoint_union(&[&gen::complete(5), &gen::path(10)]);
+    let comps = ComponentInfo::compute(&g);
+    // complete(5): 10 edges; path(10): 9 edges.
+    let edges = pbfs::core::batch::total_traversed_edges(&comps, &[0, 1, 7]);
+    assert_eq!(edges, 10 + 10 + 9);
+}

@@ -1,0 +1,240 @@
+//! Differential tests: every BFS implementation must agree with the
+//! textbook oracle (and with each other) across graph families, vertex
+//! labelings, bitset widths, thread counts and option combinations.
+
+use pbfs::core::beamer::{DirectionOptBfs, QueueKind};
+use pbfs::core::msbfs::MsBfs;
+use pbfs::core::mspbfs::MsPbfs;
+use pbfs::core::prelude::*;
+use pbfs::core::textbook;
+use pbfs::graph::labeling::LabelingScheme;
+use pbfs::graph::{gen, CsrGraph};
+use pbfs::sched::WorkerPool;
+
+/// All single-source implementations produce these distances for `g`.
+fn all_single_source_distances(g: &CsrGraph, source: u32, workers: usize) -> Vec<Vec<u32>> {
+    let pool = WorkerPool::new(workers);
+    let opts = BfsOptions::default();
+    let mut out = Vec::new();
+    for kind in [QueueKind::Gapbs, QueueKind::Sparse, QueueKind::Dense] {
+        out.push(DirectionOptBfs::new(kind).run(g, source));
+    }
+    {
+        let mut bfs = SmsPbfsBit::new(g.num_vertices());
+        let v = DistanceVisitor::new(g.num_vertices());
+        bfs.run(g, &pool, source, &opts, &v);
+        out.push(v.into_distances());
+    }
+    {
+        let mut bfs = SmsPbfsByte::new(g.num_vertices());
+        let v = DistanceVisitor::new(g.num_vertices());
+        bfs.run(g, &pool, source, &opts, &v);
+        out.push(v.into_distances());
+    }
+    {
+        let mut bfs: MsBfs<1> = MsBfs::new(g.num_vertices());
+        let v: MsDistanceVisitor<1> = MsDistanceVisitor::new(g.num_vertices(), 1);
+        bfs.run(g, &[source], &opts, &v);
+        out.push(v.distances_of(0));
+    }
+    {
+        let mut bfs: MsPbfs<1> = MsPbfs::new(g.num_vertices());
+        let v: MsDistanceVisitor<1> = MsDistanceVisitor::new(g.num_vertices(), 1);
+        bfs.run(g, &pool, &[source], &opts, &v);
+        out.push(v.distances_of(0));
+    }
+    out
+}
+
+#[test]
+fn every_algorithm_matches_oracle_across_graph_families() {
+    let graphs: Vec<(&str, CsrGraph)> = vec![
+        ("kronecker", gen::Kronecker::graph500(10).seed(1).generate()),
+        ("uniform", gen::uniform(2000, 10_000, 2)),
+        ("social", gen::social_network(2000, 12, 3)),
+        ("web", gen::web_graph(2000, 10, 4)),
+        ("collab", gen::collaboration(1500, 1200, 5)),
+        ("hub", gen::hub_heavy(10, 20, 6)),
+        ("grid", gen::grid(45, 44)),
+        ("path", gen::path(1500)),
+    ];
+    for (name, g) in &graphs {
+        let source = (0..g.num_vertices() as u32)
+            .find(|&v| g.degree(v) > 0)
+            .unwrap();
+        let oracle = textbook::distances(g, source);
+        for (i, d) in all_single_source_distances(g, source, 4)
+            .into_iter()
+            .enumerate()
+        {
+            assert_eq!(&d, &oracle, "graph {name}, implementation #{i}");
+        }
+    }
+}
+
+#[test]
+fn labelings_preserve_distances() {
+    let g = gen::Kronecker::graph500(10).seed(7).generate();
+    let source = 17u32;
+    let oracle = textbook::distances(&g, source);
+    let pool = WorkerPool::new(3);
+    for scheme in [
+        LabelingScheme::Random(5),
+        LabelingScheme::DegreeOrdered,
+        LabelingScheme::Striped {
+            workers: 3,
+            task_size: 128,
+        },
+    ] {
+        let perm = scheme.permutation(&g);
+        let h = perm.apply(&g);
+        let mut bfs = SmsPbfsBit::new(h.num_vertices());
+        let v = DistanceVisitor::new(h.num_vertices());
+        bfs.run(&h, &pool, perm.new_of(source), &BfsOptions::default(), &v);
+        let translated = perm.unapply_values(&v.distances());
+        assert_eq!(translated, oracle, "{scheme:?}");
+    }
+}
+
+#[test]
+fn multi_source_agrees_with_repeated_single_source() {
+    let g = gen::social_network(1200, 14, 9);
+    let sources: Vec<u32> = (0..96).map(|i| (i * 11) % 1200).collect();
+    let pool = WorkerPool::new(4);
+    let opts = BfsOptions::default();
+    let mut ms: MsPbfs<2> = MsPbfs::new(g.num_vertices());
+    let v: MsDistanceVisitor<2> = MsDistanceVisitor::new(g.num_vertices(), sources.len());
+    ms.run(&g, &pool, &sources, &opts, &v);
+    let mut ss = SmsPbfsByte::new(g.num_vertices());
+    for (i, &s) in sources.iter().enumerate().step_by(7) {
+        let sv = DistanceVisitor::new(g.num_vertices());
+        ss.run(&g, &pool, s, &opts, &sv);
+        assert_eq!(v.distances_of(i), sv.distances(), "source {s}");
+    }
+}
+
+#[test]
+fn thread_counts_do_not_change_results() {
+    let g = gen::Kronecker::graph500(9).seed(11).generate();
+    let oracle = textbook::distances(&g, 0);
+    for workers in [1usize, 2, 3, 5, 8, 16] {
+        for d in all_single_source_distances(&g, 0, workers) {
+            assert_eq!(d, oracle, "workers={workers}");
+        }
+    }
+}
+
+#[test]
+fn option_matrix_is_correct() {
+    let g = gen::uniform(800, 4000, 13);
+    let oracle = textbook::distances(&g, 3);
+    let pool = WorkerPool::new(4);
+    for policy in [
+        DirectionPolicy::default(),
+        DirectionPolicy::AlwaysTopDown,
+        DirectionPolicy::AlwaysBottomUp,
+        DirectionPolicy::Heuristic {
+            alpha: 2.0,
+            beta: 2.0,
+        },
+    ] {
+        for chunk_skip in [true, false] {
+            for split in [64usize, 100, 256, 10_000] {
+                let mut opts = BfsOptions::default()
+                    .with_policy(policy)
+                    .with_split_size(split);
+                opts.chunk_skip = chunk_skip;
+                let mut bfs = SmsPbfsBit::new(g.num_vertices());
+                let v = DistanceVisitor::new(g.num_vertices());
+                bfs.run(&g, &pool, 3, &opts, &v);
+                assert_eq!(
+                    v.distances(),
+                    oracle,
+                    "policy={policy:?} chunk_skip={chunk_skip} split={split}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn wide_widths_match_across_implementations() {
+    let g = gen::uniform(500, 2500, 17);
+    let sources: Vec<u32> = (0..200).map(|i| (i * 3) % 500).collect();
+    let pool = WorkerPool::new(3);
+    let opts = BfsOptions::default();
+    let mut seq: MsBfs<4> = MsBfs::new(500);
+    let vs: MsDistanceVisitor<4> = MsDistanceVisitor::new(500, sources.len());
+    seq.run(&g, &sources, &opts, &vs);
+    let mut par: MsPbfs<4> = MsPbfs::new(500);
+    let vp: MsDistanceVisitor<4> = MsDistanceVisitor::new(500, sources.len());
+    par.run(&g, &pool, &sources, &opts, &vp);
+    for i in 0..sources.len() {
+        assert_eq!(vs.distances_of(i), vp.distances_of(i), "batch index {i}");
+    }
+}
+
+#[test]
+fn parent_trees_validate_for_all_single_source_algorithms() {
+    let g = gen::social_network(1500, 12, 19);
+    let source = (0..g.num_vertices() as u32)
+        .max_by_key(|&v| g.degree(v))
+        .unwrap();
+    let pool = WorkerPool::new(4);
+    let opts = BfsOptions::default();
+    // SMS-PBFS bit.
+    {
+        let d = DistanceVisitor::new(g.num_vertices());
+        let p = ParentVisitor::new(g.num_vertices(), source);
+        let mut bfs = SmsPbfsBit::new(g.num_vertices());
+        bfs.run(
+            &g,
+            &pool,
+            source,
+            &opts,
+            &pbfs::core::visitor::PairVisitor(&d, &p),
+        );
+        pbfs::core::validate::validate_tree(&g, source, &p.parents(), &d.distances()).unwrap();
+    }
+    // SMS-PBFS byte.
+    {
+        let d = DistanceVisitor::new(g.num_vertices());
+        let p = ParentVisitor::new(g.num_vertices(), source);
+        let mut bfs = SmsPbfsByte::new(g.num_vertices());
+        bfs.run(
+            &g,
+            &pool,
+            source,
+            &opts,
+            &pbfs::core::visitor::PairVisitor(&d, &p),
+        );
+        pbfs::core::validate::validate_tree(&g, source, &p.parents(), &d.distances()).unwrap();
+    }
+    // Beamer variants.
+    for kind in [QueueKind::Gapbs, QueueKind::Sparse, QueueKind::Dense] {
+        let d = DistanceVisitor::new(g.num_vertices());
+        let p = ParentVisitor::new(g.num_vertices(), source);
+        let bfs = DirectionOptBfs::new(kind);
+        bfs.run_with(&g, source, &pbfs::core::visitor::PairVisitor(&d, &p));
+        pbfs::core::validate::validate_tree(&g, source, &p.parents(), &d.distances())
+            .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+    }
+}
+
+#[test]
+fn empty_and_tiny_graphs() {
+    // Single vertex.
+    let g = CsrGraph::from_edges(1, &[]);
+    let pool = WorkerPool::new(2);
+    let mut bfs = SmsPbfsBit::new(1);
+    let v = DistanceVisitor::new(1);
+    let stats = bfs.run(&g, &pool, 0, &BfsOptions::default(), &v);
+    assert_eq!(v.distances(), vec![0]);
+    assert_eq!(stats.total_discovered, 1);
+    // Two disconnected vertices.
+    let g = CsrGraph::from_edges(2, &[]);
+    let mut bfs = SmsPbfsByte::new(2);
+    let v = DistanceVisitor::new(2);
+    bfs.run(&g, &pool, 1, &BfsOptions::default(), &v);
+    assert_eq!(v.distances(), vec![pbfs::core::UNREACHED, 0]);
+}

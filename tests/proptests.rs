@@ -1,0 +1,190 @@
+//! Property-based tests over random graphs: correctness of every BFS
+//! implementation against the oracle, labeling invariance, and scheduler
+//! partition properties.
+
+use proptest::prelude::*;
+
+use pbfs::core::msbfs::MsBfs;
+use pbfs::core::mspbfs::MsPbfs;
+use pbfs::core::prelude::*;
+use pbfs::core::textbook;
+use pbfs::graph::{CsrGraph, Permutation};
+use pbfs::sched::{TaskQueues, WorkerPool};
+
+/// Strategy: an arbitrary undirected graph with 1..=80 vertices and up to
+/// 300 raw edges (self loops and duplicates included — cleanup is part of
+/// what we test).
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (1usize..=80).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(edge, 0..=300)
+            .prop_map(move |edges| CsrGraph::from_edges(n, &edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sms_pbfs_bit_matches_oracle(g in arb_graph(), src_raw in 0u32..80, workers in 1usize..5) {
+        let src = src_raw % g.num_vertices() as u32;
+        let oracle = textbook::distances(&g, src);
+        let pool = WorkerPool::new(workers);
+        let mut bfs = SmsPbfsBit::new(g.num_vertices());
+        let v = DistanceVisitor::new(g.num_vertices());
+        bfs.run(&g, &pool, src, &BfsOptions::default(), &v);
+        prop_assert_eq!(v.distances(), oracle);
+    }
+
+    #[test]
+    fn sms_pbfs_byte_matches_oracle(g in arb_graph(), src_raw in 0u32..80) {
+        let src = src_raw % g.num_vertices() as u32;
+        let oracle = textbook::distances(&g, src);
+        let pool = WorkerPool::new(3);
+        let mut bfs = SmsPbfsByte::new(g.num_vertices());
+        let v = DistanceVisitor::new(g.num_vertices());
+        bfs.run(&g, &pool, src, &BfsOptions::default(), &v);
+        prop_assert_eq!(v.distances(), oracle);
+    }
+
+    #[test]
+    fn ms_variants_match_oracle(
+        g in arb_graph(),
+        sources_raw in proptest::collection::vec(0u32..80, 1..=70),
+    ) {
+        let n = g.num_vertices() as u32;
+        let sources: Vec<u32> = sources_raw.iter().map(|&s| s % n).collect();
+        let opts = BfsOptions::default();
+        let mut seq: MsBfs<2> = MsBfs::new(g.num_vertices());
+        let vs: MsDistanceVisitor<2> = MsDistanceVisitor::new(g.num_vertices(), sources.len());
+        seq.run(&g, &sources, &opts, &vs);
+        let pool = WorkerPool::new(3);
+        let mut par: MsPbfs<2> = MsPbfs::new(g.num_vertices());
+        let vp: MsDistanceVisitor<2> = MsDistanceVisitor::new(g.num_vertices(), sources.len());
+        par.run(&g, &pool, &sources, &opts, &vp);
+        for (i, &s) in sources.iter().enumerate() {
+            let oracle = textbook::distances(&g, s);
+            prop_assert_eq!(vs.distances_of(i), oracle.clone(), "seq, source {}", s);
+            prop_assert_eq!(vp.distances_of(i), oracle, "par, source {}", s);
+        }
+    }
+
+    #[test]
+    fn beamer_variants_match_oracle(g in arb_graph(), src_raw in 0u32..80) {
+        use pbfs::core::beamer::{DirectionOptBfs, QueueKind};
+        let src = src_raw % g.num_vertices() as u32;
+        let oracle = textbook::distances(&g, src);
+        for kind in [QueueKind::Gapbs, QueueKind::Sparse, QueueKind::Dense] {
+            prop_assert_eq!(&DirectionOptBfs::new(kind).run(&g, src), &oracle);
+        }
+    }
+
+    #[test]
+    fn random_relabeling_preserves_distances(g in arb_graph(), seed in 0u64..1000) {
+        let n = g.num_vertices();
+        let src = 0u32;
+        let perm = Permutation::random(n, seed);
+        let h = perm.apply(&g);
+        let oracle = textbook::distances(&g, src);
+        let relabeled = textbook::distances(&h, perm.new_of(src));
+        prop_assert_eq!(perm.unapply_values(&relabeled), oracle);
+    }
+
+    #[test]
+    fn striped_labeling_is_bijective(
+        n in 1usize..200,
+        workers in 1usize..9,
+        task in 1usize..70,
+    ) {
+        let g = pbfs::graph::gen::uniform(n, 2 * n, 1);
+        let perm = Permutation::striped(&g, workers, task);
+        prop_assert!(perm.is_valid());
+    }
+
+    #[test]
+    fn task_queues_partition_exactly(
+        total in 0usize..5000,
+        split in 1usize..600,
+        workers in 1usize..9,
+        fetcher in 0usize..9,
+    ) {
+        let q = TaskQueues::new(total, split, workers);
+        let mut cursor = 0;
+        let mut covered = vec![false; total];
+        while let Some((r, _)) = q.fetch(fetcher % workers, &mut cursor) {
+            for i in r {
+                prop_assert!(!covered[i], "item {} twice", i);
+                covered[i] = true;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn bitset_or_distributes_over_andnot(
+        a in proptest::array::uniform2(any::<u64>()),
+        b in proptest::array::uniform2(any::<u64>()),
+        c in proptest::array::uniform2(any::<u64>()),
+    ) {
+        use pbfs::bitset::Bits;
+        let (a, b, c) = (Bits::from_words(a), Bits::from_words(b), Bits::from_words(c));
+        // (a | b) & ~c == (a & ~c) | (b & ~c)
+        prop_assert_eq!((a | b).and_not(&c), a.and_not(&c) | b.and_not(&c));
+        // count_ones is additive over disjoint sets
+        let disjoint = a.and_not(&b);
+        prop_assert_eq!(
+            (disjoint | (a & b)).count_ones(),
+            disjoint.count_ones() + (a & b).count_ones()
+        );
+    }
+
+    #[test]
+    fn partitioned_csr_serves_identical_adjacency(
+        g in arb_graph(),
+        nodes in 1usize..5,
+        workers in 1usize..7,
+        split in 1usize..40,
+    ) {
+        use pbfs::graph::partitioned::PartitionedCsr;
+        let workers = workers.max(nodes);
+        let p = PartitionedCsr::partition(&g, nodes, workers, split);
+        for v in g.vertices() {
+            prop_assert_eq!(p.neighbors(v), g.neighbors(v));
+        }
+        let back = p.to_csr();
+        prop_assert_eq!(back.targets(), g.targets());
+    }
+
+    #[test]
+    fn parallel_builder_matches_sequential(
+        n in 1usize..60,
+        edges_raw in proptest::collection::vec((0u32..60, 0u32..60), 0..=150),
+        workers in 1usize..5,
+        split in 1usize..50,
+    ) {
+        let edges: Vec<(u32, u32)> = edges_raw
+            .iter()
+            .map(|&(u, v)| (u % n as u32, v % n as u32))
+            .collect();
+        let seq = CsrGraph::from_edges(n, &edges);
+        let pool = WorkerPool::new(workers);
+        let par = pbfs::core::build::build_csr_parallel(n, &edges, &pool, split);
+        prop_assert_eq!(seq.offsets(), par.offsets());
+        prop_assert_eq!(seq.targets(), par.targets());
+    }
+
+    #[test]
+    fn distance_triangle_inequality_on_edges(g in arb_graph(), src_raw in 0u32..80) {
+        // For every edge (u, v): |d(u) - d(v)| ≤ 1 when both reached.
+        let src = src_raw % g.num_vertices() as u32;
+        let d = textbook::distances(&g, src);
+        for (u, v) in g.edges() {
+            let (du, dv) = (d[u as usize], d[v as usize]);
+            if du != pbfs::core::UNREACHED && dv != pbfs::core::UNREACHED {
+                prop_assert!(du.abs_diff(dv) <= 1, "edge ({}, {})", u, v);
+            } else {
+                prop_assert_eq!(du, dv, "edge with one endpoint unreached");
+            }
+        }
+    }
+}
