@@ -92,5 +92,10 @@ fn bench_ones_iteration(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_state_array_or, bench_scans, bench_ones_iteration);
+criterion_group!(
+    benches,
+    bench_state_array_or,
+    bench_scans,
+    bench_ones_iteration
+);
 criterion_main!(benches);

@@ -16,8 +16,6 @@
 //! where the paper's effect is work-driven (sequential comparisons,
 //! GTEPS). See DESIGN.md for the full substitution rationale.
 
-use serde::Serialize;
-
 use pbfs_core::batch::{
     gteps, run_mspbfs_batches, run_sequential_instances, total_traversed_edges, NoopConsumer,
 };
@@ -78,7 +76,6 @@ fn opts_for(n: usize, threads: usize) -> BfsOptions {
 // ---------------------------------------------------------------------
 
 /// Row of the Figure 2 series.
-#[derive(Serialize)]
 pub struct Fig2Row {
     /// Number of BFS sources.
     pub sources: usize,
@@ -142,7 +139,6 @@ pub fn fig2(cfg: &Config) -> Report {
 // ---------------------------------------------------------------------
 
 /// Row of the Figure 3 series.
-#[derive(Serialize)]
 pub struct Fig3Row {
     /// Thread count.
     pub threads: usize,
@@ -207,7 +203,6 @@ fn static_partition_run(g: &CsrGraph, workers: usize, source: u32) -> TraversalS
 }
 
 /// Payload rows for Figure 6.
-#[derive(Serialize)]
 pub struct Fig6Row {
     /// Labeling scheme name.
     pub labeling: String,
@@ -253,7 +248,6 @@ pub fn fig6(cfg: &Config) -> Report {
 }
 
 /// Payload rows for Figure 7.
-#[derive(Serialize)]
 pub struct Fig7Row {
     /// Iteration number.
     pub iteration: u32,
@@ -300,7 +294,6 @@ pub fn fig7(cfg: &Config) -> Report {
 // ---------------------------------------------------------------------
 
 /// Per-iteration record for the labeling comparison.
-#[derive(Serialize)]
 pub struct LabelingIterRow {
     /// `MS-PBFS` or `SMS-PBFS`.
     pub algorithm: String,
@@ -463,7 +456,6 @@ pub fn fig9(cfg: &Config) -> Report {
 // ---------------------------------------------------------------------
 
 /// One measurement of the sequential comparison.
-#[derive(Serialize)]
 pub struct Fig10Row {
     /// log2 of the vertex count.
     pub scale: u32,
@@ -555,7 +547,6 @@ pub fn fig10(cfg: &Config) -> Report {
 // ---------------------------------------------------------------------
 
 /// One point of the scaling series.
-#[derive(Serialize)]
 pub struct Fig11Row {
     /// Thread count.
     pub threads: usize,
@@ -677,7 +668,6 @@ pub fn fig11(cfg: &Config) -> Report {
 // ---------------------------------------------------------------------
 
 /// One point of the size-scaling series.
-#[derive(Serialize)]
 pub struct Fig12Row {
     /// log2 vertex count.
     pub scale: u32,
@@ -812,7 +802,6 @@ fn modeled_speedup_of(stats: &TraversalStats, workers: usize) -> f64 {
 // ---------------------------------------------------------------------
 
 /// One dataset row of Table 1.
-#[derive(Serialize)]
 pub struct Table1Row {
     /// Dataset short name.
     pub name: String,
@@ -946,7 +935,6 @@ pub fn table1(cfg: &Config) -> Report {
 // ---------------------------------------------------------------------
 
 /// One labeling's locality numbers.
-#[derive(Serialize)]
 pub struct NumaRow {
     /// Labeling scheme name.
     pub labeling: String,
@@ -1039,7 +1027,6 @@ pub fn numa(cfg: &Config) -> Report {
 // ---------------------------------------------------------------------
 
 /// One point of the task-size sweep.
-#[derive(Serialize)]
 pub struct TaskSizeRow {
     /// Vertices per task range.
     pub split_size: usize,
@@ -1098,3 +1085,74 @@ pub fn tasksize(cfg: &Config) -> Report {
         &payload,
     )
 }
+
+// JSON serialization of the payload row types (offline stand-in for the
+// former `#[derive(Serialize)]`).
+pbfs_json::to_json_struct!(Fig2Row {
+    sources,
+    msbfs_utilization,
+    mspbfs_utilization
+});
+pbfs_json::to_json_struct!(Fig3Row {
+    threads,
+    msbfs_ratio,
+    mspbfs_ratio
+});
+pbfs_json::to_json_struct!(Fig6Row {
+    labeling,
+    visited_per_worker
+});
+pbfs_json::to_json_struct!(Fig7Row {
+    iteration,
+    updated_per_worker
+});
+pbfs_json::to_json_struct!(LabelingIterRow {
+    algorithm,
+    labeling,
+    iteration,
+    wall_ns,
+    visited_skew,
+    update_skew,
+    busy_skew,
+    work_units
+});
+pbfs_json::to_json_struct!(Fig10Row {
+    scale,
+    variant,
+    gteps
+});
+pbfs_json::to_json_struct!(Fig11Row {
+    threads,
+    variant,
+    speedup
+});
+pbfs_json::to_json_struct!(Fig12Row {
+    scale,
+    variant,
+    wall_gteps,
+    modeled_gteps
+});
+pbfs_json::to_json_struct!(Table1Row {
+    name,
+    stands_for,
+    vertices,
+    edges,
+    memory_bytes,
+    mspbfs_ns_per_64,
+    mspbfs_gteps,
+    msbfs_gteps,
+    msbfs64_gteps,
+    smspbfs_gteps,
+    smspbfs_repr
+});
+pbfs_json::to_json_struct!(NumaRow {
+    labeling,
+    queue_imbalance,
+    migration_bound,
+    memory_share_node0
+});
+pbfs_json::to_json_struct!(TaskSizeRow {
+    split_size,
+    wall_ns,
+    overhead
+});

@@ -3,7 +3,7 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
-use serde::Serialize;
+use pbfs_json::{Json, ToJson};
 
 /// A rendered experiment: a title, a table, and the raw rows as JSON.
 pub struct Report {
@@ -16,12 +16,12 @@ pub struct Report {
     /// Table cells, row-major.
     pub rows: Vec<Vec<String>>,
     /// Machine-readable payload.
-    pub json: serde_json::Value,
+    pub json: Json,
 }
 
 impl Report {
     /// Builds a report from serializable rows.
-    pub fn new<T: Serialize>(
+    pub fn new<T: ToJson + ?Sized>(
         id: &str,
         title: &str,
         headers: &[&str],
@@ -33,7 +33,7 @@ impl Report {
             title: title.to_string(),
             headers: headers.iter().map(|s| s.to_string()).collect(),
             rows,
-            json: serde_json::to_value(payload).expect("payload serializes"),
+            json: payload.to_json(),
         }
     }
 
@@ -72,7 +72,7 @@ impl Report {
     pub fn write_json(&self, dir: &Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.id));
-        std::fs::write(path, serde_json::to_string_pretty(&self.json)?)
+        std::fs::write(path, self.json.to_string_pretty())
     }
 }
 
@@ -130,7 +130,7 @@ mod tests {
                 vec!["1".into(), "10.0".into()],
                 vec!["2222".into(), "3".into()],
             ],
-            &serde_json::json!({"ok": true}),
+            &pbfs_json::json!({"ok": true}),
         );
         let text = r.render();
         assert!(text.contains("== figX — demo =="));
@@ -155,10 +155,10 @@ mod tests {
     #[test]
     fn write_json_roundtrip() {
         let dir = std::env::temp_dir().join("pbfs-report-test");
-        let r = Report::new("t1", "t", &["x"], vec![], &serde_json::json!([1, 2]));
+        let r = Report::new("t1", "t", &["x"], vec![], &pbfs_json::json!([1, 2]));
         r.write_json(&dir).unwrap();
-        let back: serde_json::Value =
-            serde_json::from_str(&std::fs::read_to_string(dir.join("t1.json")).unwrap()).unwrap();
-        assert_eq!(back, serde_json::json!([1, 2]));
+        let back =
+            pbfs_json::parse(&std::fs::read_to_string(dir.join("t1.json")).unwrap()).unwrap();
+        assert_eq!(back, pbfs_json::json!([1, 2]));
     }
 }

@@ -12,7 +12,11 @@ usage:
         [--workers N] [--validate] [--text]
   pbfs centrality FILE --measure closeness|harmonic|betweenness [--top K]
         [--workers N] [--text]
-  pbfs relabel FILE --scheme striped|ordered|random [--workers N] [--seed N] [--text] -o FILE";
+  pbfs relabel FILE --scheme striped|ordered|random [--workers N] [--seed N] [--text] -o FILE
+  pbfs queries [FILE] [--scale N] [--queries N] [--threads N] [--max-batch N]
+        [--max-latency-us N] [--rate QPS] [--seed N] [--text]
+        replays a query trace through the batched engine; without FILE a
+        Kronecker graph of --scale is generated";
 
 /// Parsed command line: positionals plus `--flag value` / `--flag` pairs.
 pub struct Args {

@@ -1,11 +1,13 @@
 //! Subcommand implementations.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use pbfs_bench::report::Report;
 use pbfs_core::analytics::closeness_centrality;
 use pbfs_core::batch::{gteps, total_traversed_edges};
 use pbfs_core::beamer::{DirectionOptBfs, QueueKind};
 use pbfs_core::centrality::{betweenness_centrality_parallel, harmonic_centrality};
+use pbfs_core::engine::{EngineConfig, QueryEngine};
 use pbfs_core::options::BfsOptions;
 use pbfs_core::smspbfs::{SmsPbfsBit, SmsPbfsByte};
 use pbfs_core::textbook;
@@ -31,6 +33,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "stats" => stats(&args),
         "bfs" => bfs(&args),
         "centrality" => centrality(&args),
+        "queries" => queries(&args),
         "relabel" => relabel(&args),
         other => Err(format!("unknown command: {other}")),
     }
@@ -238,6 +241,125 @@ fn centrality(args: &Args) -> Result<(), String> {
     for &v in idx.iter().take(top) {
         println!("{v}\t{:.6}\tdegree {}", values[v as usize], g.degree(v));
     }
+    Ok(())
+}
+
+/// Replays a synthetic query-arrival trace through the batched query
+/// engine and prints a JSON throughput report.
+fn queries(args: &Args) -> Result<(), String> {
+    use pbfs_json::ToJson;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let scale: u32 = args.num("scale", 12)?;
+    let num_queries: usize = args.num("queries", 1000)?;
+    let seed: u64 = args.num("seed", 42)?;
+    let threads: usize = match args.get("threads") {
+        Some(_) => args.num("threads", 0)?,
+        None => workers(args)?,
+    };
+    if threads == 0 {
+        return Err("--threads must be positive".into());
+    }
+    let max_batch: usize = args.num("max-batch", 512)?;
+    let max_latency_us: u64 = args.num("max-latency-us", 2000)?;
+    let rate: f64 = args.num("rate", 0.0)?; // queries/sec; 0 = open loop
+
+    // A file argument replays against that graph; otherwise generate the
+    // Kronecker graph of the requested scale.
+    let graph_file = args.positional.get(1).cloned();
+    let g = if graph_file.is_some() {
+        load(args, 1)?
+    } else {
+        gen::Kronecker::graph500(scale).seed(seed).generate()
+    };
+    let (num_vertices, num_edges) = (g.num_vertices(), g.num_edges());
+    if num_vertices == 0 {
+        return Err("graph has no vertices".into());
+    }
+
+    let cfg = EngineConfig::default()
+        .with_workers(threads)
+        .with_max_batch(max_batch)
+        .with_max_latency(Duration::from_micros(max_latency_us));
+    let engine = QueryEngine::from_graph(g, cfg);
+
+    // Synthetic arrival trace: uniformly random sources; with --rate,
+    // exponential interarrival gaps (Poisson arrivals), else back-to-back.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = Instant::now();
+    let mut next_arrival = 0.0f64;
+    let mut handles = Vec::with_capacity(num_queries);
+    for _ in 0..num_queries {
+        if rate > 0.0 {
+            let u: f64 = rng.random();
+            next_arrival += -(1.0 - u).ln() / rate;
+            let target = start + Duration::from_secs_f64(next_arrival);
+            let now = Instant::now();
+            if target > now {
+                std::thread::sleep(target - now);
+            }
+        }
+        let source = rng.random_range(0..num_vertices as u32);
+        handles.push(engine.submit(source).map_err(|e| e.to_string())?);
+    }
+    let mut reached_total = 0u64;
+    for h in handles {
+        let d = h.wait().map_err(|e| e.to_string())?;
+        reached_total += d.iter().filter(|&&x| x != UNREACHED).count() as u64;
+    }
+    let wall = start.elapsed();
+    let stats = engine.stats();
+
+    let us = |ns: u64| ns as f64 / 1e3;
+    let mut rows = vec![
+        vec!["queries".into(), stats.queries.to_string()],
+        vec!["batches".into(), stats.batches.to_string()],
+    ];
+    for (w, count) in &stats.width_histogram {
+        rows.push(vec![format!("batches@width={w}"), count.to_string()]);
+    }
+    rows.push(vec![
+        "p50 latency (µs)".into(),
+        format!("{:.1}", us(stats.p50_latency_ns)),
+    ]);
+    rows.push(vec![
+        "p99 latency (µs)".into(),
+        format!("{:.1}", us(stats.p99_latency_ns)),
+    ]);
+    rows.push(vec![
+        "queries/sec".into(),
+        format!("{:.0}", stats.queries_per_sec),
+    ]);
+
+    let payload = pbfs_json::json!({
+        "config": {
+            "graph": (graph_file
+                .as_deref()
+                .map(|f| format!("file:{f}"))
+                .unwrap_or_else(|| format!("kronecker-scale-{scale}"))),
+            "queries": num_queries,
+            "threads": threads,
+            "max_batch": max_batch,
+            "max_latency_us": max_latency_us,
+            "rate": rate,
+            "seed": seed,
+            "vertices": num_vertices,
+            "edges": num_edges
+        },
+        "replay_wall_ns": (wall.as_nanos() as u64),
+        "reached_total": reached_total,
+        "stats": (stats.to_json())
+    });
+    let report = Report::new(
+        "queries",
+        "batched BFS query engine replay",
+        &["metric", "value"],
+        rows,
+        &payload,
+    );
+    eprint!("{}", report.render());
+    println!("{}", report.json.to_string_pretty());
     Ok(())
 }
 

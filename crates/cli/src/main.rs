@@ -9,6 +9,8 @@
 //! pbfs centrality FILE --measure closeness|harmonic|betweenness [--top K]
 //!       [--workers N]
 //! pbfs relabel FILE --scheme striped|ordered|random [--workers N] -o FILE
+//! pbfs queries [FILE] [--scale N] [--queries N] [--threads N] [--max-batch N]
+//!       [--max-latency-us N] [--rate QPS] [--seed N]
 //! ```
 //!
 //! Graph files use the suite's binary format (`pbfs_graph::io`); pass

@@ -22,7 +22,13 @@ pub fn build_csr_parallel(
     pool: &WorkerPool,
     split_size: usize,
 ) -> CsrGraph {
-    build_csr_parallel_with(num_vertices, edges, BuildOptions::default(), pool, split_size)
+    build_csr_parallel_with(
+        num_vertices,
+        edges,
+        BuildOptions::default(),
+        pool,
+        split_size,
+    )
 }
 
 /// [`build_csr_parallel`] with explicit cleanup rules.
@@ -72,8 +78,7 @@ pub fn build_csr_parallel_with(
 
     // Pass 2: scatter, parallel over edge ranges with per-vertex atomic
     // cursors.
-    let cursors: Vec<AtomicU64> =
-        offsets[..n].iter().map(|&o| AtomicU64::new(o)).collect();
+    let cursors: Vec<AtomicU64> = offsets[..n].iter().map(|&o| AtomicU64::new(o)).collect();
     let targets: Vec<AtomicU32> = {
         let mut v = Vec::with_capacity(total);
         v.resize_with(total, || AtomicU32::new(0));
@@ -115,8 +120,7 @@ pub fn build_csr_parallel_with(
         for v in r {
             let (start, end) = (offsets[v] as usize, offsets[v + 1] as usize);
             // SAFETY: disjoint per-vertex range, see above.
-            let list =
-                unsafe { std::slice::from_raw_parts_mut(base.0.add(start), end - start) };
+            let list = unsafe { std::slice::from_raw_parts_mut(base.0.add(start), end - start) };
             list.sort_unstable();
             let kept = if opts.dedup {
                 let mut kept = 0usize;

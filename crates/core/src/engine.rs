@@ -1,0 +1,678 @@
+//! Batched BFS query engine: online request coalescing on top of MS-PBFS.
+//!
+//! The paper's central observation is that one shared adjacency scan can
+//! serve up to `W × 64` breadth-first searches at once. This module turns
+//! that batch primitive into an *online* query engine, the way an inference
+//! server batches requests:
+//!
+//! * Callers [`QueryEngine::submit`] single sources from any thread and get
+//!   a [`QueryHandle`] back (MPMC front-end).
+//! * A dispatcher thread coalesces pending queries into batches whose width
+//!   `k ∈ {64, 128, 256, 512}` is chosen adaptively from the queue depth —
+//!   the smallest width that covers the backlog, so light load is not taxed
+//!   with wide bitset scans.
+//! * A flush deadline ([`EngineConfig::max_latency`]) bounds the time any
+//!   query waits for co-batched company; a flush that would run a single
+//!   query degenerates to [`SmsPbfsBit`], the
+//!   representation the paper shows is strictly better at width 1.
+//! * Per-batch [`TraversalStats`] are aggregated into engine-level
+//!   latency/throughput counters ([`EngineStats`]).
+//!
+//! Results are delivered through the handle; dropping a handle mid-flight
+//! simply discards that query's distances.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pbfs_core::engine::{EngineConfig, QueryEngine};
+//! use pbfs_graph::gen;
+//!
+//! let g = Arc::new(gen::Kronecker::graph500(8).seed(1).generate());
+//! let engine = QueryEngine::new(Arc::clone(&g), EngineConfig::default());
+//!
+//! let handle = engine.submit(0).unwrap();
+//! let distances = handle.wait().unwrap();
+//!
+//! // Exactly the textbook BFS result.
+//! assert_eq!(distances, pbfs_core::textbook::bfs(&g, 0).distances);
+//! assert!(engine.stats().queries >= 1);
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use pbfs_graph::{CsrGraph, VertexId};
+use pbfs_sched::WorkerPool;
+
+use crate::mspbfs::MsPbfs;
+use crate::options::BfsOptions;
+use crate::smspbfs::SmsPbfsBit;
+use crate::stats::TraversalStats;
+use crate::visitor::{DistanceVisitor, MsDistanceVisitor};
+
+/// Batch widths the dispatcher may choose from, in preference order.
+/// Each is `W × 64` for a supported bitset width `W ∈ {1, 2, 4, 8}`.
+pub const BATCH_WIDTHS: [usize; 4] = [64, 128, 256, 512];
+
+/// Configuration of a [`QueryEngine`].
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Workers in the shared BFS pool.
+    pub workers: usize,
+    /// Upper bound on the coalesced batch width; clamped to the largest
+    /// supported width (512) and rounded up to a supported one.
+    pub max_batch: usize,
+    /// Flush deadline: a pending query is never delayed longer than this
+    /// waiting for co-batched queries. Lower = better latency, higher =
+    /// better throughput under bursty load.
+    pub max_latency: Duration,
+    /// Tuning knobs passed to the underlying traversals.
+    pub bfs: BfsOptions,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            max_batch: *BATCH_WIDTHS.last().unwrap(),
+            max_latency: Duration::from_millis(2),
+            bfs: BfsOptions::default(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Returns a copy with the given worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Returns a copy with the given batch-width cap.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Returns a copy with the given flush deadline.
+    pub fn with_max_latency(mut self, max_latency: Duration) -> Self {
+        self.max_latency = max_latency;
+        self
+    }
+
+    /// The effective width cap: `max_batch` rounded up to a supported
+    /// batch width.
+    fn width_cap(&self) -> usize {
+        let want = self.max_batch.max(1);
+        for w in BATCH_WIDTHS {
+            if want <= w {
+                return w;
+            }
+        }
+        *BATCH_WIDTHS.last().unwrap()
+    }
+}
+
+/// Why a submission was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The graph has no vertices, so no source is valid.
+    EmptyGraph,
+    /// The source id is not a vertex of the graph.
+    SourceOutOfRange {
+        /// The rejected source.
+        source: VertexId,
+        /// Vertices in the engine's graph.
+        num_vertices: usize,
+    },
+    /// The engine is shutting down and accepts no further queries, or it
+    /// went away before delivering a result.
+    ShutDown,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::EmptyGraph => write!(f, "graph has no vertices"),
+            EngineError::SourceOutOfRange {
+                source,
+                num_vertices,
+            } => write!(
+                f,
+                "source {source} out of range for {num_vertices} vertices"
+            ),
+            EngineError::ShutDown => write!(f, "query engine is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The pending side of one submitted query.
+struct Pending {
+    source: VertexId,
+    submitted: Instant,
+    tx: mpsc::Sender<Vec<u32>>,
+}
+
+/// Receiving end of one query; redeem with [`QueryHandle::wait`].
+#[derive(Debug)]
+pub struct QueryHandle {
+    source: VertexId,
+    rx: mpsc::Receiver<Vec<u32>>,
+}
+
+impl QueryHandle {
+    /// The source this query was submitted with.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+
+    /// Blocks until the distances from [`source`](Self::source) are ready.
+    /// `distances[v]` is [`crate::UNREACHED`] for unreachable `v`.
+    pub fn wait(self) -> Result<Vec<u32>, EngineError> {
+        self.rx.recv().map_err(|_| EngineError::ShutDown)
+    }
+
+    /// Non-blocking poll; `Ok(None)` while the query is still in flight.
+    pub fn try_wait(&self) -> Result<Option<Vec<u32>>, EngineError> {
+        match self.rx.try_recv() {
+            Ok(d) => Ok(Some(d)),
+            Err(mpsc::TryRecvError::Empty) => Ok(None),
+            Err(mpsc::TryRecvError::Disconnected) => Err(EngineError::ShutDown),
+        }
+    }
+}
+
+/// Engine-level counters, aggregated over all flushed batches.
+#[derive(Clone, Debug, Default)]
+pub struct EngineStats {
+    /// Queries whose results were computed (delivered or discarded because
+    /// the handle was dropped).
+    pub queries: u64,
+    /// Batches flushed, including singleton flushes.
+    pub batches: u64,
+    /// `width → batches flushed at that width`. Width 1 is the singleton
+    /// [`SmsPbfsBit`] path; the remaining keys
+    /// are the chosen [`BATCH_WIDTHS`].
+    pub width_histogram: BTreeMap<usize, u64>,
+    /// Median submit→result latency in nanoseconds.
+    pub p50_latency_ns: u64,
+    /// 99th-percentile submit→result latency in nanoseconds.
+    pub p99_latency_ns: u64,
+    /// Mean submit→result latency in nanoseconds.
+    pub mean_latency_ns: u64,
+    /// Completed queries per second, measured from the first submission to
+    /// the most recent completion. Zero before the first completion.
+    pub queries_per_sec: f64,
+    /// Sum of the underlying traversals' wall time.
+    pub bfs_wall_ns: u64,
+    /// Sum of BFS iterations across all batches.
+    pub bfs_iterations: u64,
+    /// Sum of `(vertex, BFS)` discoveries across all batches.
+    pub total_discovered: u64,
+}
+
+impl pbfs_json::ToJson for EngineStats {
+    fn to_json(&self) -> pbfs_json::Json {
+        use pbfs_json::Json;
+        let hist = Json::Obj(
+            self.width_histogram
+                .iter()
+                .map(|(w, c)| (w.to_string(), Json::Num(*c as f64)))
+                .collect(),
+        );
+        pbfs_json::json!({
+            "queries": (self.queries),
+            "batches": (self.batches),
+            "width_histogram": hist,
+            "p50_latency_ns": (self.p50_latency_ns),
+            "p99_latency_ns": (self.p99_latency_ns),
+            "mean_latency_ns": (self.mean_latency_ns),
+            "queries_per_sec": (self.queries_per_sec),
+            "bfs_wall_ns": (self.bfs_wall_ns),
+            "bfs_iterations": (self.bfs_iterations),
+            "total_discovered": (self.total_discovered)
+        })
+    }
+}
+
+/// Accumulated raw measurements; [`EngineStats`] is derived on demand.
+#[derive(Default)]
+struct StatsAccum {
+    latencies_ns: Vec<u64>,
+    width_histogram: BTreeMap<usize, u64>,
+    batches: u64,
+    bfs_wall_ns: u64,
+    bfs_iterations: u64,
+    total_discovered: u64,
+    first_submit: Option<Instant>,
+    last_done: Option<Instant>,
+}
+
+impl StatsAccum {
+    fn snapshot(&self) -> EngineStats {
+        let mut sorted = self.latencies_ns.clone();
+        sorted.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if sorted.is_empty() {
+                return 0;
+            }
+            let idx = (p * (sorted.len() - 1) as f64).round() as usize;
+            sorted[idx.min(sorted.len() - 1)]
+        };
+        let mean = if sorted.is_empty() {
+            0
+        } else {
+            sorted.iter().sum::<u64>() / sorted.len() as u64
+        };
+        let queries_per_sec = match (self.first_submit, self.last_done) {
+            (Some(first), Some(last)) if last > first => {
+                self.latencies_ns.len() as f64 / (last - first).as_secs_f64()
+            }
+            _ => 0.0,
+        };
+        EngineStats {
+            queries: self.latencies_ns.len() as u64,
+            batches: self.batches,
+            width_histogram: self.width_histogram.clone(),
+            p50_latency_ns: pct(0.50),
+            p99_latency_ns: pct(0.99),
+            mean_latency_ns: mean,
+            queries_per_sec,
+            bfs_wall_ns: self.bfs_wall_ns,
+            bfs_iterations: self.bfs_iterations,
+            total_discovered: self.total_discovered,
+        }
+    }
+}
+
+/// State shared between the submission front-end and the dispatcher.
+struct Shared {
+    graph: Arc<CsrGraph>,
+    queue: Mutex<Queue>,
+    queue_cv: Condvar,
+    stats: Mutex<StatsAccum>,
+    shutdown: AtomicBool,
+}
+
+#[derive(Default)]
+struct Queue {
+    items: Vec<Pending>,
+}
+
+/// Online batched BFS query engine. See the [module docs](self).
+pub struct QueryEngine {
+    shared: Arc<Shared>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl QueryEngine {
+    /// Spawns the dispatcher and worker pool for `graph`.
+    pub fn new(graph: Arc<CsrGraph>, config: EngineConfig) -> Self {
+        let shared = Arc::new(Shared {
+            graph,
+            queue: Mutex::new(Queue::default()),
+            queue_cv: Condvar::new(),
+            stats: Mutex::new(StatsAccum::default()),
+            shutdown: AtomicBool::new(false),
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("pbfs-dispatcher".into())
+                .spawn(move || dispatcher_loop(&shared, &config))
+                .expect("spawn dispatcher")
+        };
+        Self {
+            shared,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// Convenience constructor taking the graph by value.
+    pub fn from_graph(graph: CsrGraph, config: EngineConfig) -> Self {
+        Self::new(Arc::new(graph), config)
+    }
+
+    /// The graph this engine answers queries over.
+    pub fn graph(&self) -> &Arc<CsrGraph> {
+        &self.shared.graph
+    }
+
+    /// Enqueues a BFS from `source`. Validation is synchronous — an invalid
+    /// source is an error here, never a panic in the dispatcher.
+    pub fn submit(&self, source: VertexId) -> Result<QueryHandle, EngineError> {
+        let n = self.shared.graph.num_vertices();
+        if n == 0 {
+            return Err(EngineError::EmptyGraph);
+        }
+        if source as usize >= n {
+            return Err(EngineError::SourceOutOfRange {
+                source,
+                num_vertices: n,
+            });
+        }
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(EngineError::ShutDown);
+        }
+        let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
+        {
+            let mut stats = lock(&self.shared.stats);
+            stats.first_submit.get_or_insert(now);
+        }
+        {
+            let mut q = lock(&self.shared.queue);
+            q.items.push(Pending {
+                source,
+                submitted: now,
+                tx,
+            });
+        }
+        self.shared.queue_cv.notify_all();
+        Ok(QueryHandle { source, rx })
+    }
+
+    /// Snapshot of the engine-level counters.
+    pub fn stats(&self) -> EngineStats {
+        lock(&self.shared.stats).snapshot()
+    }
+
+    /// Stops accepting queries, flushes everything pending, and joins the
+    /// dispatcher. Called automatically on drop.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.queue_cv.notify_all();
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for QueryEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Non-poisoning lock (a panicking visitor must not wedge the engine).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Smallest supported batch width covering `depth` (1 = singleton flush),
+/// bounded by `cap` (itself a supported width).
+fn width_for(depth: usize, cap: usize) -> usize {
+    if depth <= 1 {
+        return 1;
+    }
+    for w in BATCH_WIDTHS {
+        if w >= cap {
+            return cap;
+        }
+        if depth <= w {
+            return w;
+        }
+    }
+    cap
+}
+
+fn dispatcher_loop(shared: &Shared, config: &EngineConfig) {
+    let pool = WorkerPool::new(config.workers.max(1));
+    let cap = config.width_cap();
+    let n = shared.graph.num_vertices();
+    // Algorithm states are graph-sized and reused across batches.
+    let mut sms: Option<SmsPbfsBit> = None;
+    let mut ms1: Option<MsPbfs<1>> = None;
+    let mut ms2: Option<MsPbfs<2>> = None;
+    let mut ms4: Option<MsPbfs<4>> = None;
+    let mut ms8: Option<MsPbfs<8>> = None;
+
+    loop {
+        // Collect a batch: wait for work, then coalesce until the width cap
+        // is reached or the oldest query's deadline expires.
+        let batch: Vec<Pending> = {
+            let mut q = lock(&shared.queue);
+            loop {
+                if q.items.is_empty() {
+                    if shared.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    q = shared
+                        .queue_cv
+                        .wait(q)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    continue;
+                }
+                if q.items.len() >= cap || shared.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                let deadline = q.items[0].submitted + config.max_latency;
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _timeout) = shared
+                    .queue_cv
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                q = guard;
+            }
+            let width = width_for(q.items.len().min(cap), cap);
+            let take = q.items.len().min(width.max(1));
+            q.items.drain(..take).collect()
+        };
+
+        let sources: Vec<VertexId> = batch.iter().map(|p| p.source).collect();
+        let width = width_for(sources.len(), cap);
+        let (stats, results) = if width == 1 {
+            let bfs = sms.get_or_insert_with(|| SmsPbfsBit::new(n));
+            let visitor = DistanceVisitor::new(n);
+            let stats = bfs.run(&shared.graph, &pool, sources[0], &config.bfs, &visitor);
+            (stats, vec![visitor.into_distances()])
+        } else {
+            match width {
+                64 => run_ms(&mut ms1, shared, &pool, &sources, &config.bfs),
+                128 => run_ms(&mut ms2, shared, &pool, &sources, &config.bfs),
+                256 => run_ms(&mut ms4, shared, &pool, &sources, &config.bfs),
+                _ => run_ms(&mut ms8, shared, &pool, &sources, &config.bfs),
+            }
+        };
+
+        let done = Instant::now();
+        {
+            let mut acc = lock(&shared.stats);
+            acc.batches += 1;
+            *acc.width_histogram.entry(width).or_insert(0) += 1;
+            acc.bfs_wall_ns += stats.total_wall_ns;
+            acc.bfs_iterations += stats.num_iterations() as u64;
+            acc.total_discovered += stats.total_discovered;
+            for p in &batch {
+                acc.latencies_ns
+                    .push(done.saturating_duration_since(p.submitted).as_nanos() as u64);
+            }
+            acc.last_done = Some(done);
+        }
+        for (p, distances) in batch.into_iter().zip(results) {
+            // A dropped handle means nobody wants this result; fine.
+            let _ = p.tx.send(distances);
+        }
+    }
+}
+
+/// Runs one multi-source batch at compile-time width `W`, reusing `state`.
+fn run_ms<const W: usize>(
+    state: &mut Option<MsPbfs<W>>,
+    shared: &Shared,
+    pool: &WorkerPool,
+    sources: &[VertexId],
+    opts: &BfsOptions,
+) -> (TraversalStats, Vec<Vec<u32>>) {
+    let n = shared.graph.num_vertices();
+    let bfs = state.get_or_insert_with(|| MsPbfs::new(n));
+    let visitor: MsDistanceVisitor<W> = MsDistanceVisitor::new(n, sources.len());
+    let stats = bfs.run(&shared.graph, pool, sources, opts, &visitor);
+    let results = (0..sources.len())
+        .map(|i| visitor.distances_of(i))
+        .collect();
+    (stats, results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbfs_graph::gen;
+
+    fn engine(g: CsrGraph) -> QueryEngine {
+        QueryEngine::from_graph(g, EngineConfig::default().with_workers(2))
+    }
+
+    #[test]
+    fn width_selection_is_adaptive() {
+        assert_eq!(width_for(0, 512), 1);
+        assert_eq!(width_for(1, 512), 1);
+        assert_eq!(width_for(2, 512), 64);
+        assert_eq!(width_for(64, 512), 64);
+        assert_eq!(width_for(65, 512), 128);
+        assert_eq!(width_for(200, 512), 256);
+        assert_eq!(width_for(257, 512), 512);
+        assert_eq!(width_for(4000, 512), 512);
+        // Caps bind.
+        assert_eq!(width_for(500, 64), 64);
+        assert_eq!(width_for(100, 128), 128);
+    }
+
+    #[test]
+    fn config_width_cap_rounds_up() {
+        assert_eq!(EngineConfig::default().width_cap(), 512);
+        assert_eq!(EngineConfig::default().with_max_batch(1).width_cap(), 64);
+        assert_eq!(EngineConfig::default().with_max_batch(65).width_cap(), 128);
+        assert_eq!(
+            EngineConfig::default().with_max_batch(9999).width_cap(),
+            512
+        );
+    }
+
+    #[test]
+    fn empty_graph_is_an_error_not_a_panic() {
+        let e = engine(CsrGraph::from_edges(0, &[]));
+        assert_eq!(e.submit(0).unwrap_err(), EngineError::EmptyGraph);
+    }
+
+    #[test]
+    fn out_of_range_source_is_an_error_not_a_panic() {
+        let e = engine(gen::path(10));
+        let err = e.submit(10).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::SourceOutOfRange {
+                source: 10,
+                num_vertices: 10
+            }
+        );
+        assert!(err.to_string().contains("out of range"));
+        // Valid sources still work afterwards.
+        assert_eq!(e.submit(9).unwrap().wait().unwrap()[9], 0);
+    }
+
+    #[test]
+    fn singleton_flush_matches_oracle() {
+        let g = gen::Kronecker::graph500(7).seed(3).generate();
+        let oracle = crate::textbook::bfs(&g, 5).distances;
+        let e = engine(g);
+        let h = e.submit(5).unwrap();
+        assert_eq!(h.source(), 5);
+        assert_eq!(h.wait().unwrap(), oracle);
+    }
+
+    #[test]
+    fn dropped_handle_mid_flight_is_harmless() {
+        let g = gen::uniform(300, 900, 1);
+        let e = engine(g);
+        for s in 0..50 {
+            let h = e.submit(s).unwrap();
+            drop(h); // result is discarded, engine must not wedge
+        }
+        let h = e.submit(0).unwrap();
+        assert_eq!(h.wait().unwrap()[0], 0);
+        assert!(e.stats().queries >= 1);
+    }
+
+    #[test]
+    fn stats_count_batches_and_queries() {
+        let g = gen::path(64);
+        let mut e = engine(g);
+        let handles: Vec<_> = (0..10).map(|s| e.submit(s).unwrap()).collect();
+        for h in handles {
+            h.wait().unwrap();
+        }
+        e.shutdown();
+        let s = e.stats();
+        assert_eq!(s.queries, 10);
+        assert!(s.batches >= 1);
+        assert_eq!(s.width_histogram.values().sum::<u64>(), s.batches);
+        assert!(s.p99_latency_ns >= s.p50_latency_ns);
+        assert!(s.queries_per_sec > 0.0);
+        // JSON rendering carries the histogram.
+        use pbfs_json::ToJson;
+        let j = s.to_json();
+        assert_eq!(j["queries"].as_u64(), Some(10));
+        assert!(!j["width_histogram"].is_null());
+    }
+
+    #[test]
+    fn submit_after_shutdown_errors() {
+        let g = gen::path(4);
+        let mut e = engine(g);
+        e.shutdown();
+        assert_eq!(e.submit(0).unwrap_err(), EngineError::ShutDown);
+    }
+
+    #[test]
+    fn overload_beyond_batch_capacity_answers_everything() {
+        // Far more in-flight queries than max_batch × workers: the
+        // dispatcher must work the backlog off in successive batches
+        // without losing or cross-wiring any of them.
+        let g = gen::Kronecker::graph500(7).seed(5).generate();
+        let n = g.num_vertices() as u32;
+        let cfg = EngineConfig::default()
+            .with_workers(2)
+            .with_max_batch(64)
+            .with_max_latency(Duration::from_micros(100));
+        let mut e = QueryEngine::from_graph(g, cfg);
+        let handles: Vec<QueryHandle> = (0..900).map(|i| e.submit(i % n).unwrap()).collect();
+        let mut oracle: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+        for h in handles {
+            let src = h.source();
+            let want = oracle
+                .entry(src)
+                .or_insert_with(|| crate::textbook::bfs(e.graph(), src).distances);
+            assert_eq!(&h.wait().unwrap(), want, "source {src}");
+        }
+        e.shutdown();
+        let s = e.stats();
+        assert_eq!(s.queries, 900);
+        assert!(s.batches >= 900 / 64, "backlog split into batches: {s:?}");
+    }
+
+    #[test]
+    fn shutdown_flushes_pending_queries() {
+        let g = gen::grid(8, 8);
+        let oracle = crate::textbook::bfs(&g, 0).distances;
+        // A long deadline would stall these queries; shutdown must flush
+        // them immediately rather than dropping them.
+        let cfg = EngineConfig::default()
+            .with_workers(2)
+            .with_max_latency(Duration::from_secs(60));
+        let mut e = QueryEngine::from_graph(g, cfg);
+        let handles: Vec<_> = (0..5).map(|_| e.submit(0).unwrap()).collect();
+        e.shutdown();
+        for h in handles {
+            assert_eq!(h.wait().unwrap(), oracle);
+        }
+    }
+}

@@ -13,6 +13,7 @@
 //! | [`mspbfs`] | **MS-PBFS** — parallel multi-source BFS | §3.1 |
 //! | [`smspbfs`] | **SMS-PBFS** — parallel single-source BFS (bit & byte) | §3.2 |
 //! | [`batch`] | multi-batch drivers (per-core instances, one-per-socket) | §5.3 |
+//! | [`engine`] | online batched query engine (request coalescing) | — |
 //! | [`analytics`] | closeness centrality, neighborhood function, reachability, connected components | §1 |
 //! | [`centrality`] | Brandes betweenness, harmonic centrality | §1 |
 //! | [`memory`] | BFS-state memory accounting (Figure 3) | §2.3 |
@@ -45,6 +46,7 @@ pub mod batch;
 pub mod beamer;
 pub mod build;
 pub mod centrality;
+pub mod engine;
 pub mod memory;
 pub mod msbfs;
 pub mod mspbfs;
@@ -62,6 +64,7 @@ pub const UNREACHED: u32 = u32::MAX;
 /// One-stop imports for typical users.
 pub mod prelude {
     pub use crate::beamer::{DirectionOptBfs, QueueKind};
+    pub use crate::engine::{EngineConfig, EngineError, EngineStats, QueryEngine, QueryHandle};
     pub use crate::msbfs::MsBfs;
     pub use crate::mspbfs::MsPbfs;
     pub use crate::options::{AtomicKind, BfsOptions};

@@ -7,10 +7,8 @@
 //! full state *per core*, so with 60 threads the state is over 10× the
 //! graph; MS-PBFS shares a single state across all cores.
 
-use serde::Serialize;
-
 /// Memory model of one configuration (all sizes in bytes).
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct MemoryModel {
     /// Vertices in the graph.
     pub vertices: usize,

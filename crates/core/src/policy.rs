@@ -6,15 +6,25 @@
 //! below `n / β` vertices. The MS variants inherit the same heuristic with
 //! counts aggregated over the whole batch.
 
-use serde::Serialize;
-
 /// Traversal direction of one BFS iteration.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Direction {
     /// Scan frontier vertices, push to neighbors.
     TopDown,
     /// Scan unseen vertices, pull from frontier neighbors.
     BottomUp,
+}
+
+impl pbfs_json::ToJson for Direction {
+    fn to_json(&self) -> pbfs_json::Json {
+        pbfs_json::Json::Str(
+            match self {
+                Direction::TopDown => "TopDown",
+                Direction::BottomUp => "BottomUp",
+            }
+            .to_string(),
+        )
+    }
 }
 
 /// Inputs to the per-iteration direction decision.

@@ -1,11 +1,9 @@
 //! Per-traversal statistics: the measurement substrate for Figures 6–9.
 
-use serde::Serialize;
-
 use crate::policy::Direction;
 
 /// What one worker did during one BFS iteration.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct WorkerIterStats {
     /// Nanoseconds spent in task bodies across both phases.
     pub busy_ns: u64,
@@ -23,7 +21,7 @@ pub struct WorkerIterStats {
 }
 
 /// One BFS iteration.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct IterationStats {
     /// Iteration number (1 = first expansion from the sources).
     pub iteration: u32,
@@ -92,7 +90,7 @@ impl IterationStats {
 }
 
 /// A whole traversal.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct TraversalStats {
     /// Per-iteration details.
     pub iterations: Vec<IterationStats>,

@@ -57,7 +57,10 @@ impl CsrGraph {
     /// Panics if the offsets are not monotone starting at 0, if
     /// `offsets.last() != targets.len()`, or if a target is out of range.
     pub fn from_raw_parts(offsets: Box<[u64]>, targets: Box<[VertexId]>) -> Self {
-        assert!(!offsets.is_empty() && offsets[0] == 0, "offsets must start at 0");
+        assert!(
+            !offsets.is_empty() && offsets[0] == 0,
+            "offsets must start at 0"
+        );
         assert!(
             offsets.windows(2).all(|w| w[0] <= w[1]),
             "offsets must be monotone"
@@ -74,7 +77,9 @@ impl CsrGraph {
             "target out of range"
         );
         debug_assert!((0..n).all(|v| {
-            targets[offsets[v] as usize..offsets[v + 1] as usize].windows(2).all(|w| w[0] <= w[1])
+            targets[offsets[v] as usize..offsets[v + 1] as usize]
+                .windows(2)
+                .all(|w| w[0] <= w[1])
         }));
         Self { offsets, targets }
     }

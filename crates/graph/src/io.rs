@@ -4,7 +4,7 @@ use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 use bytes::{Buf, BufMut};
-use serde::{Deserialize, Serialize};
+use pbfs_json::Json;
 
 use crate::{CsrGraph, VertexId};
 
@@ -13,7 +13,7 @@ const MAGIC: &[u8; 8] = b"PBFSG1\0\0";
 
 /// Metadata describing a stored graph (written as a JSON side-car by the
 /// experiment harness).
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct GraphMeta {
     /// Human-readable dataset name (e.g. `kronecker-s20`).
     pub name: String,
@@ -25,6 +25,28 @@ pub struct GraphMeta {
     pub num_edges: usize,
     /// Seed used for generation (0 when not applicable).
     pub seed: u64,
+}
+
+pbfs_json::to_json_struct!(GraphMeta {
+    name,
+    source,
+    num_vertices,
+    num_edges,
+    seed
+});
+
+impl GraphMeta {
+    /// Reconstructs metadata from the JSON produced by
+    /// [`pbfs_json::ToJson::to_json`]; `None` on missing/ill-typed fields.
+    pub fn from_json(v: &Json) -> Option<Self> {
+        Some(Self {
+            name: v["name"].as_str()?.to_string(),
+            source: v["source"].as_str()?.to_string(),
+            num_vertices: v["num_vertices"].as_u64()? as usize,
+            num_edges: v["num_edges"].as_u64()? as usize,
+            seed: v["seed"].as_u64()?,
+        })
+    }
 }
 
 /// Writes `g` as text: a `# vertices <n>` header line followed by one
@@ -238,8 +260,9 @@ mod tests {
             num_edges: 4096,
             seed: 4,
         };
-        let json = serde_json::to_string(&meta).unwrap();
-        let back: GraphMeta = serde_json::from_str(&json).unwrap();
+        use pbfs_json::ToJson;
+        let json = meta.to_json().to_string();
+        let back = GraphMeta::from_json(&pbfs_json::parse(&json).unwrap()).unwrap();
         assert_eq!(meta, back);
     }
 }

@@ -59,16 +59,17 @@ impl PartitionedCsr {
                 rem + (w - big) / base.max(1)
             }
         };
-        let node_of_vertex_fn =
-            |v: usize| -> usize { node_of_worker((v / split_size) % workers) };
+        let node_of_vertex_fn = |v: usize| -> usize { node_of_worker((v / split_size) % workers) };
 
         // Per-node segment sizes.
         let mut seg_len = vec![0u64; nodes];
         for v in 0..n {
             seg_len[node_of_vertex_fn(v)] += g.degree(v as VertexId) as u64;
         }
-        let mut segments: Vec<Vec<VertexId>> =
-            seg_len.iter().map(|&l| Vec::with_capacity(l as usize)).collect();
+        let mut segments: Vec<Vec<VertexId>> = seg_len
+            .iter()
+            .map(|&l| Vec::with_capacity(l as usize))
+            .collect();
 
         let mut local_start = vec![0u64; n];
         let mut node_of_vertex = vec![0u8; n];
@@ -205,7 +206,11 @@ mod tests {
         let g = gen::Kronecker::graph500(11).seed(5).generate();
         // Striped labeling balances the per-queue edge budget, which is
         // exactly what makes the per-node shares proportional.
-        let h = crate::labeling::LabelingScheme::Striped { workers: 4, task_size: 64 }.apply(&g);
+        let h = crate::labeling::LabelingScheme::Striped {
+            workers: 4,
+            task_size: 64,
+        }
+        .apply(&g);
         let p = PartitionedCsr::partition(&h, 4, 4, 64);
         let bytes = p.bytes_per_node();
         let max = *bytes.iter().max().unwrap() as f64;

@@ -6,12 +6,10 @@
 //! connected component of that source, with each undirected edge counted
 //! once. [`ComponentInfo`] provides exactly that accounting.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{CsrGraph, VertexId};
 
 /// Summary statistics of a graph.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct GraphStats {
     /// Vertices including isolated ones.
     pub num_vertices: usize,

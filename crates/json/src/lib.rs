@@ -1,0 +1,659 @@
+//! Dependency-free JSON for the pbfs workspace.
+//!
+//! Replaces `serde`/`serde_json` (unavailable in the offline build
+//! container) with exactly what this workspace needs:
+//!
+//! * [`Json`] — a value tree with `serde_json::Value`-style indexing and
+//!   accessors (`as_f64`, `as_u64`, `as_array`, …).
+//! * [`ToJson`] — the serialization trait, implemented for primitives,
+//!   strings, slices, vectors, options and maps; derive an implementation
+//!   for named-field structs with [`to_json_struct!`].
+//! * [`json!`] — literal construction of objects/arrays.
+//! * [`parse`] — a strict JSON parser for round-trips and tooling.
+//!
+//! ```
+//! use pbfs_json::{json, parse, Json, ToJson};
+//!
+//! let report = json!({"queries": 1000, "p50_us": 81.5, "ok": true});
+//! assert_eq!(report["queries"].as_u64(), Some(1000));
+//! let back = parse(&report.to_string()).unwrap();
+//! assert_eq!(back, report);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (stored as `f64`; integers up to 2^53 are exact).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Shared sentinel for out-of-range indexing.
+static NULL: Json = Json::Null;
+
+impl Json {
+    /// The value as `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= (1u64 << 53) as f64 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as array.
+    pub fn as_array(&self) -> Option<&Vec<Json>> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// True iff `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Member lookup on objects (`None` on other kinds or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Renders with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(0));
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(v) => write_number(out, *v),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, indent, '[', ']', items.len(), |out, i, ind| {
+                items[i].write(out, ind)
+            }),
+            Json::Obj(fields) => write_seq(out, indent, '{', '}', fields.len(), |out, i, ind| {
+                let (k, v) = &fields[i];
+                write_escaped(out, k);
+                out.push_str(": ");
+                v.write(out, ind);
+            }),
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, Option<usize>),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    let inner = indent.map(|i| i + 1);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        match inner {
+            Some(level) => {
+                out.push('\n');
+                out.push_str(&"  ".repeat(level));
+            }
+            None => {
+                if i > 0 {
+                    out.push(' ');
+                }
+            }
+        }
+        item(out, i, inner);
+    }
+    if let Some(level) = indent {
+        out.push('\n');
+        out.push_str(&"  ".repeat(level));
+    }
+    out.push(close);
+}
+
+fn write_number(out: &mut String, v: f64) {
+    use fmt::Write as _;
+    if !v.is_finite() {
+        // JSON has no NaN/Inf; serialize as null like serde_json does.
+        out.push_str("null");
+    } else if v.fract() == 0.0 && v.abs() < (1u64 << 53) as f64 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, None);
+        f.write_str(&out)
+    }
+}
+
+impl std::ops::Index<&str> for Json {
+    type Output = Json;
+    /// Object member access; `null` for missing keys / non-objects.
+    fn index(&self, key: &str) -> &Json {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Json {
+    type Output = Json;
+    /// Array element access; `null` out of range / on non-arrays.
+    fn index(&self, i: usize) -> &Json {
+        match self {
+            Json::Arr(v) => v.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Json {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Json {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<Json> for &str {
+    fn eq(&self, other: &Json) -> bool {
+        other == self
+    }
+}
+
+/// Conversion into [`Json`] — the serialization trait of this workspace.
+pub trait ToJson {
+    /// Converts `self` to a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+macro_rules! impl_to_json_num {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Num(*self as f64)
+            }
+        }
+    )*};
+}
+
+impl_to_json_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Json {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<V: ToJson, K: fmt::Display + Ord> ToJson for BTreeMap<K, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+/// Implements [`ToJson`] for a named-field struct — the stand-in for
+/// `#[derive(Serialize)]`.
+///
+/// ```
+/// struct Point { x: u32, y: u32 }
+/// pbfs_json::to_json_struct!(Point { x, y });
+/// use pbfs_json::ToJson;
+/// assert_eq!(Point { x: 1, y: 2 }.to_json().to_string(), r#"{"x": 1, "y": 2}"#);
+/// ```
+#[macro_export]
+macro_rules! to_json_struct {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Obj(vec![
+                    $((stringify!($field).to_string(), $crate::ToJson::to_json(&self.$field)),)+
+                ])
+            }
+        }
+    };
+}
+
+/// Builds a [`Json`] literal with `serde_json::json!` syntax (sub-set:
+/// nested objects with string-literal keys, arrays, and `ToJson` values).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Json::Null };
+    // Single-tt items cover nested `{...}`/`[...]` literals; the expr
+    // variants pick up multi-token items such as `-1` or `a + b`.
+    ([ $($item:tt),* $(,)? ]) => {
+        $crate::Json::Arr(vec![ $($crate::json!($item)),* ])
+    };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Json::Arr(vec![ $($crate::json!($item)),* ])
+    };
+    ({ $($key:literal : $value:tt),* $(,)? }) => {
+        $crate::Json::Obj(vec![ $(($key.to_string(), $crate::json!($value))),* ])
+    };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Json::Obj(vec![ $(($key.to_string(), $crate::json!($value))),* ])
+    };
+    ($value:expr) => { $crate::ToJson::to_json(&$value) };
+}
+
+/// Error produced by [`parse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset of the error.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a JSON document (strict: one value, trailing whitespace only).
+pub fn parse(text: &str) -> Result<Json, ParseError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(token.as_bytes()) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self
+                .eat("null")
+                .then_some(Json::Null)
+                .ok_or_else(|| self.err("invalid literal")),
+            Some(b't') => self
+                .eat("true")
+                .then_some(Json::Bool(true))
+                .ok_or_else(|| self.err("invalid literal")),
+            Some(b'f') => self
+                .eat("false")
+                .then_some(Json::Bool(false))
+                .ok_or_else(|| self.err("invalid literal")),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.seq(b']', |p| {
+                    items.push(p.value()?);
+                    Ok(())
+                })?;
+                Ok(Json::Arr(items))
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.seq(b'}', |p| {
+                    let key = p.string()?;
+                    p.skip_ws();
+                    if p.peek() != Some(b':') {
+                        return Err(p.err("expected ':'"));
+                    }
+                    p.pos += 1;
+                    p.skip_ws();
+                    fields.push((key, p.value()?));
+                    Ok(())
+                })?;
+                Ok(Json::Obj(fields))
+            }
+            Some(_) => self.number(),
+        }
+    }
+
+    fn seq(
+        &mut self,
+        close: u8,
+        mut element: impl FnMut(&mut Self) -> Result<(), ParseError>,
+    ) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.peek() == Some(close) {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            element(self)?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(c) if c == close => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected ',' or close")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        if self.peek() != Some(b'"') {
+            return Err(self.err("expected string"));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            let rest = &self.bytes[self.pos..];
+            let Some(&c) = rest.first() else {
+                return Err(self.err("unterminated string"));
+            };
+            match c {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    let esc = rest.get(1).ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 2;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by our writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar.
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
+                    let ch = s.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_indexing() {
+        let v = json!({"a": [1, 2.5, "x"], "b": {"c": true}, "n": null});
+        assert_eq!(v["a"][0].as_u64(), Some(1));
+        assert_eq!(v["a"][1].as_f64(), Some(2.5));
+        assert_eq!(v["a"][2], "x");
+        assert_eq!(v["b"]["c"].as_bool(), Some(true));
+        assert!(v["n"].is_null());
+        assert!(v["missing"].is_null());
+        assert!(v["a"][99].is_null());
+        assert_eq!(v["a"].as_array().unwrap().len(), 3);
+        assert_eq!(v["a"][1].as_u64(), None, "non-integral");
+    }
+
+    #[test]
+    fn struct_macro_and_nesting() {
+        struct Inner {
+            k: u32,
+        }
+        struct Outer {
+            name: String,
+            items: Vec<Inner>,
+            ratio: f64,
+        }
+        to_json_struct!(Inner { k });
+        to_json_struct!(Outer { name, items, ratio });
+        let o = Outer {
+            name: "x".into(),
+            items: vec![Inner { k: 1 }, Inner { k: 2 }],
+            ratio: 0.5,
+        };
+        assert_eq!(
+            o.to_json().to_string(),
+            r#"{"name": "x", "items": [{"k": 1}, {"k": 2}], "ratio": 0.5}"#
+        );
+    }
+
+    #[test]
+    fn roundtrip_compact_and_pretty() {
+        let v = json!({
+            "s": "he said \"hi\"\n",
+            "nums": [0, -1, 3.25, 1e300],
+            "empty_arr": [],
+            "empty_obj": {},
+            "flag": false
+        });
+        for text in [v.to_string(), v.to_string_pretty()] {
+            assert_eq!(parse(&text).unwrap(), v, "text: {text}");
+        }
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("[1] x").is_err());
+        assert!(parse("nul").is_err());
+        assert!(parse("\"abc").is_err());
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        assert_eq!(json!(3u64).to_string(), "3");
+        assert_eq!(json!(3.0f64).to_string(), "3");
+        assert_eq!(json!(3.5f64).to_string(), "3.5");
+        assert_eq!(json!(f64::NAN).to_string(), "null");
+        let big = (1u64 << 53) as f64 * 4.0;
+        assert_eq!(parse(&Json::Num(big).to_string()).unwrap(), Json::Num(big));
+    }
+
+    #[test]
+    fn expr_values_in_json_macro() {
+        let xs = vec![1u32, 2, 3];
+        let v = json!({"xs": xs, "len": (xs.len())});
+        assert_eq!(v["xs"][2].as_u64(), Some(3));
+        assert_eq!(v["len"].as_u64(), Some(3));
+    }
+}

@@ -1,0 +1,424 @@
+//! Offline shim of the `proptest` API surface this workspace uses.
+//!
+//! Implements the [`proptest!`] macro, [`Strategy`] combinators
+//! (`prop_map`, `prop_flat_map`), range/tuple strategies,
+//! `collection::vec`, `array::uniform2` and `any`, all driven by the
+//! in-tree deterministic `rand` shim.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports its deterministic case index
+//!   and the test re-runs identically (seeds derive from the test's module
+//!   path + case number), so failures reproduce without persistence files.
+//! * **`PROPTEST_CASES`** caps the case count of every test:
+//!   `effective = min(config.cases, $PROPTEST_CASES)` — used by CI to stay
+//!   inside its time budget.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+
+/// Error type carried by `prop_assert*` early returns.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Wraps a failure message.
+    pub fn new(message: String) -> Self {
+        Self { message }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Per-test configuration (the `cases` subset).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+    /// Accepted for source compatibility; unused (no shrinking).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Creates a config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+
+    /// The configured case count, capped by the `PROPTEST_CASES`
+    /// environment variable when set.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            Some(cap) => self.cases.min(cap),
+            None => self.cases,
+        }
+    }
+}
+
+/// Deterministic RNG for case `case` of the test identified by `name`.
+pub fn test_rng(name: &str, case: u64) -> StdRng {
+    // FNV-1a over the fully qualified test name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// A generator of random values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Chains a dependent strategy.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { base: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut StdRng) -> T::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one value uniformly over the domain.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uniform {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.random()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uniform!(u32, u64, usize, bool);
+
+/// Whole-domain strategy marker returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng as _;
+
+    /// Inclusive length bounds of a generated collection.
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with per-element strategy `S`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Fixed-size array strategies.
+pub mod array {
+    use super::{StdRng, Strategy};
+
+    /// Strategy for `[T; 2]`.
+    pub struct Uniform2<S>(S);
+
+    impl<S: Strategy> Strategy for Uniform2<S> {
+        type Value = [S::Value; 2];
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            [self.0.generate(rng), self.0.generate(rng)]
+        }
+    }
+
+    /// Two independent draws from `element`.
+    pub fn uniform2<S: Strategy>(element: S) -> Uniform2<S> {
+        Uniform2(element)
+    }
+}
+
+/// Early-returns a [`TestCaseError`] when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::new(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Early-returns a [`TestCaseError`] when the operands differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.effective_cases() as u64 {
+                let mut __rng =
+                    $crate::test_rng(concat!(module_path!(), "::", stringify!($name)), case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                let result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = result {
+                    panic!(
+                        "proptest {} failed at case {case}/{}: {e}",
+                        stringify!($name),
+                        config.effective_cases(),
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}
+
+/// One-stop imports, mirroring upstream.
+pub mod prelude {
+    /// Upstream re-exports the crate root as `prop`.
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, Arbitrary, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn strategies_are_deterministic_per_case() {
+        let s = (0u32..100, 0u32..100).prop_map(|(a, b)| a + b);
+        let mut r1 = super::test_rng("x", 0);
+        let mut r2 = super::test_rng("x", 0);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+
+    #[test]
+    fn vec_strategy_respects_bounds() {
+        let s = super::collection::vec(0usize..5, 2..=4);
+        let mut rng = super::test_rng("bounds", 1);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..=4).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn cases_env_caps() {
+        // Don't mutate the environment (tests run concurrently); just check
+        // the uncapped path and the explicit constructor.
+        assert_eq!(ProptestConfig::with_cases(7).cases, 7);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn flat_map_dependent_range(n in 1usize..50, v in super::collection::vec(0usize..50, 1..=10)) {
+            prop_assert!(n < 50);
+            prop_assert!(v.iter().all(|&x| x < 50), "v = {:?}", v);
+        }
+    }
+}

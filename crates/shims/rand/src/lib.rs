@@ -1,0 +1,266 @@
+//! Offline shim of the `rand` 0.9 API surface this workspace uses.
+//!
+//! The build container has no registry access, so this in-tree crate
+//! provides `StdRng`, [`Rng`], [`SeedableRng`] and `seq::SliceRandom` with
+//! upstream-compatible signatures. The generator is `xoshiro256**` seeded
+//! through SplitMix64 — high-quality and deterministic, but the streams are
+//! **not** bit-identical to upstream `rand`; every consumer in this
+//! workspace only relies on seed-stability within the workspace itself.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Random number generators.
+pub mod rngs {
+    /// The standard deterministic generator (xoshiro256**).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+impl StdRng {
+    #[inline]
+    fn next_raw(&mut self) -> u64 {
+        // xoshiro256** by Blackman & Vigna (public domain).
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Seeding support (the `seed_from_u64` subset).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed via SplitMix64 expansion.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, as recommended by the xoshiro authors.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        StdRng { s }
+    }
+}
+
+/// Types samplable uniformly over their whole domain (`rng.random()`).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_raw()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample(rng: &mut StdRng) -> Self {
+        (rng.next_raw() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_raw() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample(rng: &mut StdRng) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_raw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges samplable via `rng.random_range(..)`.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from(self, rng: &mut StdRng) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end - self.start) as u64;
+                // Lemire-style unbiased-enough reduction: 128-bit multiply
+                // keeps modulo bias below 2^-64, irrelevant at our spans.
+                let hi = ((rng.next_raw() as u128 * span as u128) >> 64) as u64;
+                self.start + hi as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty inclusive range in random_range");
+                if start == 0 && end == <$t>::MAX {
+                    return Standard::sample(rng) ;
+                }
+                #[allow(unused_comparisons)]
+                { (start..end + 1).sample_from(rng) }
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u32, u64, usize);
+
+macro_rules! impl_sample_range_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                // Wrapping arithmetic makes the full signed domain valid.
+                let span = self.end.wrapping_sub(self.start) as $u as u64;
+                let hi = ((rng.next_raw() as u128 * span as u128) >> 64) as u64;
+                self.start.wrapping_add(hi as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty inclusive range in random_range");
+                if start == <$t>::MIN && end == <$t>::MAX {
+                    return rng.next_raw() as $t;
+                }
+                (start..end.wrapping_add(1)).sample_from(rng)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_signed!(i32 => u32, i64 => u64);
+
+impl Standard for usize {
+    #[inline]
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_raw() as usize
+    }
+}
+
+/// The user-facing generator trait (subset: `random`, `random_range`).
+pub trait Rng {
+    /// Uniform sample over the whole domain of `T`.
+    fn random<T: Standard>(&mut self) -> T;
+    /// Uniform sample from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    #[inline]
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::{Rng, SampleRange};
+
+    /// In-place shuffling of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+
+    // `RangeInclusive<usize>` sampling is provided by the parent module.
+    const _: fn() = || {
+        fn assert_range<R: SampleRange<usize>>() {}
+        assert_range::<std::ops::RangeInclusive<usize>>();
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.random()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.random()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.random()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.random_range(3..10usize) - 3] = true;
+        }
+        assert!(seen[..7].iter().all(|&s| s), "all of 3..10 hit: {seen:?}");
+        assert!(!seen[7..].iter().any(|&s| s));
+        for _ in 0..100 {
+            let v: u32 = rng.random_range(0..=4);
+            assert!(v <= 4);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "100 elements virtually never stay in place");
+    }
+}

@@ -222,6 +222,54 @@ fn parent_trees_validate_for_all_single_source_algorithms() {
 }
 
 #[test]
+fn query_engine_matches_oracle_across_widths_and_workers() {
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashMap;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let graphs: Vec<(&str, Arc<CsrGraph>)> = vec![
+        (
+            "kronecker",
+            Arc::new(gen::Kronecker::graph500(9).seed(3).generate()),
+        ),
+        ("uniform", Arc::new(gen::uniform(1200, 7000, 23))),
+    ];
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2017);
+    let mut total_queries = 0usize;
+    for (name, g) in &graphs {
+        let n = g.num_vertices() as u32;
+        // The textbook oracle, computed once per distinct source.
+        let mut oracle: HashMap<u32, Vec<u32>> = HashMap::new();
+        for max_batch in [64usize, 128, 256, 512] {
+            for workers in [1usize, 2, 4] {
+                let config = EngineConfig::default()
+                    .with_workers(workers)
+                    .with_max_batch(max_batch)
+                    .with_max_latency(Duration::from_micros(500));
+                let engine = QueryEngine::new(Arc::clone(g), config);
+                let handles: Vec<QueryHandle> = (0..42)
+                    .map(|_| engine.submit(rng.random_range(0..n)).unwrap())
+                    .collect();
+                total_queries += handles.len();
+                for h in handles {
+                    let source = h.source();
+                    let got = h.wait().unwrap();
+                    let want = oracle
+                        .entry(source)
+                        .or_insert_with(|| textbook::bfs(g, source).distances);
+                    assert_eq!(
+                        &got, want,
+                        "{name}: source {source} max_batch={max_batch} workers={workers}"
+                    );
+                }
+            }
+        }
+    }
+    assert!(total_queries >= 1000, "ran {total_queries} queries");
+}
+
+#[test]
 fn empty_and_tiny_graphs() {
     // Single vertex.
     let g = CsrGraph::from_edges(1, &[]);

@@ -174,6 +174,54 @@ proptest! {
     }
 
     #[test]
+    fn engine_interleavings_never_lose_or_cross_wire(
+        g in arb_graph(),
+        ops in proptest::collection::vec((0u32..80, any::<bool>()), 1..=40),
+        max_batch in 1usize..70,
+        workers in 1usize..4,
+    ) {
+        use std::collections::HashMap;
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let n = g.num_vertices() as u32;
+        let g = Arc::new(g);
+        let config = EngineConfig::default()
+            .with_workers(workers)
+            .with_max_batch(max_batch)
+            .with_max_latency(Duration::from_micros(200));
+        let mut engine = QueryEngine::new(Arc::clone(&g), config);
+        // Each in-flight handle is tagged with the oracle distances of its
+        // source; a cross-wired result would fail its tag's comparison.
+        let mut oracle: HashMap<u32, Vec<u32>> = HashMap::new();
+        let mut pending: Vec<(u32, QueryHandle, Vec<u32>)> = Vec::new();
+        let (mut submitted, mut delivered) = (0usize, 0usize);
+        for &(src_raw, drain_now) in &ops {
+            let src = src_raw % n;
+            let expect = oracle
+                .entry(src)
+                .or_insert_with(|| textbook::distances(&g, src))
+                .clone();
+            let h = engine.submit(src).unwrap();
+            prop_assert_eq!(h.source(), src);
+            pending.push((src, h, expect));
+            submitted += 1;
+            if drain_now {
+                for (src, h, expect) in pending.drain(..) {
+                    prop_assert_eq!(h.wait().unwrap(), expect, "drained source {}", src);
+                    delivered += 1;
+                }
+            }
+        }
+        engine.shutdown();
+        for (src, h, expect) in pending.drain(..) {
+            prop_assert_eq!(h.wait().unwrap(), expect, "post-shutdown source {}", src);
+            delivered += 1;
+        }
+        prop_assert_eq!(delivered, submitted, "every query answered exactly once");
+    }
+
+    #[test]
     fn distance_triangle_inequality_on_edges(g in arb_graph(), src_raw in 0u32..80) {
         // For every edge (u, v): |d(u) - d(v)| ≤ 1 when both reached.
         let src = src_raw % g.num_vertices() as u32;
