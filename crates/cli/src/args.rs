@@ -15,8 +15,14 @@ usage:
   pbfs relabel FILE --scheme striped|ordered|random [--workers N] [--seed N] [--text] -o FILE
   pbfs queries [FILE] [--scale N] [--queries N] [--threads N] [--max-batch N]
         [--max-latency-us N] [--rate QPS] [--seed N] [--text]
+        [--trace-out FILE]
         replays a query trace through the batched engine; without FILE a
-        Kronecker graph of --scale is generated";
+        Kronecker graph of --scale is generated; --trace-out records a
+        per-worker timeline and writes Chrome trace-event JSON
+  pbfs metrics [FILE] [--scale N] [--queries N] [--threads N] [--seed N]
+        [--json] [--text]
+        runs a small replay and prints the telemetry registry as
+        Prometheus text exposition (default) or JSON (--json)";
 
 /// Parsed command line: positionals plus `--flag value` / `--flag` pairs.
 pub struct Args {
@@ -29,7 +35,7 @@ impl Args {
     /// Splits `argv` into positionals and flags. Boolean flags (`--text`,
     /// `--validate`) store an empty value.
     pub fn parse(argv: &[String]) -> Result<Self, String> {
-        const BOOL_FLAGS: &[&str] = &["text", "validate", "help"];
+        const BOOL_FLAGS: &[&str] = &["text", "validate", "help", "json"];
         let mut positional = Vec::new();
         let mut flags = HashMap::new();
         let mut i = 0;

@@ -34,6 +34,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "bfs" => bfs(&args),
         "centrality" => centrality(&args),
         "queries" => queries(&args),
+        "metrics" => metrics(&args),
         "relabel" => relabel(&args),
         other => Err(format!("unknown command: {other}")),
     }
@@ -278,11 +279,16 @@ fn queries(args: &Args) -> Result<(), String> {
         return Err("graph has no vertices".into());
     }
 
+    let trace_out = args.get("trace-out").map(str::to_owned);
+    if trace_out.is_some() {
+        pbfs_telemetry::recorder().set_enabled(true);
+    }
+
     let cfg = EngineConfig::default()
         .with_workers(threads)
         .with_max_batch(max_batch)
         .with_max_latency(Duration::from_micros(max_latency_us));
-    let engine = QueryEngine::from_graph(g, cfg);
+    let mut engine = QueryEngine::from_graph(g, cfg);
 
     // Synthetic arrival trace: uniformly random sources; with --rate,
     // exponential interarrival gaps (Poisson arrivals), else back-to-back.
@@ -309,7 +315,22 @@ fn queries(args: &Args) -> Result<(), String> {
         reached_total += d.iter().filter(|&&x| x != UNREACHED).count() as u64;
     }
     let wall = start.elapsed();
+    engine.shutdown();
     let stats = engine.stats();
+
+    if let Some(path) = &trace_out {
+        let rec = pbfs_telemetry::recorder();
+        rec.set_enabled(false);
+        let dump = rec.drain();
+        let json = pbfs_telemetry::export::chrome_trace(&dump).to_string_pretty();
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!(
+            "wrote {path}: {} trace events on {} lanes ({} dropped)",
+            dump.total_events(),
+            dump.lanes.len(),
+            dump.total_dropped()
+        );
+    }
 
     let us = |ns: u64| ns as f64 / 1e3;
     let mut rows = vec![
@@ -360,6 +381,56 @@ fn queries(args: &Args) -> Result<(), String> {
     );
     eprint!("{}", report.render());
     println!("{}", report.json.to_string_pretty());
+    Ok(())
+}
+
+/// Runs a small query replay so every subsystem registers and populates
+/// its metrics, then prints the telemetry registry — Prometheus text
+/// exposition by default, JSON with `--json`. (There is no long-running
+/// daemon to scrape, so the replay stands in for live traffic.)
+fn metrics(args: &Args) -> Result<(), String> {
+    use pbfs_json::ToJson;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let scale: u32 = args.num("scale", 10)?;
+    let num_queries: usize = args.num("queries", 200)?;
+    let seed: u64 = args.num("seed", 42)?;
+    let threads: usize = match args.get("threads") {
+        Some(_) => args.num("threads", 0)?,
+        None => workers(args)?,
+    };
+    if threads == 0 {
+        return Err("--threads must be positive".into());
+    }
+
+    let g = if args.positional.get(1).is_some() {
+        load(args, 1)?
+    } else {
+        gen::Kronecker::graph500(scale).seed(seed).generate()
+    };
+    let n = g.num_vertices();
+    if n == 0 {
+        return Err("graph has no vertices".into());
+    }
+
+    let mut engine = QueryEngine::from_graph(g, EngineConfig::default().with_workers(threads));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let handles: Vec<_> = (0..num_queries)
+        .map(|_| engine.submit(rng.random_range(0..n as u32)))
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+    for h in handles {
+        h.wait().map_err(|e| e.to_string())?;
+    }
+    engine.shutdown();
+
+    let snapshot = pbfs_telemetry::registry().snapshot();
+    if args.has("json") {
+        println!("{}", snapshot.to_json().to_string_pretty());
+    } else {
+        print!("{}", pbfs_telemetry::export::prometheus_text(&snapshot));
+    }
     Ok(())
 }
 

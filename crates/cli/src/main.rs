@@ -10,7 +10,8 @@
 //!       [--workers N]
 //! pbfs relabel FILE --scheme striped|ordered|random [--workers N] -o FILE
 //! pbfs queries [FILE] [--scale N] [--queries N] [--threads N] [--max-batch N]
-//!       [--max-latency-us N] [--rate QPS] [--seed N]
+//!       [--max-latency-us N] [--rate QPS] [--seed N] [--trace-out FILE]
+//! pbfs metrics [FILE] [--scale N] [--queries N] [--threads N] [--json]
 //! ```
 //!
 //! Graph files use the suite's binary format (`pbfs_graph::io`); pass

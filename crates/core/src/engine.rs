@@ -40,12 +40,13 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use pbfs_graph::{CsrGraph, VertexId};
 use pbfs_sched::WorkerPool;
+use pbfs_telemetry::{Counter, EventKind, Gauge, Histogram, CLIENT_LANE, ENGINE_LANE};
 
 use crate::mspbfs::MsPbfs;
 use crate::options::BfsOptions;
@@ -56,6 +57,52 @@ use crate::visitor::{DistanceVisitor, MsDistanceVisitor};
 /// Batch widths the dispatcher may choose from, in preference order.
 /// Each is `W × 64` for a supported bitset width `W ∈ {1, 2, 4, 8}`.
 pub const BATCH_WIDTHS: [usize; 4] = [64, 128, 256, 512];
+
+/// Always-on engine metrics in the global telemetry registry.
+struct EngineMetrics {
+    queue_depth: Arc<Gauge>,
+    in_flight: Arc<Gauge>,
+    queries: Arc<Counter>,
+    batches: Arc<Counter>,
+    batch_width: Arc<Histogram>,
+    latency: Arc<Histogram>,
+}
+
+fn engine_metrics() -> &'static EngineMetrics {
+    static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = pbfs_telemetry::registry();
+        EngineMetrics {
+            queue_depth: r.gauge(
+                "pbfs_engine_queue_depth",
+                "Queries waiting in the engine's coalescing queue",
+            ),
+            in_flight: r.gauge(
+                "pbfs_engine_in_flight_queries",
+                "Queries submitted but not yet answered",
+            ),
+            queries: r.counter(
+                "pbfs_engine_queries_total",
+                "Queries whose results were computed",
+            ),
+            batches: r.counter(
+                "pbfs_engine_batches_total",
+                "Batches flushed, including singleton flushes",
+            ),
+            batch_width: r.histogram(
+                "pbfs_engine_batch_width",
+                "Chosen batch width per flush (1 = singleton SMS-PBFS path)",
+                &[1, 64, 128, 256, 512],
+            ),
+            // 1 µs .. ~4.2 s in powers of four.
+            latency: r.histogram(
+                "pbfs_engine_query_latency_ns",
+                "Submit-to-result latency per query in nanoseconds",
+                &pbfs_telemetry::exponential_buckets(1_000, 4.0, 12),
+            ),
+        }
+    })
+}
 
 /// Configuration of a [`QueryEngine`].
 #[derive(Clone, Copy, Debug)]
@@ -257,13 +304,7 @@ impl StatsAccum {
     fn snapshot(&self) -> EngineStats {
         let mut sorted = self.latencies_ns.clone();
         sorted.sort_unstable();
-        let pct = |p: f64| -> u64 {
-            if sorted.is_empty() {
-                return 0;
-            }
-            let idx = (p * (sorted.len() - 1) as f64).round() as usize;
-            sorted[idx.min(sorted.len() - 1)]
-        };
+        let pct = |p: f64| pbfs_telemetry::percentile(&sorted, p);
         let mean = if sorted.is_empty() {
             0
         } else {
@@ -365,15 +406,25 @@ impl QueryEngine {
             let mut stats = lock(&self.shared.stats);
             stats.first_submit.get_or_insert(now);
         }
-        {
+        let depth = {
             let mut q = lock(&self.shared.queue);
             q.items.push(Pending {
                 source,
                 submitted: now,
                 tx,
             });
-        }
+            q.items.len()
+        };
         self.shared.queue_cv.notify_all();
+        let m = engine_metrics();
+        m.queue_depth.set(depth as i64);
+        m.in_flight.add(1);
+        pbfs_telemetry::recorder().mark(
+            CLIENT_LANE,
+            EventKind::BatchSubmit,
+            source as u64,
+            depth as u64,
+        );
         Ok(QueryHandle { source, rx })
     }
 
@@ -464,11 +515,25 @@ fn dispatcher_loop(shared: &Shared, config: &EngineConfig) {
             }
             let width = width_for(q.items.len().min(cap), cap);
             let take = q.items.len().min(width.max(1));
-            q.items.drain(..take).collect()
+            let batch: Vec<Pending> = q.items.drain(..take).collect();
+            engine_metrics().queue_depth.set(q.items.len() as i64);
+            batch
         };
 
+        let rec = pbfs_telemetry::recorder();
         let sources: Vec<VertexId> = batch.iter().map(|p| p.source).collect();
         let width = width_for(sources.len(), cap);
+        // Coalesce span: how long the oldest query waited for co-batched
+        // company before the dispatcher drained the batch.
+        let drained = Instant::now();
+        rec.span_at(
+            ENGINE_LANE,
+            EventKind::BatchCoalesce,
+            batch[0].submitted,
+            drained.saturating_duration_since(batch[0].submitted),
+            batch.len() as u64,
+            width as u64,
+        );
         let (stats, results) = if width == 1 {
             let bfs = sms.get_or_insert_with(|| SmsPbfsBit::new(n));
             let visitor = DistanceVisitor::new(n);
@@ -484,6 +549,19 @@ fn dispatcher_loop(shared: &Shared, config: &EngineConfig) {
         };
 
         let done = Instant::now();
+        rec.span_at(
+            ENGINE_LANE,
+            EventKind::BatchFlush,
+            drained,
+            done.saturating_duration_since(drained),
+            width as u64,
+            batch.len() as u64,
+        );
+        let m = engine_metrics();
+        m.batches.inc();
+        m.queries.add(batch.len() as u64);
+        m.batch_width.observe(width as u64);
+        m.in_flight.sub(batch.len() as i64);
         {
             let mut acc = lock(&shared.stats);
             acc.batches += 1;
@@ -492,15 +570,23 @@ fn dispatcher_loop(shared: &Shared, config: &EngineConfig) {
             acc.bfs_iterations += stats.num_iterations() as u64;
             acc.total_discovered += stats.total_discovered;
             for p in &batch {
-                acc.latencies_ns
-                    .push(done.saturating_duration_since(p.submitted).as_nanos() as u64);
+                let latency = done.saturating_duration_since(p.submitted).as_nanos() as u64;
+                m.latency.observe(latency);
+                acc.latencies_ns.push(latency);
             }
             acc.last_done = Some(done);
         }
+        let batch_len = batch.len();
         for (p, distances) in batch.into_iter().zip(results) {
             // A dropped handle means nobody wants this result; fine.
             let _ = p.tx.send(distances);
         }
+        rec.mark(
+            ENGINE_LANE,
+            EventKind::BatchComplete,
+            width as u64,
+            batch_len as u64,
+        );
     }
 }
 

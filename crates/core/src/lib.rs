@@ -50,6 +50,7 @@ pub mod engine;
 pub mod memory;
 pub mod msbfs;
 pub mod mspbfs;
+pub(crate) mod obs;
 pub mod options;
 pub mod policy;
 pub mod smspbfs;

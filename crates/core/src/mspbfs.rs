@@ -14,10 +14,10 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crossbeam::utils::CachePadded;
 use pbfs_bitset::{Bits, StateArray};
 use pbfs_graph::{CsrGraph, VertexId};
 use pbfs_sched::WorkerPool;
+use pbfs_telemetry::{EventKind, PerWorkerU64};
 
 use crate::options::{AtomicKind, BfsOptions};
 use crate::policy::{Direction, FrontierState};
@@ -44,32 +44,6 @@ pub struct MsPbfs<const W: usize> {
     seen: StateArray<W>,
     frontier: StateArray<W>,
     next: StateArray<W>,
-}
-
-/// Per-worker relaxed counters, cache-line padded (no cross-worker
-/// contention).
-struct PerWorkerU64 {
-    slots: Vec<CachePadded<AtomicU64>>,
-}
-
-impl PerWorkerU64 {
-    fn new(workers: usize) -> Self {
-        let mut slots = Vec::with_capacity(workers);
-        slots.resize_with(workers, || CachePadded::new(AtomicU64::new(0)));
-        Self { slots }
-    }
-
-    #[inline]
-    fn add(&self, worker: usize, v: u64) {
-        self.slots[worker].fetch_add(v, Ordering::Relaxed);
-    }
-
-    fn snapshot(&self) -> Vec<u64> {
-        self.slots
-            .iter()
-            .map(|s| s.load(Ordering::Relaxed))
-            .collect()
-    }
 }
 
 impl<const W: usize> MsPbfs<W> {
@@ -107,6 +81,7 @@ impl<const W: usize> MsPbfs<W> {
         assert!(sources.len() <= W * 64, "batch exceeds bitset width");
         let start = std::time::Instant::now();
         let split = opts.split_size.max(1);
+        let rec = pbfs_telemetry::recorder();
 
         // Parallel init: each worker first-touches (and later processes)
         // the same deterministic ranges — the NUMA placement rule of
@@ -154,6 +129,7 @@ impl<const W: usize> MsPbfs<W> {
                     break;
                 }
             }
+            let prev_direction = direction;
             direction = opts.policy.decide(&FrontierState {
                 frontier_vertices,
                 frontier_degree,
@@ -162,6 +138,7 @@ impl<const W: usize> MsPbfs<W> {
                 current: direction,
             });
             depth += 1;
+            crate::obs::note_iteration(depth, direction, depth > 1 && direction != prev_direction);
             let iter_start = std::time::Instant::now();
 
             let discovered = AtomicU64::new(0);
@@ -239,16 +216,24 @@ impl<const W: usize> MsPbfs<W> {
                         updated_pw.add(owner, upd);
                     };
                     if opts.instrument {
+                        let t1 = rec.start();
                         let s1 = pool.parallel_for_instrumented(n, split, |w, r, _| phase1(w, r));
+                        rec.span(0, EventKind::TopDownPhase1, t1, frontier_vertices, 0);
+                        let t2 = rec.start();
                         let s2 = pool.parallel_for_instrumented(n, split, |w, r, _| phase2(w, r));
+                        rec.span(0, EventKind::TopDownPhase2, t2, frontier_vertices, 0);
                         per_worker = merge_worker_stats_pub(
                             &[s1, s2],
                             &visited_pw.snapshot(),
                             &updated_pw.snapshot(),
                         );
                     } else {
+                        let t1 = rec.start();
                         pool.parallel_for(n, split, phase1);
+                        rec.span(0, EventKind::TopDownPhase1, t1, frontier_vertices, 0);
+                        let t2 = rec.start();
                         pool.parallel_for(n, split, phase2);
+                        rec.span(0, EventKind::TopDownPhase2, t2, frontier_vertices, 0);
                     }
                 }
                 Direction::BottomUp => {
@@ -293,14 +278,18 @@ impl<const W: usize> MsPbfs<W> {
                         visited_pw.add(owner, visited);
                     };
                     if opts.instrument {
+                        let t = rec.start();
                         let s = pool.parallel_for_instrumented(n, split, |w, r, _| body(w, r));
+                        rec.span(0, EventKind::BottomUp, t, frontier_vertices, 0);
                         per_worker = merge_worker_stats_pub(
                             &[s],
                             &visited_pw.snapshot(),
                             &updated_pw.snapshot(),
                         );
                     } else {
+                        let t = rec.start();
                         pool.parallel_for(n, split, body);
+                        rec.span(0, EventKind::BottomUp, t, frontier_vertices, 0);
                     }
                 }
             }
@@ -320,16 +309,26 @@ impl<const W: usize> MsPbfs<W> {
                 unexplored_degree.saturating_sub(fully_seen_deg.load(Ordering::Relaxed));
             let discovered = discovered.load(Ordering::Relaxed);
             stats.total_discovered += discovered;
+            let iter_wall = iter_start.elapsed();
+            rec.span_at(
+                0,
+                EventKind::Iteration,
+                iter_start,
+                iter_wall,
+                depth as u64,
+                discovered,
+            );
             stats.iterations.push(IterationStats {
                 iteration: depth,
                 direction,
-                wall_ns: iter_start.elapsed().as_nanos() as u64,
+                wall_ns: iter_wall.as_nanos() as u64,
                 frontier_vertices,
                 discovered,
                 per_worker,
             });
         }
 
+        crate::obs::note_traversal(stats.total_discovered);
         stats.total_wall_ns = start.elapsed().as_nanos() as u64;
         stats
     }

@@ -1,0 +1,81 @@
+//! Always-on BFS metrics in the process-wide telemetry registry.
+//!
+//! Counters are bumped once per iteration / traversal (never per vertex),
+//! so the always-on cost is a handful of relaxed adds per BFS.
+
+use std::sync::{Arc, OnceLock};
+
+use pbfs_telemetry::Counter;
+
+/// Traversal-level counters shared by all BFS variants in this crate.
+pub(crate) struct BfsMetrics {
+    /// Iterations executed top-down.
+    pub top_down: Arc<Counter>,
+    /// Iterations executed bottom-up.
+    pub bottom_up: Arc<Counter>,
+    /// Direction switches taken by the policy mid-traversal.
+    pub switches: Arc<Counter>,
+    /// Whole traversals completed.
+    pub traversals: Arc<Counter>,
+    /// Vertex states discovered (bits for multi-source).
+    pub discovered: Arc<Counter>,
+}
+
+pub(crate) fn bfs_metrics() -> &'static BfsMetrics {
+    static METRICS: OnceLock<BfsMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = pbfs_telemetry::registry();
+        BfsMetrics {
+            top_down: r.counter_with(
+                "pbfs_bfs_iterations_total",
+                "direction=\"top_down\"",
+                "BFS iterations by traversal direction",
+            ),
+            bottom_up: r.counter_with(
+                "pbfs_bfs_iterations_total",
+                "direction=\"bottom_up\"",
+                "BFS iterations by traversal direction",
+            ),
+            switches: r.counter(
+                "pbfs_bfs_direction_switches_total",
+                "Mid-traversal direction changes taken by the heuristic",
+            ),
+            traversals: r.counter(
+                "pbfs_bfs_traversals_total",
+                "Parallel BFS traversals completed",
+            ),
+            discovered: r.counter(
+                "pbfs_bfs_discovered_states_total",
+                "Vertex states discovered by parallel BFS (bits for multi-source)",
+            ),
+        }
+    })
+}
+
+/// Bumps the per-iteration counters and, on a direction change, emits a
+/// [`DirectionSwitch`](pbfs_telemetry::EventKind::DirectionSwitch) mark on
+/// lane 0 (the caller thread participates as pool worker 0).
+pub(crate) fn note_iteration(depth: u32, direction: crate::policy::Direction, switched: bool) {
+    use crate::policy::Direction;
+    let m = bfs_metrics();
+    match direction {
+        Direction::TopDown => m.top_down.inc(),
+        Direction::BottomUp => m.bottom_up.inc(),
+    }
+    if switched {
+        m.switches.inc();
+        pbfs_telemetry::recorder().mark(
+            0,
+            pbfs_telemetry::EventKind::DirectionSwitch,
+            depth as u64,
+            (direction == Direction::BottomUp) as u64,
+        );
+    }
+}
+
+/// Bumps the per-traversal counters.
+pub(crate) fn note_traversal(discovered: u64) {
+    let m = bfs_metrics();
+    m.traversals.inc();
+    m.discovered.add(discovered);
+}

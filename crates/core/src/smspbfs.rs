@@ -17,10 +17,10 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crossbeam::utils::CachePadded;
 use pbfs_bitset::{AtomicBitVec, AtomicByteVec};
 use pbfs_graph::{CsrGraph, VertexId};
 use pbfs_sched::WorkerPool;
+use pbfs_telemetry::{EventKind, PerWorkerU64};
 
 use crate::options::BfsOptions;
 use crate::policy::{Direction, FrontierState};
@@ -187,30 +187,6 @@ pub type SmsPbfsBit = SmsPbfs<BitState>;
 /// SMS-PBFS with one byte per vertex.
 pub type SmsPbfsByte = SmsPbfs<ByteState>;
 
-struct PerWorkerU64 {
-    slots: Vec<CachePadded<AtomicU64>>,
-}
-
-impl PerWorkerU64 {
-    fn new(workers: usize) -> Self {
-        let mut slots = Vec::with_capacity(workers);
-        slots.resize_with(workers, || CachePadded::new(AtomicU64::new(0)));
-        Self { slots }
-    }
-
-    #[inline]
-    fn add(&self, worker: usize, v: u64) {
-        self.slots[worker].fetch_add(v, Ordering::Relaxed);
-    }
-
-    fn snapshot(&self) -> Vec<u64> {
-        self.slots
-            .iter()
-            .map(|s| s.load(Ordering::Relaxed))
-            .collect()
-    }
-}
-
 impl<S: SsState> SmsPbfs<S> {
     /// Allocates state for a graph of `n` vertices.
     pub fn new(n: usize) -> Self {
@@ -247,6 +223,7 @@ impl<S: SsState> SmsPbfs<S> {
         // representation so that `*_owned` accesses never share a word.
         let split = opts.split_size.max(1).next_multiple_of(S::OWNERSHIP_ALIGN);
         let chunk = opts.chunk_skip;
+        let rec = pbfs_telemetry::recorder();
 
         {
             let (seen, frontier, next) = (&self.seen, &self.frontier, &self.next);
@@ -277,6 +254,7 @@ impl<S: SsState> SmsPbfs<S> {
                     break;
                 }
             }
+            let prev_direction = direction;
             direction = opts.policy.decide(&FrontierState {
                 frontier_vertices,
                 frontier_degree,
@@ -285,6 +263,7 @@ impl<S: SsState> SmsPbfs<S> {
                 current: direction,
             });
             depth += 1;
+            crate::obs::note_iteration(depth, direction, depth > 1 && direction != prev_direction);
             let iter_start = std::time::Instant::now();
 
             let discovered = AtomicU64::new(0);
@@ -332,16 +311,24 @@ impl<S: SsState> SmsPbfs<S> {
                         updated_pw.add(owner, disc);
                     };
                     if opts.instrument {
+                        let t1 = rec.start();
                         let s1 = pool.parallel_for_instrumented(n, split, |w, r, _| phase1(w, r));
+                        rec.span(0, EventKind::TopDownPhase1, t1, frontier_vertices, 0);
+                        let t2 = rec.start();
                         let s2 = pool.parallel_for_instrumented(n, split, |w, r, _| phase2(w, r));
+                        rec.span(0, EventKind::TopDownPhase2, t2, frontier_vertices, 0);
                         per_worker = crate::mspbfs::merge_worker_stats_pub(
                             &[s1, s2],
                             &visited_pw.snapshot(),
                             &updated_pw.snapshot(),
                         );
                     } else {
+                        let t1 = rec.start();
                         pool.parallel_for(n, split, phase1);
+                        rec.span(0, EventKind::TopDownPhase1, t1, frontier_vertices, 0);
+                        let t2 = rec.start();
                         pool.parallel_for(n, split, phase2);
+                        rec.span(0, EventKind::TopDownPhase2, t2, frontier_vertices, 0);
                     }
                 }
                 Direction::BottomUp => {
@@ -369,14 +356,18 @@ impl<S: SsState> SmsPbfs<S> {
                         visited_pw.add(owner, visited);
                     };
                     if opts.instrument {
+                        let t = rec.start();
                         let s = pool.parallel_for_instrumented(n, split, |w, r, _| body(w, r));
+                        rec.span(0, EventKind::BottomUp, t, frontier_vertices, 0);
                         per_worker = crate::mspbfs::merge_worker_stats_pub(
                             &[s],
                             &visited_pw.snapshot(),
                             &updated_pw.snapshot(),
                         );
                     } else {
+                        let t = rec.start();
                         pool.parallel_for(n, split, body);
+                        rec.span(0, EventKind::BottomUp, t, frontier_vertices, 0);
                     }
                 }
             }
@@ -394,16 +385,26 @@ impl<S: SsState> SmsPbfs<S> {
             frontier_degree = new_fd.load(Ordering::Relaxed);
             unexplored_degree = unexplored_degree.saturating_sub(frontier_degree);
             stats.total_discovered += disc;
+            let iter_wall = iter_start.elapsed();
+            rec.span_at(
+                0,
+                EventKind::Iteration,
+                iter_start,
+                iter_wall,
+                depth as u64,
+                disc,
+            );
             stats.iterations.push(IterationStats {
                 iteration: depth,
                 direction,
-                wall_ns: iter_start.elapsed().as_nanos() as u64,
+                wall_ns: iter_wall.as_nanos() as u64,
                 frontier_vertices,
                 discovered: disc,
                 per_worker,
             });
         }
 
+        crate::obs::note_traversal(stats.total_discovered);
         stats.total_wall_ns = start.elapsed().as_nanos() as u64;
         stats
     }

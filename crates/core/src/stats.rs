@@ -39,37 +39,19 @@ pub struct IterationStats {
 
 impl IterationStats {
     /// Ratio of the longest to the shortest per-worker busy time
-    /// (Figure 9). Idle workers are clamped to 1 ns.
+    /// (Figure 9, via [`pbfs_telemetry::max_min_ratio`]). Idle workers are
+    /// clamped to 1 ns.
     pub fn busy_skew(&self) -> f64 {
-        let max = self.per_worker.iter().map(|w| w.busy_ns).max().unwrap_or(0);
-        let min = self
-            .per_worker
-            .iter()
-            .map(|w| w.busy_ns.max(1))
-            .min()
-            .unwrap_or(1);
-        max as f64 / min as f64
+        pbfs_telemetry::max_min_ratio(self.per_worker.iter().map(|w| w.busy_ns))
     }
 
-    /// Max/mean ratio: how much longer the heaviest-loaded worker queue
-    /// runs than a perfectly balanced one would (1.0 = balanced, `T` = all
-    /// work on one of `T` queues). Deterministic and bounded, unlike
+    /// Deterministic imbalance of updated states across worker queues:
+    /// max/mean ratio (1.0 = balanced, `T` = all work on one of `T`
+    /// queues; see [`pbfs_telemetry::max_mean_ratio`]). Bounded, unlike
     /// max/min which explodes whenever one queue happens to own almost
     /// nothing in a sparse iteration.
-    fn imbalance(values: impl Iterator<Item = u64> + Clone) -> f64 {
-        let max = values.clone().max().unwrap_or(0);
-        let count = values.clone().count();
-        if count == 0 || max == 0 {
-            return 0.0;
-        }
-        let mean = values.sum::<u64>() as f64 / count as f64;
-        max as f64 / mean.max(1e-9)
-    }
-
-    /// Deterministic imbalance of updated states across worker queues
-    /// (max/mean; see [`Self::busy_skew`] for the measured counterpart).
     pub fn update_skew(&self) -> f64 {
-        Self::imbalance(self.per_worker.iter().map(|w| w.updated_states))
+        pbfs_telemetry::max_mean_ratio(self.per_worker.iter().map(|w| w.updated_states))
     }
 
     /// Deterministic imbalance of visited neighbors across worker queues
@@ -78,7 +60,7 @@ impl IterationStats {
     /// high-degree frontier in the first top-down phase, while state
     /// updates spread evenly.
     pub fn visited_skew(&self) -> f64 {
-        Self::imbalance(self.per_worker.iter().map(|w| w.visited_neighbors))
+        pbfs_telemetry::max_mean_ratio(self.per_worker.iter().map(|w| w.visited_neighbors))
     }
 
     /// True iff every worker executed at least one task body this
@@ -115,38 +97,21 @@ impl TraversalStats {
             .count()
     }
 
+    /// Sums one per-worker field over all iterations, indexed by worker
+    /// ([`pbfs_telemetry::fold_per_worker`]; iterations with fewer workers
+    /// contribute zeros to the missing slots).
+    pub fn fold_workers(&self, f: impl Fn(&WorkerIterStats) -> u64) -> Vec<u64> {
+        pbfs_telemetry::fold_per_worker(self.iterations.iter().map(|i| i.per_worker.as_slice()), f)
+    }
+
     /// Sum of per-worker busy time over all iterations, indexed by worker.
     pub fn busy_per_worker(&self) -> Vec<u64> {
-        let workers = self
-            .iterations
-            .iter()
-            .map(|i| i.per_worker.len())
-            .max()
-            .unwrap_or(0);
-        let mut out = vec![0u64; workers];
-        for it in &self.iterations {
-            for (w, s) in it.per_worker.iter().enumerate() {
-                out[w] += s.busy_ns;
-            }
-        }
-        out
+        self.fold_workers(|w| w.busy_ns)
     }
 
     /// Sum of visited neighbors per worker over all iterations (Figure 6).
     pub fn visited_per_worker(&self) -> Vec<u64> {
-        let workers = self
-            .iterations
-            .iter()
-            .map(|i| i.per_worker.len())
-            .max()
-            .unwrap_or(0);
-        let mut out = vec![0u64; workers];
-        for it in &self.iterations {
-            for (w, s) in it.per_worker.iter().enumerate() {
-                out[w] += s.visited_neighbors;
-            }
-        }
-        out
+        self.fold_workers(|w| w.visited_neighbors)
     }
 }
 

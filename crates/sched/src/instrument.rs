@@ -8,8 +8,55 @@
 //! [`WorkerRun::work_units`].
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use crossbeam::utils::CachePadded;
+use pbfs_telemetry::Counter;
+
+/// Always-on scheduler counters in the global telemetry registry.
+struct SchedMetrics {
+    tasks: Arc<Counter>,
+    steals: Arc<Counter>,
+    remote: Arc<Counter>,
+}
+
+fn metrics() -> &'static SchedMetrics {
+    static METRICS: OnceLock<SchedMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = pbfs_telemetry::registry();
+        SchedMetrics {
+            tasks: r.counter(
+                "pbfs_sched_tasks_total",
+                "Task ranges executed by the work-stealing pool",
+            ),
+            steals: r.counter(
+                "pbfs_sched_steals_total",
+                "Task ranges taken from another worker's queue",
+            ),
+            remote: r.counter(
+                "pbfs_sched_remote_steals_total",
+                "Stolen task ranges whose owning queue lives on another NUMA node",
+            ),
+        }
+    })
+}
+
+/// Folds one worker's per-loop totals into the global registry: one
+/// `add` per metric per loop, so the always-on cost is independent of the
+/// task count.
+pub(crate) fn note_loop(worker: usize, tasks: u64, stolen: u64, remote: u64) {
+    if tasks == 0 {
+        return;
+    }
+    let m = metrics();
+    m.tasks.add_at(worker, tasks);
+    if stolen > 0 {
+        m.steals.add_at(worker, stolen);
+    }
+    if remote > 0 {
+        m.remote.add_at(worker, remote);
+    }
+}
 
 /// What one worker did during one parallel loop.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -50,36 +97,17 @@ impl RunStats {
     }
 
     /// Ratio of the longest to the shortest per-worker busy time — the skew
-    /// metric of Figure 9. Workers with zero busy time are clamped to 1 ns
-    /// so the ratio stays finite.
+    /// metric of Figure 9 ([`pbfs_telemetry::max_min_ratio`]). Workers with
+    /// zero busy time are clamped to 1 ns so the ratio stays finite.
     pub fn busy_skew(&self) -> f64 {
-        let max = self.per_worker.iter().map(|w| w.busy_ns).max().unwrap_or(0);
-        let min = self
-            .per_worker
-            .iter()
-            .map(|w| w.busy_ns.max(1))
-            .min()
-            .unwrap_or(1);
-        max as f64 / min as f64
+        pbfs_telemetry::max_min_ratio(self.per_worker.iter().map(|w| w.busy_ns))
     }
 
     /// Ratio of the largest to the smallest per-worker `work_units`
     /// (deterministic skew metric; used alongside [`Self::busy_skew`]
     /// because wall-clock skew is noisy on an oversubscribed single core).
     pub fn work_skew(&self) -> f64 {
-        let max = self
-            .per_worker
-            .iter()
-            .map(|w| w.work_units)
-            .max()
-            .unwrap_or(0);
-        let min = self
-            .per_worker
-            .iter()
-            .map(|w| w.work_units.max(1))
-            .min()
-            .unwrap_or(1);
-        max as f64 / min as f64
+        pbfs_telemetry::max_min_ratio(self.per_worker.iter().map(|w| w.work_units))
     }
 
     /// Total task ranges executed.
@@ -161,6 +189,7 @@ impl Collector {
         s.stolen.fetch_add(stolen, Ordering::Relaxed);
         s.remote.fetch_add(remote, Ordering::Relaxed);
         s.items.fetch_add(items, Ordering::Relaxed);
+        note_loop(worker, tasks, stolen, remote);
     }
 
     pub(crate) fn add_work(&self, worker: usize, units: u64) {

@@ -8,6 +8,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
+use pbfs_telemetry::EventKind;
 
 use crate::instrument::{Collector, Probe};
 use crate::{RunStats, TaskQueues, Topology, WorkerId};
@@ -205,11 +206,43 @@ impl WorkerPool {
         body: impl Fn(WorkerId, Range<usize>) + Sync,
     ) {
         let queues = TaskQueues::new(total, split_size, self.num_workers());
+        // Sampled once per dispatch: while tracing is off the per-task cost
+        // is one branch on a captured bool.
+        let rec = pbfs_telemetry::recorder();
+        let tracing = rec.is_enabled();
         self.run(|worker| {
+            let my_node = self.topology.node_of_worker(worker);
+            let (mut tasks, mut stolen, mut remote) = (0u64, 0u64, 0u64);
             let mut cursor = 0;
-            while let Some((range, _)) = queues.fetch(worker, &mut cursor) {
-                body(worker, range);
+            while let Some((range, from)) = queues.fetch(worker, &mut cursor) {
+                tasks += 1;
+                let was_stolen = from != worker;
+                if was_stolen {
+                    stolen += 1;
+                    if self.topology.node_of_worker(from) != my_node {
+                        remote += 1;
+                    }
+                }
+                if tracing {
+                    let items = range.len() as u64;
+                    if was_stolen {
+                        rec.mark(worker, EventKind::Steal, from as u64, items);
+                    }
+                    let t0 = Instant::now();
+                    body(worker, range);
+                    rec.span_at(
+                        worker,
+                        EventKind::Task,
+                        t0,
+                        t0.elapsed(),
+                        items,
+                        was_stolen as u64,
+                    );
+                } else {
+                    body(worker, range);
+                }
             }
+            crate::instrument::note_loop(worker, tasks, stolen, remote);
         });
     }
 
@@ -224,6 +257,8 @@ impl WorkerPool {
     ) -> RunStats {
         let queues = TaskQueues::new(total, split_size, self.num_workers());
         let collector = Collector::new(self.num_workers());
+        let rec = pbfs_telemetry::recorder();
+        let tracing = rec.is_enabled();
         let start = Instant::now();
         self.run(|worker| {
             let probe = Probe {
@@ -236,16 +271,32 @@ impl WorkerPool {
                 (0u64, 0u64, 0u64, 0u64, 0u64);
             while let Some((range, from)) = queues.fetch(worker, &mut cursor) {
                 let t0 = Instant::now();
-                items += range.len() as u64;
+                let task_items = range.len() as u64;
+                items += task_items;
                 tasks += 1;
-                if from != worker {
+                let was_stolen = from != worker;
+                if was_stolen {
                     stolen += 1;
                     if self.topology.node_of_worker(from) != my_node {
                         remote += 1;
                     }
+                    if tracing {
+                        rec.mark(worker, EventKind::Steal, from as u64, task_items);
+                    }
                 }
                 body(worker, range, &probe);
-                busy += t0.elapsed().as_nanos() as u64;
+                let dt = t0.elapsed();
+                busy += dt.as_nanos() as u64;
+                if tracing {
+                    rec.span_at(
+                        worker,
+                        EventKind::Task,
+                        t0,
+                        dt,
+                        task_items,
+                        was_stolen as u64,
+                    );
+                }
             }
             collector.record(worker, busy, tasks, stolen, remote, items);
         });
@@ -258,11 +309,27 @@ impl WorkerPool {
     pub fn parallel_for_static(&self, total: usize, body: impl Fn(WorkerId, Range<usize>) + Sync) {
         let n = self.num_workers();
         let chunk = total.div_ceil(n.max(1)).max(1);
+        let rec = pbfs_telemetry::recorder();
+        let tracing = rec.is_enabled();
         self.run(|worker| {
             let start = (worker * chunk).min(total);
             let end = ((worker + 1) * chunk).min(total);
             if start < end {
-                body(worker, start..end);
+                if tracing {
+                    let t0 = Instant::now();
+                    body(worker, start..end);
+                    rec.span_at(
+                        worker,
+                        EventKind::Task,
+                        t0,
+                        t0.elapsed(),
+                        (end - start) as u64,
+                        0,
+                    );
+                } else {
+                    body(worker, start..end);
+                }
+                crate::instrument::note_loop(worker, 1, 0, 0);
             }
         });
     }
@@ -276,6 +343,8 @@ impl WorkerPool {
         let n = self.num_workers();
         let chunk = total.div_ceil(n.max(1)).max(1);
         let collector = Collector::new(n);
+        let rec = pbfs_telemetry::recorder();
+        let tracing = rec.is_enabled();
         let start_wall = Instant::now();
         self.run(|worker| {
             let probe = Probe {
@@ -287,14 +356,11 @@ impl WorkerPool {
             if start < end {
                 let t0 = Instant::now();
                 body(worker, start..end, &probe);
-                collector.record(
-                    worker,
-                    t0.elapsed().as_nanos() as u64,
-                    1,
-                    0,
-                    0,
-                    (end - start) as u64,
-                );
+                let dt = t0.elapsed();
+                if tracing {
+                    rec.span_at(worker, EventKind::Task, t0, dt, (end - start) as u64, 0);
+                }
+                collector.record(worker, dt.as_nanos() as u64, 1, 0, 0, (end - start) as u64);
             }
         });
         collector.finish(start_wall.elapsed().as_nanos() as u64)

@@ -1,0 +1,176 @@
+//! Shared per-worker aggregation math.
+//!
+//! The skew and imbalance metrics of Figures 6–9 used to be duplicated
+//! between `pbfs_core::stats` and `pbfs_sched::instrument`; they live here
+//! once and are re-exported by both. The same helpers back the exporters,
+//! so a Prometheus scrape and a `TraversalStats` report can never disagree
+//! on what "skew" means.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam::utils::CachePadded;
+
+/// Ratio of the largest to the smallest value (Figure 9's busy-time skew).
+/// Zero values are clamped to 1 so the ratio stays finite; an empty input
+/// yields 0.0.
+pub fn max_min_ratio(values: impl IntoIterator<Item = u64>) -> f64 {
+    let mut max = None;
+    let mut min = None;
+    for v in values {
+        max = Some(max.map_or(v, |m: u64| m.max(v)));
+        let c = v.max(1);
+        min = Some(min.map_or(c, |m: u64| m.min(c)));
+    }
+    match (max, min) {
+        (Some(max), Some(min)) => max as f64 / min as f64,
+        _ => 0.0,
+    }
+}
+
+/// Ratio of the largest value to the mean (deterministic imbalance:
+/// 1.0 = perfectly balanced, `T` = all work on one of `T` queues).
+/// Bounded, unlike [`max_min_ratio`], which explodes whenever one queue
+/// happens to own almost nothing in a sparse iteration. Empty or all-zero
+/// inputs yield 0.0.
+pub fn max_mean_ratio(values: impl IntoIterator<Item = u64>) -> f64 {
+    let (mut max, mut sum, mut count) = (0u64, 0u64, 0usize);
+    for v in values {
+        max = max.max(v);
+        sum += v;
+        count += 1;
+    }
+    if count == 0 || max == 0 {
+        return 0.0;
+    }
+    let mean = sum as f64 / count as f64;
+    max as f64 / mean.max(1e-9)
+}
+
+/// Sums a projection of per-worker rows across many groups (iterations,
+/// phases, batches) into one total per worker. Groups may have different
+/// widths; the result is as wide as the widest group.
+pub fn fold_per_worker<'a, T: 'a>(
+    groups: impl IntoIterator<Item = &'a [T]>,
+    f: impl Fn(&T) -> u64,
+) -> Vec<u64> {
+    let mut out: Vec<u64> = Vec::new();
+    for group in groups {
+        if out.len() < group.len() {
+            out.resize(group.len(), 0);
+        }
+        for (slot, row) in out.iter_mut().zip(group) {
+            *slot += f(row);
+        }
+    }
+    out
+}
+
+/// The `p`-quantile (`0.0..=1.0`) of an ascending-sorted sample by
+/// nearest-rank; 0 for an empty sample.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = (p.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Per-worker relaxed counters, cache-line padded so concurrent workers
+/// never contend. Each worker writes only its own slot.
+pub struct PerWorkerU64 {
+    slots: Vec<CachePadded<AtomicU64>>,
+}
+
+impl PerWorkerU64 {
+    /// One zeroed slot per worker.
+    pub fn new(workers: usize) -> Self {
+        let mut slots = Vec::with_capacity(workers);
+        slots.resize_with(workers, || CachePadded::new(AtomicU64::new(0)));
+        Self { slots }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True iff there are no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Adds `v` to `worker`'s slot.
+    #[inline]
+    pub fn add(&self, worker: usize, v: u64) {
+        self.slots[worker].fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Current value of every slot, indexed by worker.
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Sum over all slots.
+    pub fn total(&self) -> u64 {
+        self.slots.iter().map(|s| s.load(Ordering::Relaxed)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_min_matches_legacy_busy_skew() {
+        assert_eq!(max_min_ratio([100, 20, 50]), 5.0);
+        assert_eq!(max_min_ratio([100, 0]), 100.0); // idle clamped to 1 ns
+        assert_eq!(max_min_ratio([]), 0.0);
+        assert_eq!(max_min_ratio([0, 0]), 0.0);
+    }
+
+    #[test]
+    fn max_mean_is_bounded_by_worker_count() {
+        assert!((max_mean_ratio([8, 2, 2]) - 2.0).abs() < 1e-12);
+        assert!((max_mean_ratio([90, 0, 0]) - 3.0).abs() < 1e-12);
+        assert_eq!(max_mean_ratio([]), 0.0);
+        assert_eq!(max_mean_ratio([0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn fold_handles_ragged_groups() {
+        let groups: Vec<Vec<(u64, u64)>> =
+            vec![vec![(10, 1), (20, 2)], vec![(5, 3), (5, 4), (7, 5)]];
+        let folded = fold_per_worker(groups.iter().map(Vec::as_slice), |t| t.0);
+        assert_eq!(folded, vec![15, 25, 7]);
+        let other = fold_per_worker(groups.iter().map(Vec::as_slice), |t| t.1);
+        assert_eq!(other, vec![4, 6, 5]);
+        let empty: Vec<&[u64]> = Vec::new();
+        assert!(fold_per_worker(empty, |&v| v).is_empty());
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&s, 0.0), 1);
+        assert_eq!(percentile(&s, 0.5), 51); // round(0.5 * 99) = 50 → s[50]
+        assert_eq!(percentile(&s, 0.99), 99);
+        assert_eq!(percentile(&s, 1.0), 100);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.99), 7);
+    }
+
+    #[test]
+    fn per_worker_slots_are_independent() {
+        let pw = PerWorkerU64::new(3);
+        pw.add(0, 5);
+        pw.add(2, 7);
+        pw.add(0, 1);
+        assert_eq!(pw.snapshot(), vec![6, 0, 7]);
+        assert_eq!(pw.total(), 13);
+        assert_eq!(pw.len(), 3);
+        assert!(!pw.is_empty());
+    }
+}

@@ -1,0 +1,256 @@
+//! Exporters: Prometheus text exposition, Chrome trace-event JSON, and
+//! plain JSON views of snapshots and trace dumps.
+
+use std::fmt::Write as _;
+
+use pbfs_json::{Json, ToJson};
+
+use crate::metrics::{SampleValue, Snapshot};
+use crate::trace::{TraceDump, TraceEvent};
+
+/// Renders a registry snapshot in the Prometheus text exposition format
+/// (version 0.0.4): `# HELP` / `# TYPE` headers per family, histogram
+/// `_bucket`/`_sum`/`_count` expansion, `le="+Inf"` included.
+pub fn prometheus_text(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_family = "";
+    for m in &snap.metrics {
+        if m.name != last_family {
+            if !m.help.is_empty() {
+                let _ = writeln!(out, "# HELP {} {}", m.name, m.help);
+            }
+            let _ = writeln!(out, "# TYPE {} {}", m.name, m.kind());
+            last_family = &m.name;
+        }
+        match &m.value {
+            SampleValue::Counter(v) => {
+                let _ = writeln!(out, "{}{} {}", m.name, brace(&m.labels), v);
+            }
+            SampleValue::Gauge(v) => {
+                let _ = writeln!(out, "{}{} {}", m.name, brace(&m.labels), v);
+            }
+            SampleValue::Histogram(h) => {
+                for (i, cum) in h.cumulative.iter().enumerate() {
+                    let le = match h.bounds.get(i) {
+                        Some(b) => b.to_string(),
+                        None => "+Inf".to_string(),
+                    };
+                    let labels = join_labels(&m.labels, &format!("le=\"{le}\""));
+                    let _ = writeln!(out, "{}_bucket{{{labels}}} {cum}", m.name);
+                }
+                let _ = writeln!(out, "{}_sum{} {}", m.name, brace(&m.labels), h.sum);
+                let _ = writeln!(out, "{}_count{} {}", m.name, brace(&m.labels), h.count);
+            }
+        }
+    }
+    out
+}
+
+fn brace(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    }
+}
+
+fn join_labels(a: &str, b: &str) -> String {
+    if a.is_empty() {
+        b.to_string()
+    } else {
+        format!("{a},{b}")
+    }
+}
+
+impl ToJson for Snapshot {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![(
+            "metrics".to_string(),
+            Json::Arr(
+                self.metrics
+                    .iter()
+                    .map(|m| {
+                        let mut fields = vec![
+                            ("name".to_string(), Json::Str(m.name.clone())),
+                            ("type".to_string(), Json::Str(m.kind().to_string())),
+                        ];
+                        if !m.labels.is_empty() {
+                            fields.push(("labels".to_string(), Json::Str(m.labels.clone())));
+                        }
+                        match &m.value {
+                            SampleValue::Counter(v) => {
+                                fields.push(("value".to_string(), Json::Num(*v as f64)));
+                            }
+                            SampleValue::Gauge(v) => {
+                                fields.push(("value".to_string(), Json::Num(*v as f64)));
+                            }
+                            SampleValue::Histogram(h) => {
+                                let buckets = h
+                                    .cumulative
+                                    .iter()
+                                    .enumerate()
+                                    .map(|(i, cum)| {
+                                        pbfs_json::json!({
+                                            "le": (match h.bounds.get(i) {
+                                                Some(b) => Json::Num(*b as f64),
+                                                None => Json::Str("+Inf".to_string()),
+                                            }),
+                                            "count": (*cum)
+                                        })
+                                    })
+                                    .collect();
+                                fields.push(("buckets".to_string(), Json::Arr(buckets)));
+                                fields.push(("sum".to_string(), Json::Num(h.sum as f64)));
+                                fields.push(("count".to_string(), Json::Num(h.count as f64)));
+                            }
+                        }
+                        Json::Obj(fields)
+                    })
+                    .collect(),
+            ),
+        )])
+    }
+}
+
+/// Converts a trace dump to the Chrome trace-event JSON object format
+/// (loadable in `chrome://tracing` and Perfetto): one `X` (complete)
+/// event per span, one `i` (instant) event per mark, plus `thread_name`
+/// metadata per lane. Timestamps are microseconds with nanosecond
+/// fractions.
+pub fn chrome_trace(dump: &TraceDump) -> Json {
+    let mut events = Vec::with_capacity(dump.total_events() + dump.lanes.len() + 1);
+    events.push(pbfs_json::json!({
+        "ph": "M", "pid": 1, "tid": 0, "name": "process_name",
+        "args": {"name": "pbfs"}
+    }));
+    for lane in &dump.lanes {
+        events.push(pbfs_json::json!({
+            "ph": "M", "pid": 1, "tid": (lane.lane), "name": "thread_name",
+            "args": {"name": (TraceDump::lane_name(lane.lane))}
+        }));
+        for e in &lane.events {
+            events.push(chrome_event(lane.lane, e));
+        }
+    }
+    pbfs_json::json!({
+        "traceEvents": (Json::Arr(events)),
+        "displayTimeUnit": "ns"
+    })
+}
+
+fn chrome_event(lane: usize, e: &TraceEvent) -> Json {
+    let (an, bn) = e.kind.arg_names();
+    let args = Json::Obj(vec![
+        (an.to_string(), Json::Num(e.a as f64)),
+        (bn.to_string(), Json::Num(e.b as f64)),
+    ]);
+    let ts = e.start_ns as f64 / 1e3;
+    if e.kind.is_span() {
+        pbfs_json::json!({
+            "name": (e.kind.name()), "cat": (e.kind.category()),
+            "ph": "X", "ts": ts, "dur": (e.dur_ns as f64 / 1e3),
+            "pid": 1, "tid": lane, "args": (args)
+        })
+    } else {
+        pbfs_json::json!({
+            "name": (e.kind.name()), "cat": (e.kind.category()),
+            "ph": "i", "ts": ts, "s": "t",
+            "pid": 1, "tid": lane, "args": (args)
+        })
+    }
+}
+
+impl ToJson for TraceDump {
+    fn to_json(&self) -> Json {
+        chrome_trace(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+    use crate::trace::{EventKind, TraceRecorder, CLIENT_LANE};
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter_with("it_total", "direction=\"top_down\"", "iterations")
+            .add(3);
+        r.counter_with("it_total", "direction=\"bottom_up\"", "iterations")
+            .add(1);
+        r.gauge("depth", "queue depth").set(7);
+        let h = r.histogram("lat_ns", "latency", &[10, 100]);
+        h.observe(5);
+        h.observe(50);
+        h.observe(5000);
+        r
+    }
+
+    #[test]
+    fn prometheus_format_is_well_formed() {
+        let text = prometheus_text(&sample_registry().snapshot());
+        assert!(text.contains("# TYPE depth gauge"));
+        assert!(text.contains("depth 7"));
+        assert!(text.contains("# TYPE it_total counter"));
+        // One HELP/TYPE header for the whole labeled family.
+        assert_eq!(text.matches("# TYPE it_total").count(), 1);
+        assert!(text.contains("it_total{direction=\"bottom_up\"} 1"));
+        assert!(text.contains("it_total{direction=\"top_down\"} 3"));
+        assert!(text.contains("lat_ns_bucket{le=\"10\"} 1"));
+        assert!(text.contains("lat_ns_bucket{le=\"100\"} 2"));
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_ns_sum 5055"));
+        assert!(text.contains("lat_ns_count 3"));
+        // Every non-comment line is `name{labels}? value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "bad line: {line}");
+            assert!(parts.next().is_some(), "bad line: {line}");
+        }
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let snap = sample_registry().snapshot();
+        let json = snap.to_json();
+        let parsed = pbfs_json::parse(&json.to_string()).unwrap();
+        let metrics = parsed["metrics"].as_array().unwrap();
+        assert_eq!(metrics.len(), 4);
+        let hist = metrics
+            .iter()
+            .find(|m| m["name"].as_str() == Some("lat_ns"))
+            .unwrap();
+        assert_eq!(hist["count"].as_u64(), Some(3));
+        assert_eq!(hist["buckets"].as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn chrome_trace_has_spans_marks_and_metadata() {
+        let rec = TraceRecorder::new(64, None);
+        rec.set_enabled(true);
+        let t = rec.start();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        rec.span(2, EventKind::Task, t, 64, 0);
+        rec.mark(CLIENT_LANE, EventKind::BatchSubmit, 9, 1);
+        let json = chrome_trace(&rec.drain());
+        let parsed = pbfs_json::parse(&json.to_string()).unwrap();
+        let events = parsed["traceEvents"].as_array().unwrap();
+        // process_name + 2 thread_name + 1 span + 1 mark.
+        assert_eq!(events.len(), 5);
+        let span = events
+            .iter()
+            .find(|e| e["ph"].as_str() == Some("X"))
+            .unwrap();
+        assert_eq!(span["name"].as_str(), Some("task"));
+        assert_eq!(span["tid"].as_u64(), Some(2));
+        assert!(span["dur"].as_f64().unwrap() >= 1000.0);
+        assert_eq!(span["args"]["items"].as_u64(), Some(64));
+        let mark = events
+            .iter()
+            .find(|e| e["ph"].as_str() == Some("i"))
+            .unwrap();
+        assert_eq!(mark["name"].as_str(), Some("batch_submit"));
+        assert_eq!(mark["s"].as_str(), Some("t"));
+    }
+}

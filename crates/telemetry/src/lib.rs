@@ -1,0 +1,75 @@
+//! Unified telemetry for the PBFS suite.
+//!
+//! Two complementary substrates, both designed so the traversal hot path
+//! pays (near) nothing for them:
+//!
+//! * **Metrics** ([`metrics`]): an always-on registry of counters, gauges
+//!   and fixed-bucket histograms backed by cache-line-padded relaxed
+//!   atomics, aggregated only when scraped. Export as Prometheus text
+//!   exposition ([`export::prometheus_text`]) or JSON.
+//! * **Tracing** ([`trace`]): per-worker bounded ring buffers of timeline
+//!   events (task ranges, steals, BFS iterations and phases, batch
+//!   lifecycle), gated on one global flag — a single relaxed load when
+//!   off. Export as Chrome trace-event JSON
+//!   ([`export::chrome_trace`]) viewable in `chrome://tracing`/Perfetto.
+//!
+//! The [`agg`] module holds the per-worker skew/imbalance/aggregation math
+//! shared by `pbfs_core::stats`, `pbfs_sched::instrument` and the
+//! exporters, so every layer reports the same numbers.
+//!
+//! Library crates use the process-wide [`registry`] and [`recorder`];
+//! tests construct private [`Registry`]/[`TraceRecorder`] instances.
+//!
+//! ```
+//! use pbfs_telemetry as telemetry;
+//!
+//! let queries = telemetry::registry().counter("doc_queries_total", "example");
+//! queries.inc();
+//! assert!(queries.get() >= 1);
+//!
+//! let rec = telemetry::TraceRecorder::new(1024, None);
+//! rec.set_enabled(true);
+//! let t = rec.start();
+//! rec.span(0, telemetry::EventKind::Task, t, 64, 0);
+//! assert_eq!(rec.drain().total_events(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod export;
+pub mod metrics;
+pub mod trace;
+
+pub use agg::{fold_per_worker, max_mean_ratio, max_min_ratio, percentile, PerWorkerU64};
+pub use metrics::{
+    exponential_buckets, Counter, Gauge, Histogram, HistogramSnapshot, MetricSample, Registry,
+    SampleValue, Snapshot,
+};
+pub use trace::{
+    EventKind, LaneDump, TraceDump, TraceEvent, TraceRecorder, CLIENT_LANE, DEFAULT_RING_CAPACITY,
+    ENGINE_LANE, LANES,
+};
+
+use std::sync::OnceLock;
+
+/// The process-wide metrics registry all pbfs crates register into.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// The process-wide trace recorder all pbfs crates record into. Disabled
+/// until something calls `recorder().set_enabled(true)`. Overwritten
+/// (dropped) events are counted in the registry's
+/// `pbfs_telemetry_dropped_events_total`.
+pub fn recorder() -> &'static TraceRecorder {
+    static RECORDER: OnceLock<TraceRecorder> = OnceLock::new();
+    RECORDER.get_or_init(|| {
+        let dropped = registry().counter(
+            "pbfs_telemetry_dropped_events_total",
+            "Trace events overwritten because a lane's ring buffer was full",
+        );
+        TraceRecorder::new(DEFAULT_RING_CAPACITY, Some(dropped))
+    })
+}

@@ -1,0 +1,521 @@
+//! Lock-free metrics: counters, gauges, and fixed-bucket histograms in a
+//! scrape-on-demand registry.
+//!
+//! All hot-path updates are relaxed `fetch_add`s on cache-line-padded
+//! shards (one shard per writing thread, assigned round-robin), so the
+//! metrics layer is always on: recording a sample never takes a lock and
+//! never contends with another worker. Aggregation across shards happens
+//! only when a [`Registry::snapshot`] is taken.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::utils::CachePadded;
+use parking_lot::Mutex;
+
+/// Number of write shards per metric (power of two). More shards than
+/// concurrent writers just wastes a little memory; fewer means occasional
+/// false sharing, never lost updates.
+pub const SHARDS: usize = 16;
+
+/// Round-robin shard index of the calling thread.
+#[inline]
+fn thread_shard() -> usize {
+    use std::cell::Cell;
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    SHARD.with(|s| {
+        let v = s.get();
+        if v != usize::MAX {
+            v
+        } else {
+            let v = NEXT.fetch_add(1, Ordering::Relaxed) & (SHARDS - 1);
+            s.set(v);
+            v
+        }
+    })
+}
+
+/// A monotonically increasing counter.
+pub struct Counter {
+    shards: Vec<CachePadded<AtomicU64>>,
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        let mut shards = Vec::with_capacity(SHARDS);
+        shards.resize_with(SHARDS, || CachePadded::new(AtomicU64::new(0)));
+        Self { shards }
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` on the calling thread's shard.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[thread_shard()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds `n` on the shard derived from `lane` (e.g. a worker id), for
+    /// call sites that already know their worker and want determinism.
+    #[inline]
+    pub fn add_at(&self, lane: usize, n: u64) {
+        self.shards[lane & (SHARDS - 1)].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total across all shards.
+    pub fn get(&self) -> u64 {
+        self.shards.iter().map(|s| s.load(Ordering::Relaxed)).sum()
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A value that can go up and down (queue depths, in-flight counts).
+#[derive(Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+struct HistShard {
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A histogram over fixed, inclusive upper-bound buckets (the Prometheus
+/// `le` convention) plus an implicit `+Inf` bucket.
+pub struct Histogram {
+    bounds: Vec<u64>,
+    shards: Vec<CachePadded<HistShard>>,
+}
+
+impl Histogram {
+    /// A histogram with the given strictly increasing inclusive upper
+    /// bounds.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let mut shards = Vec::with_capacity(SHARDS);
+        shards.resize_with(SHARDS, || {
+            let mut buckets = Vec::with_capacity(bounds.len() + 1);
+            buckets.resize_with(bounds.len() + 1, || AtomicU64::new(0));
+            CachePadded::new(HistShard {
+                buckets,
+                sum: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+            })
+        });
+        Self {
+            bounds: bounds.to_vec(),
+            shards,
+        }
+    }
+
+    /// The configured inclusive upper bounds (excluding `+Inf`).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        let shard = &self.shards[thread_shard()];
+        shard.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(v, Ordering::Relaxed);
+        shard.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Aggregated state across all shards.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut per_bucket = vec![0u64; self.bounds.len() + 1];
+        let (mut sum, mut count) = (0u64, 0u64);
+        for shard in &self.shards {
+            for (total, b) in per_bucket.iter_mut().zip(&shard.buckets) {
+                *total += b.load(Ordering::Relaxed);
+            }
+            sum += shard.sum.load(Ordering::Relaxed);
+            count += shard.count.load(Ordering::Relaxed);
+        }
+        // Cumulative counts, Prometheus-style: bucket `le=b` counts every
+        // sample ≤ b; the final entry is the `+Inf` bucket (== count).
+        let mut running = 0u64;
+        let cumulative = per_bucket
+            .iter()
+            .map(|c| {
+                running += c;
+                running
+            })
+            .collect();
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            cumulative,
+            sum,
+            count,
+        }
+    }
+}
+
+/// Point-in-time aggregate of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds (excluding `+Inf`).
+    pub bounds: Vec<u64>,
+    /// Cumulative sample counts per bound; one extra trailing entry for
+    /// `+Inf` (always equal to [`Self::count`]).
+    pub cumulative: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+/// A registered metric handle.
+#[derive(Clone)]
+pub enum Metric {
+    /// A [`Counter`].
+    Counter(Arc<Counter>),
+    /// A [`Gauge`].
+    Gauge(Arc<Gauge>),
+    /// A [`Histogram`].
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Entry {
+    name: String,
+    labels: String,
+    help: String,
+    metric: Metric,
+}
+
+/// A named collection of metrics, scraped on demand.
+///
+/// Registration is idempotent: registering the same `(name, labels)` pair
+/// again returns the existing handle, so library layers can register their
+/// metrics lazily without coordinating. Registration takes a lock; metric
+/// *updates* never do.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or retrieves) an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, "", help)
+    }
+
+    /// Registers (or retrieves) a counter with a fixed label set, e.g.
+    /// `direction="top_down"`.
+    pub fn counter_with(&self, name: &str, labels: &str, help: &str) -> Arc<Counter> {
+        match self.register(name, labels, help, || {
+            Metric::Counter(Arc::new(Counter::new()))
+        }) {
+            Metric::Counter(c) => c,
+            other => panic!(
+                "{name}{{{labels}}} already registered as a {}",
+                other.kind()
+            ),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabeled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, "", help)
+    }
+
+    /// Registers (or retrieves) a gauge with a fixed label set.
+    pub fn gauge_with(&self, name: &str, labels: &str, help: &str) -> Arc<Gauge> {
+        match self.register(name, labels, help, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            other => panic!(
+                "{name}{{{labels}}} already registered as a {}",
+                other.kind()
+            ),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabeled histogram with the given
+    /// inclusive upper bounds.
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[u64]) -> Arc<Histogram> {
+        match self.register(name, "", help, || {
+            Metric::Histogram(Arc::new(Histogram::new(bounds)))
+        }) {
+            Metric::Histogram(h) => h,
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        labels: &str,
+        help: &str,
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let mut entries = self.entries.lock();
+        if let Some(e) = entries
+            .iter()
+            .find(|e| e.name == name && e.labels == labels)
+        {
+            return e.metric.clone();
+        }
+        let metric = make();
+        entries.push(Entry {
+            name: name.to_string(),
+            labels: labels.to_string(),
+            help: help.to_string(),
+            metric: metric.clone(),
+        });
+        metric
+    }
+
+    /// Reads every registered metric. Samples are sorted by name (then
+    /// labels) so renderings are deterministic and label variants of one
+    /// family are adjacent.
+    pub fn snapshot(&self) -> Snapshot {
+        let entries = self.entries.lock();
+        let mut metrics: Vec<MetricSample> = entries
+            .iter()
+            .map(|e| MetricSample {
+                name: e.name.clone(),
+                labels: e.labels.clone(),
+                help: e.help.clone(),
+                value: match &e.metric {
+                    Metric::Counter(c) => SampleValue::Counter(c.get()),
+                    Metric::Gauge(g) => SampleValue::Gauge(g.get()),
+                    Metric::Histogram(h) => SampleValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        metrics.sort_by(|a, b| a.name.cmp(&b.name).then_with(|| a.labels.cmp(&b.labels)));
+        Snapshot { metrics }
+    }
+}
+
+/// One scraped metric.
+#[derive(Clone, Debug)]
+pub struct MetricSample {
+    /// Metric family name (e.g. `pbfs_sched_steals_total`).
+    pub name: String,
+    /// Fixed label set (`key="value",...`), empty for unlabeled metrics.
+    pub labels: String,
+    /// Human-readable description (the Prometheus `HELP` line).
+    pub help: String,
+    /// The sampled value.
+    pub value: SampleValue,
+}
+
+impl MetricSample {
+    /// The Prometheus `TYPE` of this sample.
+    pub fn kind(&self) -> &'static str {
+        match self.value {
+            SampleValue::Counter(_) => "counter",
+            SampleValue::Gauge(_) => "gauge",
+            SampleValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A sampled metric value.
+#[derive(Clone, Debug)]
+pub enum SampleValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge level.
+    Gauge(i64),
+    /// Aggregated histogram.
+    Histogram(HistogramSnapshot),
+}
+
+/// Point-in-time view of a whole [`Registry`].
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// All samples, sorted by `(name, labels)`.
+    pub metrics: Vec<MetricSample>,
+}
+
+impl Snapshot {
+    /// The sample with the given name and labels, if registered.
+    pub fn find(&self, name: &str, labels: &str) -> Option<&MetricSample> {
+        self.metrics
+            .iter()
+            .find(|m| m.name == name && m.labels == labels)
+    }
+}
+
+/// `count` exponential bounds starting at `start` and growing by `factor`
+/// (deduplicated after integer rounding).
+pub fn exponential_buckets(start: u64, factor: f64, count: usize) -> Vec<u64> {
+    assert!(start > 0 && factor > 1.0 && count > 0);
+    let mut bounds = Vec::with_capacity(count);
+    let mut edge = start as f64;
+    for _ in 0..count {
+        let b = edge.round() as u64;
+        if bounds.last() != Some(&b) {
+            bounds.push(b);
+        }
+        edge *= factor;
+    }
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_shards() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        c.add_at(3, 10);
+        c.add_at(3 + SHARDS, 1); // wraps onto shard 3; still counted once
+        assert_eq!(c.get(), 16);
+    }
+
+    #[test]
+    fn gauge_set_add_sub() {
+        let g = Gauge::new();
+        g.set(5);
+        g.add(3);
+        g.sub(10);
+        assert_eq!(g.get(), -2);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        for v in [1, 10, 11, 100, 5000] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.bounds, vec![10, 100, 1000]);
+        // le=10: {1,10}; le=100: +{11,100}; le=1000: +{}; +Inf: +{5000}.
+        assert_eq!(s.cumulative, vec![2, 4, 4, 5]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1 + 10 + 11 + 100 + 5000);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        Histogram::new(&[10, 10]);
+    }
+
+    #[test]
+    fn registry_is_idempotent() {
+        let r = Registry::new();
+        let a = r.counter("x_total", "a counter");
+        let b = r.counter("x_total", "a counter");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert!(Arc::ptr_eq(&a, &b));
+        // Same name, different labels → distinct metrics.
+        let td = r.counter_with("iters_total", "direction=\"top_down\"", "per direction");
+        let bu = r.counter_with("iters_total", "direction=\"bottom_up\"", "per direction");
+        td.add(2);
+        bu.add(1);
+        let snap = r.snapshot();
+        assert_eq!(snap.metrics.len(), 3);
+        match &snap
+            .find("iters_total", "direction=\"top_down\"")
+            .unwrap()
+            .value
+        {
+            SampleValue::Counter(v) => assert_eq!(*v, 2),
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("m", "");
+        r.gauge("m", "");
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        let r = Registry::new();
+        r.counter("zz", "");
+        r.gauge("aa", "");
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.metrics.iter().map(|m| m.name.as_str()).collect();
+        // Snapshot sorts; registration order was zz, aa.
+        assert_eq!(names, vec!["aa", "zz"]);
+    }
+
+    #[test]
+    fn exponential_bounds_grow_and_dedup() {
+        let b = exponential_buckets(1, 2.0, 5);
+        assert_eq!(b, vec![1, 2, 4, 8, 16]);
+        let b = exponential_buckets(1, 1.1, 4); // 1, 1.1, 1.21, 1.33 → rounds collide
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,102 @@
+//! Cross-thread consistency of the telemetry substrate: counters,
+//! histograms and trace rings hammered from N threads must lose, tear or
+//! double-count nothing.
+
+use std::sync::Arc;
+
+use pbfs_telemetry::{Counter, EventKind, Histogram, TraceRecorder};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn counter_totals_are_exact(threads in 2usize..=6, per_thread in vec(0u64..1_000, 1..=64)) {
+        let c = Arc::new(Counter::new());
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let c = &c;
+                let vals = &per_thread;
+                s.spawn(move || {
+                    for &v in vals {
+                        c.add_at(t, v);
+                    }
+                });
+            }
+        });
+        let expect = per_thread.iter().sum::<u64>() * threads as u64;
+        prop_assert_eq!(c.get(), expect);
+    }
+
+    #[test]
+    fn histogram_counts_and_sums_are_exact(
+        threads in 2usize..=6,
+        per_thread in vec(0u64..5_000, 1..=64),
+    ) {
+        let h = Arc::new(Histogram::new(&[10, 100, 1_000]));
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let h = &h;
+                let vals = &per_thread;
+                s.spawn(move || {
+                    for &v in vals {
+                        h.observe(v);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        let n = (threads * per_thread.len()) as u64;
+        prop_assert_eq!(snap.count, n);
+        prop_assert_eq!(snap.sum, per_thread.iter().sum::<u64>() * threads as u64);
+        // Cumulative bucket counts are monotone and end at the total.
+        prop_assert!(snap.cumulative.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(*snap.cumulative.last().unwrap(), n);
+        // Every observation landed in exactly one bucket: the cumulative
+        // count at each bound equals the number of values <= that bound.
+        for (i, &bound) in snap.bounds.iter().enumerate() {
+            let expect = per_thread.iter().filter(|&&v| v <= bound).count() as u64
+                * threads as u64;
+            prop_assert_eq!(snap.cumulative[i], expect);
+        }
+    }
+
+    #[test]
+    fn rings_keep_a_per_lane_suffix(
+        threads in 2usize..=6,
+        pushes in 1usize..=200,
+        capacity in 1usize..=64,
+    ) {
+        let dropped = Arc::new(Counter::new());
+        let rec = Arc::new(TraceRecorder::new(capacity, Some(Arc::clone(&dropped))));
+        rec.set_enabled(true);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let rec = &rec;
+                s.spawn(move || {
+                    for i in 0..pushes {
+                        // Unique, per-lane-monotone payload.
+                        rec.mark(t, EventKind::Steal, (t * 1_000_000 + i) as u64, 0);
+                    }
+                });
+            }
+        });
+        let dump = rec.drain();
+        prop_assert_eq!(dump.lanes.len(), threads);
+        let mut total_dropped = 0;
+        for lane in &dump.lanes {
+            // Nothing lost: kept + dropped = pushed.
+            prop_assert_eq!(lane.events.len() as u64 + lane.dropped, pushes as u64);
+            total_dropped += lane.dropped;
+            // Nothing torn or reordered: the survivors are exactly the
+            // newest contiguous suffix of what this lane pushed.
+            let base = (lane.lane * 1_000_000 + pushes - lane.events.len()) as u64;
+            for (i, e) in lane.events.iter().enumerate() {
+                prop_assert_eq!(e.a, base + i as u64);
+            }
+        }
+        prop_assert_eq!(dump.total_dropped(), total_dropped);
+        prop_assert_eq!(dropped.get(), total_dropped);
+    }
+}

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Validate the pbfs telemetry export formats.
+
+Usage:
+    validate_telemetry.py chrome <trace.json>
+    validate_telemetry.py prometheus <metrics.txt>
+
+``chrome`` checks that the file is a Chrome-trace JSON object whose
+``traceEvents`` hold well-formed duration ("X"), instant ("i") and
+metadata ("M") records covering the span kinds the tracer is expected to
+emit during a query replay.  ``prometheus`` checks text exposition
+format 0.0.4: HELP/TYPE headers, sample lines that match their family,
+histogram bucket/sum/count shape, and the metric families every layer
+registers.  Exit status 0 on success; prints the failure and exits 1
+otherwise.
+"""
+
+import json
+import re
+import sys
+
+REQUIRED_CHROME_EVENTS = {
+    "task": "X",
+    "iteration": "X",
+    "batch_submit": "i",
+    "batch_coalesce": "X",
+    "batch_flush": "X",
+    "batch_complete": "i",
+}
+
+REQUIRED_PROM_FAMILIES = [
+    "pbfs_sched_tasks_total",
+    "pbfs_sched_steals_total",
+    "pbfs_bfs_iterations_total",
+    "pbfs_bfs_traversals_total",
+    "pbfs_bfs_discovered_states_total",
+    "pbfs_engine_queries_total",
+    "pbfs_engine_batches_total",
+    "pbfs_engine_queue_depth",
+    "pbfs_engine_in_flight_queries",
+    "pbfs_engine_batch_width",
+    "pbfs_engine_query_latency_ns",
+    "pbfs_telemetry_dropped_events_total",
+]
+
+
+def fail(msg):
+    print(f"validate_telemetry: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_chrome(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+
+    seen = {}
+    for e in events:
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in e:
+                fail(f"event missing {key!r}: {e}")
+        ph = e["ph"]
+        if ph == "X":
+            if not isinstance(e.get("ts"), (int, float)) or e["ts"] < 0:
+                fail(f"duration event with bad ts: {e}")
+            if not isinstance(e.get("dur"), (int, float)) or e["dur"] < 0:
+                fail(f"duration event with bad dur: {e}")
+        elif ph == "i":
+            if not isinstance(e.get("ts"), (int, float)) or e["ts"] < 0:
+                fail(f"instant event with bad ts: {e}")
+            if e.get("s") not in ("t", "p", "g"):
+                fail(f"instant event with bad scope: {e}")
+        elif ph == "M":
+            if "args" not in e:
+                fail(f"metadata event without args: {e}")
+        else:
+            fail(f"unknown phase {ph!r}: {e}")
+        seen.setdefault(e["name"], e["ph"])
+
+    for name, ph in REQUIRED_CHROME_EVENTS.items():
+        if name not in seen:
+            fail(f"no {name!r} event in trace")
+        if seen[name] != ph:
+            fail(f"{name!r} has phase {seen[name]!r}, expected {ph!r}")
+    for meta in ("process_name", "thread_name"):
+        if seen.get(meta) != "M":
+            fail(f"missing {meta!r} metadata record")
+
+    n = len(events)
+    print(f"validate_telemetry: chrome trace OK ({n} events, {len(seen)} kinds)")
+
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[A-Za-z_:][A-Za-z0-9_:]*)(?P<labels>\{[^}]*\})? (?P<value>\S+)$"
+)
+
+
+def validate_prometheus(path):
+    with open(path) as f:
+        lines = f.read().splitlines()
+    if not lines:
+        fail("empty metrics file")
+
+    types = {}  # family -> TYPE
+    helped = set()
+    samples = {}  # family -> list of (labels, value)
+    for line in lines:
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            helped.add(line.split()[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                fail(f"bad TYPE line: {line!r}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(f"malformed sample line: {line!r}")
+        try:
+            float(m.group("value"))
+        except ValueError:
+            fail(f"non-numeric sample value: {line!r}")
+        name = m.group("name")
+        family = re.sub(r"_(bucket|sum|count)$", "", name)
+        family = family if family in types else name
+        if family not in types:
+            fail(f"sample {name!r} has no TYPE header")
+        samples.setdefault(family, []).append((m.group("labels") or "", name))
+
+    for family, typ in types.items():
+        if family not in helped:
+            fail(f"family {family!r} has TYPE but no HELP")
+        if family not in samples:
+            fail(f"family {family!r} has headers but no samples")
+        if typ == "histogram":
+            names = {n for _, n in samples[family]}
+            for suffix in ("_bucket", "_sum", "_count"):
+                if family + suffix not in names:
+                    fail(f"histogram {family!r} missing {family + suffix!r}")
+            if not any('le="+Inf"' in lbl for lbl, n in samples[family]
+                       if n == family + "_bucket"):
+                fail(f"histogram {family!r} has no +Inf bucket")
+
+    for family in REQUIRED_PROM_FAMILIES:
+        if family not in types:
+            fail(f"required family {family!r} absent")
+    directions = {lbl for lbl, _ in samples.get("pbfs_bfs_iterations_total", [])}
+    for want in ('direction="top_down"', 'direction="bottom_up"'):
+        if not any(want in lbl for lbl in directions):
+            fail(f"pbfs_bfs_iterations_total missing {want} sample")
+
+    print(f"validate_telemetry: prometheus text OK ({len(types)} families)")
+
+
+def main():
+    if len(sys.argv) != 3 or sys.argv[1] not in ("chrome", "prometheus"):
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    if sys.argv[1] == "chrome":
+        validate_chrome(sys.argv[2])
+    else:
+        validate_prometheus(sys.argv[2])
+
+
+if __name__ == "__main__":
+    main()

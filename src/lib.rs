@@ -12,5 +12,6 @@ pub use pbfs_bitset as bitset;
 pub use pbfs_core as core;
 pub use pbfs_graph as graph;
 pub use pbfs_sched as sched;
+pub use pbfs_telemetry as telemetry;
 
 pub use pbfs_core::engine::{EngineConfig, EngineError, EngineStats, QueryEngine, QueryHandle};

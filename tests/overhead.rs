@@ -1,0 +1,68 @@
+//! Release-mode guard: with recording disabled (the production default)
+//! the telemetry layer must not measurably slow a traversal down.
+//!
+//! Both measured configurations execute identical code — recording off —
+//! one before and one after the recorder has been exercised, so the test
+//! guards against residual cost from toggling (left-enabled flags, ring
+//! allocations on the hot path, poisoned branch prediction). A generous
+//! factor absorbs scheduler noise on oversubscribed CI machines; this is
+//! a tripwire for gross regressions, not a microbenchmark.
+
+#![cfg(not(debug_assertions))]
+
+use std::time::{Duration, Instant};
+
+use pbfs::core::options::BfsOptions;
+use pbfs::core::smspbfs::SmsPbfsBit;
+use pbfs::core::visitor::NoopVisitor;
+use pbfs::graph::gen;
+use pbfs::sched::WorkerPool;
+
+fn best_of(n: usize, mut f: impl FnMut()) -> Duration {
+    (0..n)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .min()
+        .unwrap()
+}
+
+#[test]
+fn disabled_recording_overhead_is_bounded() {
+    let g = gen::Kronecker::graph500(12).seed(1).generate();
+    let pool = WorkerPool::new(2);
+    let mut bfs = SmsPbfsBit::new(g.num_vertices());
+    let opts = BfsOptions::default();
+
+    // Warm-up: faults pages in and lazily initializes the global
+    // registry/recorder, so neither measurement pays first-use costs.
+    for _ in 0..3 {
+        bfs.run(&g, &pool, 0, &opts, &NoopVisitor);
+    }
+
+    let baseline = best_of(7, || {
+        bfs.run(&g, &pool, 0, &opts, &NoopVisitor);
+    });
+
+    // Exercise the enabled path once, then switch recording back off and
+    // measure the state every production run traverses in.
+    let rec = pbfs::telemetry::recorder();
+    rec.set_enabled(true);
+    bfs.run(&g, &pool, 0, &opts, &NoopVisitor);
+    rec.set_enabled(false);
+    rec.drain();
+
+    let guarded = best_of(7, || {
+        bfs.run(&g, &pool, 0, &opts, &NoopVisitor);
+    });
+
+    // 1.5x + 2 ms: far above the one-relaxed-load design cost, low enough
+    // to trip on anything accidentally left on the per-task hot path.
+    let limit = baseline.as_secs_f64() * 1.5 + 0.002;
+    assert!(
+        guarded.as_secs_f64() <= limit,
+        "traversal with telemetry idle took {guarded:?}, baseline {baseline:?}"
+    );
+}

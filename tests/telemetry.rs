@@ -1,0 +1,88 @@
+//! End-to-end telemetry: a query-engine replay with recording on must
+//! yield a Chrome trace containing per-worker task spans, BFS
+//! iteration/phase spans and the batch lifecycle, and a metrics snapshot
+//! that exports as well-formed Prometheus text and JSON.
+
+use std::sync::Arc;
+
+use pbfs::telemetry::{self, EventKind};
+use pbfs::{EngineConfig, QueryEngine};
+use pbfs_json::ToJson;
+
+#[test]
+fn engine_replay_produces_full_trace_and_metrics() {
+    let g = Arc::new(pbfs::graph::gen::Kronecker::graph500(9).seed(3).generate());
+    let n = g.num_vertices() as u32;
+    let rec = telemetry::recorder();
+    rec.drain(); // isolate from anything the harness ran earlier
+    rec.set_enabled(true);
+
+    let mut engine = QueryEngine::new(Arc::clone(&g), EngineConfig::default().with_workers(2));
+    let handles: Vec<_> = (0..100).map(|i| engine.submit(i % n).unwrap()).collect();
+    for h in handles {
+        h.wait().unwrap();
+    }
+    engine.shutdown();
+    rec.set_enabled(false);
+    let dump = rec.drain();
+
+    // Per-worker task spans, BFS structure, batch lifecycle.
+    assert!(dump.events_of(EventKind::Task).count() > 0);
+    assert!(dump.events_of(EventKind::Iteration).count() > 0);
+    let phases = dump.events_of(EventKind::TopDownPhase1).count()
+        + dump.events_of(EventKind::TopDownPhase2).count()
+        + dump.events_of(EventKind::BottomUp).count();
+    assert!(phases > 0, "no phase spans recorded");
+    assert!(dump.events_of(EventKind::BatchSubmit).count() >= 100);
+    assert!(dump.events_of(EventKind::BatchCoalesce).count() >= 1);
+    assert!(dump.events_of(EventKind::BatchFlush).count() >= 1);
+    assert!(dump.events_of(EventKind::BatchComplete).count() >= 1);
+    // Task spans sit on worker lanes; batch spans on the engine lane.
+    assert!(dump
+        .events_of(EventKind::Task)
+        .all(|(lane, _)| lane < telemetry::CLIENT_LANE));
+    assert!(dump
+        .events_of(EventKind::BatchFlush)
+        .all(|(lane, _)| lane == telemetry::ENGINE_LANE));
+
+    // The Chrome trace export round-trips through the JSON parser and
+    // carries both duration and instant events.
+    let chrome = telemetry::export::chrome_trace(&dump);
+    let parsed = pbfs_json::parse(&chrome.to_string_pretty()).unwrap();
+    let events = parsed["traceEvents"].as_array().unwrap();
+    assert!(
+        events.len() > dump.total_events(),
+        "metadata records missing"
+    );
+    assert!(events
+        .iter()
+        .any(|e| e["name"].as_str() == Some("task") && e["ph"].as_str() == Some("X")));
+    assert!(events
+        .iter()
+        .any(|e| e["name"].as_str() == Some("batch_submit") && e["ph"].as_str() == Some("i")));
+
+    // Metrics snapshot: every layer registered its families, and both
+    // exporters accept the result.
+    let snap = telemetry::registry().snapshot();
+    let text = telemetry::export::prometheus_text(&snap);
+    for family in [
+        "pbfs_engine_queue_depth",
+        "pbfs_engine_in_flight_queries",
+        "pbfs_engine_batch_width_bucket",
+        "pbfs_engine_query_latency_ns_bucket",
+        "pbfs_engine_queries_total",
+        "pbfs_sched_tasks_total",
+        "pbfs_sched_steals_total",
+        "pbfs_bfs_iterations_total",
+        "pbfs_bfs_traversals_total",
+        "pbfs_telemetry_dropped_events_total",
+    ] {
+        assert!(text.contains(family), "missing {family} in:\n{text}");
+    }
+    assert!(text.contains("direction=\"top_down\""));
+    assert!(text.contains("direction=\"bottom_up\""));
+    assert!(snap.find("pbfs_engine_queries_total", "").is_some());
+
+    let parsed = pbfs_json::parse(&snap.to_json().to_string_pretty()).unwrap();
+    assert!(parsed["metrics"].as_array().unwrap().len() >= 10);
+}
