@@ -15,14 +15,19 @@ usage:
   pbfs relabel FILE --scheme striped|ordered|random [--workers N] [--seed N] [--text] -o FILE
   pbfs queries [FILE] [--scale N] [--queries N] [--threads N] [--max-batch N]
         [--max-latency-us N] [--rate QPS] [--seed N] [--text]
+        [--max-queue N] [--query-timeout MS] [--drain-timeout MS]
         [--trace-out FILE]
         replays a query trace through the batched engine; without FILE a
         Kronecker graph of --scale is generated; --trace-out records a
-        per-worker timeline and writes Chrome trace-event JSON
+        per-worker timeline and writes Chrome trace-event JSON;
+        --max-queue bounds the submit queue (full = backpressure),
+        --query-timeout expires queries stuck in the queue, and
+        --drain-timeout bounds the shutdown drain (0 = unbounded)
   pbfs metrics [FILE] [--scale N] [--queries N] [--threads N] [--seed N]
-        [--json] [--text]
+        [--max-queue N] [--json] [--text]
         runs a small replay and prints the telemetry registry as
-        Prometheus text exposition (default) or JSON (--json)";
+        Prometheus text exposition (default) or JSON (--json); a tiny
+        --max-queue forces Overloaded rejections into the export";
 
 /// Parsed command line: positionals plus `--flag value` / `--flag` pairs.
 pub struct Args {

@@ -7,7 +7,7 @@ use pbfs_core::analytics::closeness_centrality;
 use pbfs_core::batch::{gteps, total_traversed_edges};
 use pbfs_core::beamer::{DirectionOptBfs, QueueKind};
 use pbfs_core::centrality::{betweenness_centrality_parallel, harmonic_centrality};
-use pbfs_core::engine::{EngineConfig, QueryEngine};
+use pbfs_core::engine::{EngineConfig, EngineError, QueryEngine};
 use pbfs_core::options::BfsOptions;
 use pbfs_core::smspbfs::{SmsPbfsBit, SmsPbfsByte};
 use pbfs_core::textbook;
@@ -265,6 +265,9 @@ fn queries(args: &Args) -> Result<(), String> {
     let max_batch: usize = args.num("max-batch", 512)?;
     let max_latency_us: u64 = args.num("max-latency-us", 2000)?;
     let rate: f64 = args.num("rate", 0.0)?; // queries/sec; 0 = open loop
+    let max_queue: usize = args.num("max-queue", 8192)?;
+    let query_timeout_ms: u64 = args.num("query-timeout", 0)?; // 0 = off
+    let drain_timeout_ms: u64 = args.num("drain-timeout", 0)?; // 0 = unbounded
 
     // A file argument replays against that graph; otherwise generate the
     // Kronecker graph of the requested scale.
@@ -284,10 +287,14 @@ fn queries(args: &Args) -> Result<(), String> {
         pbfs_telemetry::recorder().set_enabled(true);
     }
 
+    let nonzero_ms = |ms: u64| (ms > 0).then(|| Duration::from_millis(ms));
     let cfg = EngineConfig::default()
         .with_workers(threads)
         .with_max_batch(max_batch)
-        .with_max_latency(Duration::from_micros(max_latency_us));
+        .with_max_latency(Duration::from_micros(max_latency_us))
+        .with_max_queue(max_queue)
+        .with_query_timeout(nonzero_ms(query_timeout_ms))
+        .with_drain_timeout(nonzero_ms(drain_timeout_ms));
     let mut engine = QueryEngine::from_graph(g, cfg);
 
     // Synthetic arrival trace: uniformly random sources; with --rate,
@@ -296,6 +303,7 @@ fn queries(args: &Args) -> Result<(), String> {
     let start = Instant::now();
     let mut next_arrival = 0.0f64;
     let mut handles = Vec::with_capacity(num_queries);
+    let (mut rejected_submits, mut dropped) = (0u64, 0u64);
     for _ in 0..num_queries {
         if rate > 0.0 {
             let u: f64 = rng.random();
@@ -307,12 +315,31 @@ fn queries(args: &Args) -> Result<(), String> {
             }
         }
         let source = rng.random_range(0..num_vertices as u32);
-        handles.push(engine.submit(source).map_err(|e| e.to_string())?);
+        // Backpressure: an immediate rejection falls back to a bounded
+        // blocking submit; a query rejected even then is dropped and
+        // counted rather than aborting the replay.
+        match engine.submit(source) {
+            Ok(h) => handles.push(h),
+            Err(EngineError::Overloaded { .. }) => {
+                rejected_submits += 1;
+                match engine.submit_timeout(source, Duration::from_secs(5)) {
+                    Ok(h) => handles.push(h),
+                    Err(EngineError::Overloaded { .. }) => dropped += 1,
+                    Err(e) => return Err(e.to_string()),
+                }
+            }
+            Err(e) => return Err(e.to_string()),
+        }
     }
     let mut reached_total = 0u64;
+    let (mut failed, mut expired) = (0u64, 0u64);
     for h in handles {
-        let d = h.wait().map_err(|e| e.to_string())?;
-        reached_total += d.iter().filter(|&&x| x != UNREACHED).count() as u64;
+        match h.wait() {
+            Ok(d) => reached_total += d.iter().filter(|&&x| x != UNREACHED).count() as u64,
+            Err(EngineError::Expired { .. }) => expired += 1,
+            Err(EngineError::BatchFailed { .. } | EngineError::ShutDown) => failed += 1,
+            Err(e) => return Err(e.to_string()),
+        }
     }
     let wall = start.elapsed();
     engine.shutdown();
@@ -352,6 +379,18 @@ fn queries(args: &Args) -> Result<(), String> {
         "queries/sec".into(),
         format!("{:.0}", stats.queries_per_sec),
     ]);
+    if rejected_submits + dropped + expired + failed + stats.expired + stats.failed > 0 {
+        rows.push(vec![
+            "rejected submits".into(),
+            rejected_submits.to_string(),
+        ]);
+        rows.push(vec!["dropped (still full)".into(), dropped.to_string()]);
+        rows.push(vec!["expired in queue".into(), stats.expired.to_string()]);
+        rows.push(vec![
+            "failed (panic/drain)".into(),
+            stats.failed.to_string(),
+        ]);
+    }
 
     let payload = pbfs_json::json!({
         "config": {
@@ -365,11 +404,18 @@ fn queries(args: &Args) -> Result<(), String> {
             "max_latency_us": max_latency_us,
             "rate": rate,
             "seed": seed,
+            "max_queue": max_queue,
+            "query_timeout_ms": query_timeout_ms,
+            "drain_timeout_ms": drain_timeout_ms,
             "vertices": num_vertices,
             "edges": num_edges
         },
         "replay_wall_ns": (wall.as_nanos() as u64),
         "reached_total": reached_total,
+        "rejected_submits": rejected_submits,
+        "dropped": dropped,
+        "expired_waits": expired,
+        "failed_waits": failed,
         "stats": (stats.to_json())
     });
     let report = Report::new(
@@ -414,14 +460,34 @@ fn metrics(args: &Args) -> Result<(), String> {
         return Err("graph has no vertices".into());
     }
 
-    let mut engine = QueryEngine::from_graph(g, EngineConfig::default().with_workers(threads));
+    let max_queue: usize = args.num("max-queue", 8192)?;
+    let cfg = EngineConfig::default()
+        .with_workers(threads)
+        .with_max_queue(max_queue);
+    let mut engine = QueryEngine::from_graph(g, cfg);
     let mut rng = StdRng::seed_from_u64(seed);
-    let handles: Vec<_> = (0..num_queries)
-        .map(|_| engine.submit(rng.random_range(0..n as u32)))
-        .collect::<Result<_, _>>()
-        .map_err(|e| e.to_string())?;
+    let mut handles = Vec::with_capacity(num_queries);
+    for _ in 0..num_queries {
+        // A deliberately tiny --max-queue exercises the backpressure
+        // path; rejections are counted by the engine's own metrics and
+        // must not abort the replay.
+        match engine.submit(rng.random_range(0..n as u32)) {
+            Ok(h) => handles.push(h),
+            Err(EngineError::Overloaded { .. }) => {}
+            Err(e) => return Err(e.to_string()),
+        }
+    }
     for h in handles {
-        h.wait().map_err(|e| e.to_string())?;
+        match h.wait() {
+            Ok(_) => {}
+            Err(
+                EngineError::Overloaded { .. }
+                | EngineError::Expired { .. }
+                | EngineError::BatchFailed { .. }
+                | EngineError::ShutDown,
+            ) => {}
+            Err(e) => return Err(e.to_string()),
+        }
     }
     engine.shutdown();
 

@@ -21,6 +21,27 @@
 //! Results are delivered through the handle; dropping a handle mid-flight
 //! simply discards that query's distances.
 //!
+//! # Failure model
+//!
+//! Every submitted query terminates with exactly one `Ok` or typed
+//! [`EngineError`], under any interleaving of panics, overload and
+//! shutdown:
+//!
+//! * Batch execution runs under `catch_unwind`; a panic in a traversal or
+//!   user visitor fails only that batch ([`EngineError::BatchFailed`]),
+//!   the worker pool is [recovered](pbfs_sched::WorkerPool::recover), and
+//!   the next batch runs on fresh algorithm state.
+//! * The submit queue is bounded ([`EngineConfig::max_queue`]): a full
+//!   queue rejects with [`EngineError::Overloaded`] immediately
+//!   ([`QueryEngine::submit`]) or after a bounded wait for room
+//!   ([`QueryEngine::submit_timeout`]).
+//! * Queries older than [`EngineConfig::query_timeout`] are expired with
+//!   [`EngineError::Expired`] instead of being batched.
+//! * [`QueryEngine::shutdown`] is decided under the queue lock — a
+//!   submission that loses the race gets [`EngineError::ShutDown`], never
+//!   a hung [`QueryHandle::wait`] — and drains the backlog, bounded by
+//!   [`EngineConfig::drain_timeout`].
+//!
 //! ```
 //! use std::sync::Arc;
 //! use pbfs_core::engine::{EngineConfig, QueryEngine};
@@ -38,7 +59,6 @@
 //! ```
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
@@ -46,7 +66,9 @@ use std::time::{Duration, Instant};
 
 use pbfs_graph::{CsrGraph, VertexId};
 use pbfs_sched::WorkerPool;
-use pbfs_telemetry::{Counter, EventKind, Gauge, Histogram, CLIENT_LANE, ENGINE_LANE};
+use pbfs_telemetry::{
+    BoundedHistogram, Counter, EventKind, Gauge, Histogram, CLIENT_LANE, ENGINE_LANE,
+};
 
 use crate::mspbfs::MsPbfs;
 use crate::options::BfsOptions;
@@ -66,6 +88,9 @@ struct EngineMetrics {
     batches: Arc<Counter>,
     batch_width: Arc<Histogram>,
     latency: Arc<Histogram>,
+    rejected: Arc<Counter>,
+    expired: Arc<Counter>,
+    failed: Arc<Counter>,
 }
 
 fn engine_metrics() -> &'static EngineMetrics {
@@ -100,6 +125,18 @@ fn engine_metrics() -> &'static EngineMetrics {
                 "Submit-to-result latency per query in nanoseconds",
                 &pbfs_telemetry::exponential_buckets(1_000, 4.0, 12),
             ),
+            rejected: r.counter(
+                "pbfs_engine_rejected_total",
+                "Submissions rejected because the queue was full (backpressure)",
+            ),
+            expired: r.counter(
+                "pbfs_engine_expired_total",
+                "Queued queries expired by the per-query deadline before batching",
+            ),
+            failed: r.counter(
+                "pbfs_engine_failed_queries_total",
+                "Admitted queries that terminated with an error (batch panic or abandoned drain)",
+            ),
         }
     })
 }
@@ -116,6 +153,25 @@ pub struct EngineConfig {
     /// waiting for co-batched queries. Lower = better latency, higher =
     /// better throughput under bursty load.
     pub max_latency: Duration,
+    /// Admission bound: submissions beyond this many queued queries are
+    /// rejected with [`EngineError::Overloaded`] (or wait for room, see
+    /// [`QueryEngine::submit_timeout`]) instead of growing the queue
+    /// without limit.
+    pub max_queue: usize,
+    /// Per-query deadline: a query still queued after this long is expired
+    /// with [`EngineError::Expired`] instead of being batched. `None`
+    /// disables expiry.
+    pub query_timeout: Option<Duration>,
+    /// Shutdown drain bound: once [`QueryEngine::shutdown`] begins, queries
+    /// still queued after this long fail with [`EngineError::ShutDown`]
+    /// instead of extending the drain. `None` drains the whole backlog.
+    pub drain_timeout: Option<Duration>,
+    /// Fault-injection hook for tests and chaos drills: invoked inside the
+    /// batch's panic-isolation scope just before execution, with the
+    /// shared pool and the batch's sources. A hook that panics — or
+    /// dispatches a panicking job on the pool — fails the batch exactly
+    /// like a visitor panic would.
+    pub fault_hook: Option<fn(&WorkerPool, &[VertexId])>,
     /// Tuning knobs passed to the underlying traversals.
     pub bfs: BfsOptions,
 }
@@ -126,6 +182,10 @@ impl Default for EngineConfig {
             workers: 2,
             max_batch: *BATCH_WIDTHS.last().unwrap(),
             max_latency: Duration::from_millis(2),
+            max_queue: 8192,
+            query_timeout: None,
+            drain_timeout: None,
+            fault_hook: None,
             bfs: BfsOptions::default(),
         }
     }
@@ -150,6 +210,30 @@ impl EngineConfig {
         self
     }
 
+    /// Returns a copy with the given admission bound (clamped to ≥ 1).
+    pub fn with_max_queue(mut self, max_queue: usize) -> Self {
+        self.max_queue = max_queue.max(1);
+        self
+    }
+
+    /// Returns a copy with the given per-query deadline.
+    pub fn with_query_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.query_timeout = timeout;
+        self
+    }
+
+    /// Returns a copy with the given shutdown drain bound.
+    pub fn with_drain_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.drain_timeout = timeout;
+        self
+    }
+
+    /// Returns a copy with the given fault-injection hook.
+    pub fn with_fault_hook(mut self, hook: fn(&WorkerPool, &[VertexId])) -> Self {
+        self.fault_hook = Some(hook);
+        self
+    }
+
     /// The effective width cap: `max_batch` rounded up to a supported
     /// batch width.
     fn width_cap(&self) -> usize {
@@ -163,7 +247,7 @@ impl EngineConfig {
     }
 }
 
-/// Why a submission was rejected.
+/// Why a submission was rejected or a submitted query failed.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EngineError {
     /// The graph has no vertices, so no source is valid.
@@ -175,9 +259,30 @@ pub enum EngineError {
         /// Vertices in the engine's graph.
         num_vertices: usize,
     },
-    /// The engine is shutting down and accepts no further queries, or it
-    /// went away before delivering a result.
+    /// The engine is shutting down and accepts no further queries, or the
+    /// shutdown drain deadline expired before this query ran.
     ShutDown,
+    /// The submit queue was full ([`EngineConfig::max_queue`]) and no room
+    /// appeared within the allowed wait. Back off and retry.
+    Overloaded {
+        /// The admission bound that was hit.
+        max_queue: usize,
+    },
+    /// The query sat queued longer than [`EngineConfig::query_timeout`]
+    /// and was expired instead of batched.
+    Expired {
+        /// How long the query had been queued when it expired.
+        waited: Duration,
+    },
+    /// The batch this query was coalesced into panicked (in a traversal or
+    /// a user visitor). Only this batch failed; the engine keeps serving.
+    BatchFailed {
+        /// The panic message, when it carried one.
+        reason: String,
+    },
+    /// An engine invariant broke (e.g. a result channel disconnected
+    /// before a result was delivered). Always a bug worth reporting.
+    Internal(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -192,24 +297,43 @@ impl std::fmt::Display for EngineError {
                 "source {source} out of range for {num_vertices} vertices"
             ),
             EngineError::ShutDown => write!(f, "query engine is shut down"),
+            EngineError::Overloaded { max_queue } => {
+                write!(f, "query queue is full ({max_queue} pending)")
+            }
+            EngineError::Expired { waited } => {
+                write!(f, "query expired after {} ms in queue", waited.as_millis())
+            }
+            EngineError::BatchFailed { reason } => {
+                write!(f, "batch execution panicked: {reason}")
+            }
+            EngineError::Internal(msg) => write!(f, "engine internal error: {msg}"),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
 
+/// What the dispatcher delivers for one query.
+type QueryResult = Result<Vec<u32>, EngineError>;
+
 /// The pending side of one submitted query.
 struct Pending {
     source: VertexId,
     submitted: Instant,
-    tx: mpsc::Sender<Vec<u32>>,
+    tx: mpsc::Sender<QueryResult>,
 }
 
 /// Receiving end of one query; redeem with [`QueryHandle::wait`].
 #[derive(Debug)]
 pub struct QueryHandle {
     source: VertexId,
-    rx: mpsc::Receiver<Vec<u32>>,
+    rx: mpsc::Receiver<QueryResult>,
+}
+
+/// The dispatcher guarantees exactly one message per admitted query, so a
+/// disconnect without a message is an engine bug, not a shutdown.
+fn disconnected() -> EngineError {
+    EngineError::Internal("result channel disconnected before a result was delivered".into())
 }
 
 impl QueryHandle {
@@ -221,15 +345,18 @@ impl QueryHandle {
     /// Blocks until the distances from [`source`](Self::source) are ready.
     /// `distances[v]` is [`crate::UNREACHED`] for unreachable `v`.
     pub fn wait(self) -> Result<Vec<u32>, EngineError> {
-        self.rx.recv().map_err(|_| EngineError::ShutDown)
+        match self.rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(disconnected()),
+        }
     }
 
     /// Non-blocking poll; `Ok(None)` while the query is still in flight.
     pub fn try_wait(&self) -> Result<Option<Vec<u32>>, EngineError> {
         match self.rx.try_recv() {
-            Ok(d) => Ok(Some(d)),
+            Ok(result) => result.map(Some),
             Err(mpsc::TryRecvError::Empty) => Ok(None),
-            Err(mpsc::TryRecvError::Disconnected) => Err(EngineError::ShutDown),
+            Err(mpsc::TryRecvError::Disconnected) => Err(disconnected()),
         }
     }
 }
@@ -261,6 +388,16 @@ pub struct EngineStats {
     pub bfs_iterations: u64,
     /// Sum of `(vertex, BFS)` discoveries across all batches.
     pub total_discovered: u64,
+    /// Submissions rejected at admission ([`EngineError::Overloaded`]).
+    pub rejected: u64,
+    /// Queued queries expired by the per-query deadline
+    /// ([`EngineError::Expired`]).
+    pub expired: u64,
+    /// Admitted queries that terminated with an error: batch panics and
+    /// queries abandoned when the shutdown drain deadline passed.
+    pub failed: u64,
+    /// Batches whose execution panicked ([`EngineError::BatchFailed`]).
+    pub batch_failures: u64,
 }
 
 impl pbfs_json::ToJson for EngineStats {
@@ -282,51 +419,78 @@ impl pbfs_json::ToJson for EngineStats {
             "queries_per_sec": (self.queries_per_sec),
             "bfs_wall_ns": (self.bfs_wall_ns),
             "bfs_iterations": (self.bfs_iterations),
-            "total_discovered": (self.total_discovered)
+            "total_discovered": (self.total_discovered),
+            "rejected": (self.rejected),
+            "expired": (self.expired),
+            "failed": (self.failed),
+            "batch_failures": (self.batch_failures)
         })
     }
 }
 
 /// Accumulated raw measurements; [`EngineStats`] is derived on demand.
-#[derive(Default)]
+/// Latencies live in a bounded histogram, so memory is O(1) per query no
+/// matter how long the engine runs.
 struct StatsAccum {
-    latencies_ns: Vec<u64>,
+    latencies: BoundedHistogram,
     width_histogram: BTreeMap<usize, u64>,
     batches: u64,
     bfs_wall_ns: u64,
     bfs_iterations: u64,
     total_discovered: u64,
+    rejected: u64,
+    expired: u64,
+    failed: u64,
+    batch_failures: u64,
     first_submit: Option<Instant>,
     last_done: Option<Instant>,
 }
 
+impl Default for StatsAccum {
+    fn default() -> Self {
+        Self {
+            // 1 µs .. ~16 min in ×1.5 steps; quantiles are read off the
+            // bucket bounds (≤ 50% relative error), exact count/mean/max.
+            latencies: BoundedHistogram::exponential(1_000, 1.5, 52),
+            width_histogram: BTreeMap::new(),
+            batches: 0,
+            bfs_wall_ns: 0,
+            bfs_iterations: 0,
+            total_discovered: 0,
+            rejected: 0,
+            expired: 0,
+            failed: 0,
+            batch_failures: 0,
+            first_submit: None,
+            last_done: None,
+        }
+    }
+}
+
 impl StatsAccum {
     fn snapshot(&self) -> EngineStats {
-        let mut sorted = self.latencies_ns.clone();
-        sorted.sort_unstable();
-        let pct = |p: f64| pbfs_telemetry::percentile(&sorted, p);
-        let mean = if sorted.is_empty() {
-            0
-        } else {
-            sorted.iter().sum::<u64>() / sorted.len() as u64
-        };
+        let queries = self.latencies.count();
         let queries_per_sec = match (self.first_submit, self.last_done) {
             (Some(first), Some(last)) if last > first => {
-                self.latencies_ns.len() as f64 / (last - first).as_secs_f64()
+                queries as f64 / (last - first).as_secs_f64()
             }
             _ => 0.0,
         };
         EngineStats {
-            queries: self.latencies_ns.len() as u64,
+            queries,
             batches: self.batches,
             width_histogram: self.width_histogram.clone(),
-            p50_latency_ns: pct(0.50),
-            p99_latency_ns: pct(0.99),
-            mean_latency_ns: mean,
+            p50_latency_ns: self.latencies.quantile(0.50),
+            p99_latency_ns: self.latencies.quantile(0.99),
+            mean_latency_ns: self.latencies.mean() as u64,
             queries_per_sec,
             bfs_wall_ns: self.bfs_wall_ns,
             bfs_iterations: self.bfs_iterations,
             total_discovered: self.total_discovered,
+            rejected: self.rejected,
+            expired: self.expired,
+            failed: self.failed,
+            batch_failures: self.batch_failures,
         }
     }
 }
@@ -334,15 +498,22 @@ impl StatsAccum {
 /// State shared between the submission front-end and the dispatcher.
 struct Shared {
     graph: Arc<CsrGraph>,
+    config: EngineConfig,
     queue: Mutex<Queue>,
+    /// Signals the dispatcher: work arrived or shutdown began.
     queue_cv: Condvar,
+    /// Signals blocked submitters: queue room appeared or shutdown began.
+    space_cv: Condvar,
     stats: Mutex<StatsAccum>,
-    shutdown: AtomicBool,
 }
 
 #[derive(Default)]
 struct Queue {
     items: Vec<Pending>,
+    /// Set under the queue lock by [`QueryEngine::shutdown`], so admission
+    /// and shutdown serialize: a submission either lands before the flag
+    /// flips (and is drained) or observes it and gets `ShutDown`.
+    shutting_down: bool,
 }
 
 /// Online batched BFS query engine. See the [module docs](self).
@@ -356,16 +527,17 @@ impl QueryEngine {
     pub fn new(graph: Arc<CsrGraph>, config: EngineConfig) -> Self {
         let shared = Arc::new(Shared {
             graph,
+            config,
             queue: Mutex::new(Queue::default()),
             queue_cv: Condvar::new(),
+            space_cv: Condvar::new(),
             stats: Mutex::new(StatsAccum::default()),
-            shutdown: AtomicBool::new(false),
         });
         let dispatcher = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("pbfs-dispatcher".into())
-                .spawn(move || dispatcher_loop(&shared, &config))
+                .spawn(move || dispatcher_loop(&shared))
                 .expect("spawn dispatcher")
         };
         Self {
@@ -385,8 +557,27 @@ impl QueryEngine {
     }
 
     /// Enqueues a BFS from `source`. Validation is synchronous — an invalid
-    /// source is an error here, never a panic in the dispatcher.
+    /// source is an error here, never a panic in the dispatcher. A full
+    /// queue rejects immediately with [`EngineError::Overloaded`].
     pub fn submit(&self, source: VertexId) -> Result<QueryHandle, EngineError> {
+        self.submit_inner(source, None)
+    }
+
+    /// Like [`Self::submit`], but a full queue blocks up to `timeout`
+    /// waiting for room before rejecting with [`EngineError::Overloaded`].
+    pub fn submit_timeout(
+        &self,
+        source: VertexId,
+        timeout: Duration,
+    ) -> Result<QueryHandle, EngineError> {
+        self.submit_inner(source, Some(timeout))
+    }
+
+    fn submit_inner(
+        &self,
+        source: VertexId,
+        wait_for_room: Option<Duration>,
+    ) -> Result<QueryHandle, EngineError> {
         let n = self.shared.graph.num_vertices();
         if n == 0 {
             return Err(EngineError::EmptyGraph);
@@ -397,27 +588,52 @@ impl QueryEngine {
                 num_vertices: n,
             });
         }
-        if self.shared.shutdown.load(Ordering::Acquire) {
-            return Err(EngineError::ShutDown);
-        }
+        let m = engine_metrics();
+        let max_queue = self.shared.config.max_queue;
+        let room_deadline = wait_for_room.map(|d| Instant::now() + d);
         let (tx, rx) = mpsc::channel();
-        let now = Instant::now();
-        {
-            let mut stats = lock(&self.shared.stats);
-            stats.first_submit.get_or_insert(now);
-        }
-        let depth = {
+        let (submitted, depth) = {
             let mut q = lock(&self.shared.queue);
+            loop {
+                // Decided under the queue lock: a submission either beats
+                // shutdown (and will be drained) or sees it here.
+                if q.shutting_down {
+                    return Err(EngineError::ShutDown);
+                }
+                if q.items.len() < max_queue {
+                    break;
+                }
+                let wait = room_deadline
+                    .map(|d| d.saturating_duration_since(Instant::now()))
+                    .filter(|w| !w.is_zero());
+                let Some(wait) = wait else {
+                    m.rejected.inc();
+                    lock(&self.shared.stats).rejected += 1;
+                    return Err(EngineError::Overloaded { max_queue });
+                };
+                let (guard, _timeout) = self
+                    .shared
+                    .space_cv
+                    .wait_timeout(q, wait)
+                    .unwrap_or_else(PoisonError::into_inner);
+                q = guard;
+            }
+            let now = Instant::now();
             q.items.push(Pending {
                 source,
                 submitted: now,
                 tx,
             });
-            q.items.len()
+            let depth = q.items.len();
+            // Gauge written under the lock, so it can never report a stale
+            // larger value after the dispatcher drains.
+            m.queue_depth.set(depth as i64);
+            (now, depth)
         };
         self.shared.queue_cv.notify_all();
-        let m = engine_metrics();
-        m.queue_depth.set(depth as i64);
+        lock(&self.shared.stats)
+            .first_submit
+            .get_or_insert(submitted);
         m.in_flight.add(1);
         pbfs_telemetry::recorder().mark(
             CLIENT_LANE,
@@ -433,11 +649,22 @@ impl QueryEngine {
         lock(&self.shared.stats).snapshot()
     }
 
-    /// Stops accepting queries, flushes everything pending, and joins the
-    /// dispatcher. Called automatically on drop.
-    pub fn shutdown(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Release);
+    /// Initiates shutdown from any thread: stops admissions (decided under
+    /// the queue lock, so a racing [`Self::submit`] gets a clean
+    /// [`EngineError::ShutDown`]) and starts the dispatcher's drain,
+    /// without joining it. [`Self::shutdown`] or drop completes the join.
+    pub fn begin_shutdown(&self) {
+        lock(&self.shared.queue).shutting_down = true;
         self.shared.queue_cv.notify_all();
+        self.shared.space_cv.notify_all();
+    }
+
+    /// Stops accepting queries, drains everything pending (bounded by
+    /// [`EngineConfig::drain_timeout`]), and joins the dispatcher. Called
+    /// automatically on drop. Queries abandoned by an expired drain
+    /// deadline fail with [`EngineError::ShutDown`]; none hang.
+    pub fn shutdown(&mut self) {
+        self.begin_shutdown();
         if let Some(handle) = self.dispatcher.take() {
             let _ = handle.join();
         }
@@ -472,8 +699,63 @@ fn width_for(depth: usize, cap: usize) -> usize {
     cap
 }
 
-fn dispatcher_loop(shared: &Shared, config: &EngineConfig) {
-    let pool = WorkerPool::new(config.workers.max(1));
+/// Fails every queued query older than `timeout` with
+/// [`EngineError::Expired`]. Called with the queue lock held.
+fn expire_stale(q: &mut Queue, timeout: Duration, shared: &Shared) {
+    let now = Instant::now();
+    let mut expired = 0u64;
+    q.items.retain(|p| {
+        let waited = now.saturating_duration_since(p.submitted);
+        if waited >= timeout {
+            let _ = p.tx.send(Err(EngineError::Expired { waited }));
+            expired += 1;
+            false
+        } else {
+            true
+        }
+    });
+    if expired > 0 {
+        let m = engine_metrics();
+        m.expired.add(expired);
+        m.in_flight.sub(expired as i64);
+        m.queue_depth.set(q.items.len() as i64);
+        lock(&shared.stats).expired += expired;
+        shared.space_cv.notify_all();
+    }
+}
+
+/// Fails everything still queued with `err`. Called with the queue lock
+/// held, on the shutdown-drain-deadline path.
+fn fail_remaining(q: &mut Queue, shared: &Shared, err: &EngineError) {
+    let abandoned = q.items.len() as u64;
+    if abandoned == 0 {
+        return;
+    }
+    for p in q.items.drain(..) {
+        let _ = p.tx.send(Err(err.clone()));
+    }
+    let m = engine_metrics();
+    m.failed.add(abandoned);
+    m.in_flight.sub(abandoned as i64);
+    m.queue_depth.set(0);
+    lock(&shared.stats).failed += abandoned;
+    shared.space_cv.notify_all();
+}
+
+/// Best-effort extraction of a panic message from a `catch_unwind` payload.
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn dispatcher_loop(shared: &Shared) {
+    let config = &shared.config;
+    let mut pool = WorkerPool::new(config.workers.max(1));
     let cap = config.width_cap();
     let n = shared.graph.num_vertices();
     // Algorithm states are graph-sized and reused across batches.
@@ -482,34 +764,59 @@ fn dispatcher_loop(shared: &Shared, config: &EngineConfig) {
     let mut ms2: Option<MsPbfs<2>> = None;
     let mut ms4: Option<MsPbfs<4>> = None;
     let mut ms8: Option<MsPbfs<8>> = None;
+    // Fixed when shutdown is first observed with a drain bound configured.
+    let mut drain_deadline: Option<Instant> = None;
 
     loop {
         // Collect a batch: wait for work, then coalesce until the width cap
-        // is reached or the oldest query's deadline expires.
+        // is reached or the oldest query's flush deadline expires. Stale
+        // queries are expired before each decision so they never batch.
         let batch: Vec<Pending> = {
             let mut q = lock(&shared.queue);
             loop {
-                if q.items.is_empty() {
-                    if shared.shutdown.load(Ordering::Acquire) {
+                if let Some(timeout) = config.query_timeout {
+                    expire_stale(&mut q, timeout, shared);
+                }
+                if q.shutting_down {
+                    if let Some(bound) = config.drain_timeout {
+                        let deadline =
+                            *drain_deadline.get_or_insert_with(|| Instant::now() + bound);
+                        if Instant::now() >= deadline {
+                            fail_remaining(&mut q, shared, &EngineError::ShutDown);
+                        }
+                    }
+                    if q.items.is_empty() {
                         return;
                     }
+                    break; // drain mode: flush immediately, no coalescing
+                }
+                if q.items.is_empty() {
                     q = shared
                         .queue_cv
                         .wait(q)
                         .unwrap_or_else(PoisonError::into_inner);
                     continue;
                 }
-                if q.items.len() >= cap || shared.shutdown.load(Ordering::Acquire) {
+                if q.items.len() >= cap {
                     break;
                 }
-                let deadline = q.items[0].submitted + config.max_latency;
+                // Items are in submit order, so [0] is both the next to
+                // flush and the next to expire.
+                let flush_at = q.items[0].submitted + config.max_latency;
+                let wake_at = match config.query_timeout {
+                    Some(t) => flush_at.min(q.items[0].submitted + t),
+                    None => flush_at,
+                };
                 let now = Instant::now();
-                if now >= deadline {
+                if now >= flush_at {
                     break;
+                }
+                if now >= wake_at {
+                    continue; // a query just expired; re-check from the top
                 }
                 let (guard, _timeout) = shared
                     .queue_cv
-                    .wait_timeout(q, deadline - now)
+                    .wait_timeout(q, wake_at - now)
                     .unwrap_or_else(PoisonError::into_inner);
                 q = guard;
             }
@@ -517,6 +824,7 @@ fn dispatcher_loop(shared: &Shared, config: &EngineConfig) {
             let take = q.items.len().min(width.max(1));
             let batch: Vec<Pending> = q.items.drain(..take).collect();
             engine_metrics().queue_depth.set(q.items.len() as i64);
+            shared.space_cv.notify_all();
             batch
         };
 
@@ -534,17 +842,59 @@ fn dispatcher_loop(shared: &Shared, config: &EngineConfig) {
             batch.len() as u64,
             width as u64,
         );
-        let (stats, results) = if width == 1 {
-            let bfs = sms.get_or_insert_with(|| SmsPbfsBit::new(n));
-            let visitor = DistanceVisitor::new(n);
-            let stats = bfs.run(&shared.graph, &pool, sources[0], &config.bfs, &visitor);
-            (stats, vec![visitor.into_distances()])
-        } else {
-            match width {
-                64 => run_ms(&mut ms1, shared, &pool, &sources, &config.bfs),
-                128 => run_ms(&mut ms2, shared, &pool, &sources, &config.bfs),
-                256 => run_ms(&mut ms4, shared, &pool, &sources, &config.bfs),
-                _ => run_ms(&mut ms8, shared, &pool, &sources, &config.bfs),
+        // Panic isolation: a panic anywhere in the traversal or a user
+        // visitor (surfaced by the pool from any worker) fails only this
+        // batch. Pool poisoning and partially-updated algorithm state are
+        // repaired before the next batch.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(hook) = config.fault_hook {
+                hook(&pool, &sources);
+            }
+            if width == 1 {
+                let bfs = sms.get_or_insert_with(|| SmsPbfsBit::new(n));
+                let visitor = DistanceVisitor::new(n);
+                let stats = bfs.run(&shared.graph, &pool, sources[0], &config.bfs, &visitor);
+                (stats, vec![visitor.into_distances()])
+            } else {
+                match width {
+                    64 => run_ms(&mut ms1, shared, &pool, &sources, &config.bfs),
+                    128 => run_ms(&mut ms2, shared, &pool, &sources, &config.bfs),
+                    256 => run_ms(&mut ms4, shared, &pool, &sources, &config.bfs),
+                    _ => run_ms(&mut ms8, shared, &pool, &sources, &config.bfs),
+                }
+            }
+        }));
+        let (stats, results) = match outcome {
+            Ok(ok) => ok,
+            Err(payload) => {
+                let reason = panic_reason(payload.as_ref());
+                // The interrupted traversal may have left graph-sized
+                // state half-updated: rebuild lazily on the next batch.
+                sms = None;
+                ms1 = None;
+                ms2 = None;
+                ms4 = None;
+                ms8 = None;
+                pool.recover();
+                let m = engine_metrics();
+                m.failed.add(batch.len() as u64);
+                m.in_flight.sub(batch.len() as i64);
+                rec.mark(
+                    ENGINE_LANE,
+                    EventKind::BatchFailed,
+                    width as u64,
+                    batch.len() as u64,
+                );
+                {
+                    let mut acc = lock(&shared.stats);
+                    acc.batch_failures += 1;
+                    acc.failed += batch.len() as u64;
+                }
+                let err = EngineError::BatchFailed { reason };
+                for p in batch {
+                    let _ = p.tx.send(Err(err.clone()));
+                }
+                continue;
             }
         };
 
@@ -572,14 +922,14 @@ fn dispatcher_loop(shared: &Shared, config: &EngineConfig) {
             for p in &batch {
                 let latency = done.saturating_duration_since(p.submitted).as_nanos() as u64;
                 m.latency.observe(latency);
-                acc.latencies_ns.push(latency);
+                acc.latencies.observe(latency);
             }
             acc.last_done = Some(done);
         }
         let batch_len = batch.len();
         for (p, distances) in batch.into_iter().zip(results) {
             // A dropped handle means nobody wants this result; fine.
-            let _ = p.tx.send(distances);
+            let _ = p.tx.send(Ok(distances));
         }
         rec.mark(
             ENGINE_LANE,

@@ -11,13 +11,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use crossbeam::utils::CachePadded;
-use pbfs_telemetry::Counter;
+use pbfs_telemetry::{Counter, EventKind};
 
 /// Always-on scheduler counters in the global telemetry registry.
 struct SchedMetrics {
     tasks: Arc<Counter>,
     steals: Arc<Counter>,
     remote: Arc<Counter>,
+    worker_panics: Arc<Counter>,
 }
 
 fn metrics() -> &'static SchedMetrics {
@@ -37,8 +38,23 @@ fn metrics() -> &'static SchedMetrics {
                 "pbfs_sched_remote_steals_total",
                 "Stolen task ranges whose owning queue lives on another NUMA node",
             ),
+            worker_panics: r.counter(
+                "pbfs_sched_worker_panics_total",
+                "Panics caught on pool workers inside parallel loop bodies",
+            ),
         }
     })
+}
+
+/// Records one caught worker panic: an always-on counter plus a trace mark
+/// on the worker's lane, so panics show up in `pbfs metrics` output and
+/// Chrome traces instead of being stderr-only noise.
+pub(crate) fn note_panic(worker: usize, epoch: u64) {
+    metrics().worker_panics.add_at(worker, 1);
+    let rec = pbfs_telemetry::recorder();
+    if rec.is_enabled() {
+        rec.mark(worker, EventKind::WorkerPanic, worker as u64, epoch);
+    }
 }
 
 /// Folds one worker's per-loop totals into the global registry: one

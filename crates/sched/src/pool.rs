@@ -29,6 +29,10 @@ struct State {
     job: Option<Job>,
     remaining: usize,
     shutdown: bool,
+    /// Spawned workers whose loop body panicked during the current
+    /// dispatch; read and reset by the dispatcher at the completion
+    /// barrier so worker panics propagate instead of being swallowed.
+    panicked: usize,
 }
 
 struct Shared {
@@ -94,6 +98,7 @@ impl WorkerPool {
                 job: None,
                 remaining: 0,
                 shutdown: false,
+                panicked: 0,
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
@@ -103,7 +108,7 @@ impl WorkerPool {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("pbfs-worker-{worker_id}"))
-                    .spawn(move || worker_loop(&shared, worker_id))
+                    .spawn(move || worker_loop(&shared, worker_id, 0))
                     .expect("failed to spawn worker thread")
             })
             .collect();
@@ -184,17 +189,61 @@ impl WorkerPool {
         // return while workers may still dereference the job, so wait for
         // them first and poison the pool on unwind.
         let caller_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(0)));
-        {
+        let worker_panics = {
             let mut st = self.shared.state.lock();
             while st.remaining > 0 {
                 self.shared.done_cv.wait(&mut st);
             }
             st.job = None;
-        }
+            std::mem::take(&mut st.panicked)
+        };
         if let Err(panic) = caller_result {
             self.poisoned.store(true, Ordering::Relaxed);
             std::panic::resume_unwind(panic);
         }
+        // A panic on a spawned worker must not silently yield a loop whose
+        // range was only partially covered: surface it to the dispatching
+        // caller exactly like a worker-0 panic would.
+        if worker_panics > 0 {
+            self.poisoned.store(true, Ordering::Relaxed);
+            panic!("{worker_panics} pool worker(s) panicked inside a parallel loop");
+        }
+    }
+
+    /// True once a panic in a parallel loop poisoned the pool. A poisoned
+    /// pool refuses further dispatches until [`Self::recover`] is called.
+    #[inline]
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Relaxed)
+    }
+
+    /// Clears poisoning so the pool can be reused after a panic, respawning
+    /// any worker thread that died. Returns `true` if the pool had been
+    /// poisoned.
+    ///
+    /// Workers survive ordinary panics (loop bodies run under
+    /// `catch_unwind`), so the respawn sweep is normally a no-op; it
+    /// defends against exotic exits such as a panic payload whose `Drop`
+    /// panics. Poisoning is therefore transient: callers that contain the
+    /// propagated panic (e.g. the query engine's dispatcher) recover the
+    /// pool and keep serving.
+    pub fn recover(&mut self) -> bool {
+        let was_poisoned = self.poisoned.swap(false, Ordering::Relaxed);
+        // Snapshot the epoch before spawning so a replacement worker never
+        // mistakes the current (already finished) epoch for fresh work.
+        let epoch = self.shared.state.lock().epoch;
+        for (i, slot) in self.handles.iter_mut().enumerate() {
+            if slot.is_finished() {
+                let worker_id = i + 1; // handles[i] runs worker i+1
+                let shared = Arc::clone(&self.shared);
+                let fresh = std::thread::Builder::new()
+                    .name(format!("pbfs-worker-{worker_id}"))
+                    .spawn(move || worker_loop(&shared, worker_id, epoch))
+                    .expect("failed to respawn worker thread");
+                let _ = std::mem::replace(slot, fresh).join();
+            }
+        }
+        was_poisoned
     }
 
     /// The parallelized for loop of Listing 7: covers `0..total` in ranges
@@ -380,11 +429,11 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(shared: &Shared, worker_id: WorkerId) {
+fn worker_loop(shared: &Shared, worker_id: WorkerId, start_epoch: u64) {
     // This thread permanently belongs to one pool: mark it so loop bodies
     // that re-enter the pool fail fast instead of deadlocking.
     DISPATCHING.with(|f| f.set(shared as *const Shared as usize));
-    let mut last_epoch = 0u64;
+    let mut last_epoch = start_epoch;
     loop {
         let job = {
             let mut st = shared.state.lock();
@@ -405,16 +454,18 @@ fn worker_loop(shared: &Shared, worker_id: WorkerId) {
         {
             let mut st = shared.state.lock();
             st.remaining -= 1;
+            if result.is_err() {
+                // Recorded before the barrier releases so the dispatcher
+                // observes it and re-raises; the worker itself stays alive
+                // for the next epoch.
+                st.panicked += 1;
+            }
             if st.remaining == 0 {
                 shared.done_cv.notify_one();
             }
         }
         if result.is_err() {
-            // Propagate by aborting this worker; the dispatcher's own body
-            // (or subsequent barrier) will notice via poisoned state when
-            // the caller also panicked. Swallowing here keeps the
-            // completion protocol intact; tests assert on caller panics.
-            eprintln!("pbfs-sched: worker {worker_id} panicked inside a parallel loop");
+            crate::instrument::note_panic(worker_id, last_epoch);
         }
     }
 }
@@ -545,6 +596,47 @@ mod tests {
             pool.run(|_| {});
         }));
         assert!(second.is_err(), "pool must refuse to run after poisoning");
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_dispatching_caller() {
+        let pool = WorkerPool::new(4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(|w| {
+                if w == 1 {
+                    panic!("worker boom");
+                }
+            });
+        }));
+        assert!(
+            result.is_err(),
+            "a spawned worker's panic must not be swallowed"
+        );
+        assert!(pool.is_poisoned());
+    }
+
+    #[test]
+    fn recover_clears_poisoning_and_pool_runs_again() {
+        let mut pool = WorkerPool::new(4);
+        for round in 0..3 {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.run(|w| {
+                    if w == round % 2 {
+                        panic!("boom {round}");
+                    }
+                });
+            }));
+            assert!(result.is_err());
+            assert!(pool.is_poisoned());
+            assert!(pool.recover());
+            assert!(!pool.is_poisoned());
+            assert!(!pool.recover(), "recover on a healthy pool is a no-op");
+            let sum = AtomicU64::new(0);
+            pool.parallel_for(10_000, 128, |_, r| {
+                sum.fetch_add(r.len() as u64, Ordering::Relaxed);
+            });
+            assert_eq!(sum.into_inner(), 10_000);
+        }
     }
 
     #[test]

@@ -75,6 +75,107 @@ pub fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
+/// A single-threaded bounded histogram for long-lived latency accumulation:
+/// O(buckets) memory no matter how many samples are observed, exact
+/// sum/count/max, and quantiles read off the bucket upper bounds.
+///
+/// Unlike [`crate::metrics::Histogram`] this is not shared or atomic — it
+/// is meant for owned accumulator state (e.g. the query engine's stats)
+/// where the unbounded `Vec<u64>`-of-samples approach would grow forever.
+#[derive(Clone, Debug)]
+pub struct BoundedHistogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl BoundedHistogram {
+    /// A histogram with the given ascending bucket upper bounds (an
+    /// implicit `+inf` bucket is appended).
+    pub fn new(bounds: Vec<u64>) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        let counts = vec![0; bounds.len() + 1];
+        Self {
+            bounds,
+            counts,
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Exponential bounds covering `start * factor^i` for `i in 0..count`,
+    /// deduplicated after rounding.
+    pub fn exponential(start: u64, factor: f64, count: usize) -> Self {
+        let mut bounds = Vec::with_capacity(count);
+        let mut edge = start.max(1) as f64;
+        for _ in 0..count {
+            let b = edge.round() as u64;
+            if bounds.last() != Some(&b) {
+                bounds.push(b);
+            }
+            edge *= factor;
+        }
+        Self::new(bounds)
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest observed sample, 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `p`-quantile (`0.0..=1.0`): the upper bound of the bucket the
+    /// nearest-rank sample falls in, clamped to the observed maximum so
+    /// quantiles never exceed real data. 0 for an empty histogram.
+    /// Monotone in `p` by construction.
+    pub fn quantile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (p.clamp(0.0, 1.0) * (self.count - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                let bound = self.bounds.get(idx).copied().unwrap_or(u64::MAX);
+                return bound.min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
 /// Per-worker relaxed counters, cache-line padded so concurrent workers
 /// never contend. Each worker writes only its own slot.
 pub struct PerWorkerU64 {
@@ -160,6 +261,50 @@ mod tests {
         assert_eq!(percentile(&s, 1.0), 100);
         assert_eq!(percentile(&[], 0.5), 0);
         assert_eq!(percentile(&[7], 0.99), 7);
+    }
+
+    #[test]
+    fn bounded_histogram_quantiles_track_percentile() {
+        let mut h = BoundedHistogram::exponential(1_000, 1.5, 45);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        let samples: Vec<u64> = (1..=1000).map(|i| i * 977).collect();
+        for &s in &samples {
+            h.observe(s);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), samples.iter().sum::<u64>());
+        assert_eq!(h.max(), 977_000);
+        // Bucket-bound quantiles over- or under-shoot the exact nearest
+        // rank by at most one bucket's relative width (factor 1.5).
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for p in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let exact = percentile(&sorted, p) as f64;
+            let approx = h.quantile(p) as f64;
+            assert!(
+                approx >= exact / 1.5 && approx <= exact * 1.5,
+                "p={p}: approx {approx} vs exact {exact}"
+            );
+        }
+        assert!(h.quantile(0.99) >= h.quantile(0.5));
+        assert_eq!(h.quantile(1.0), 977_000); // clamped to observed max
+        let mean = h.mean();
+        assert!((mean - 500.5 * 977.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn bounded_histogram_overflow_bucket_and_dedup() {
+        // Tiny factor forces duplicate rounded edges; they dedup.
+        let h = BoundedHistogram::exponential(1, 1.01, 10);
+        assert!(h.bounds.windows(2).all(|w| w[0] < w[1]));
+        let mut h = BoundedHistogram::new(vec![10, 100]);
+        h.observe(5);
+        h.observe(50);
+        h.observe(1_000_000); // lands in the +inf bucket
+        assert_eq!(h.quantile(1.0), 1_000_000);
+        assert_eq!(h.quantile(0.0), 10);
+        assert_eq!(h.count(), 3);
     }
 
     #[test]

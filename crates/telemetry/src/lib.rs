@@ -41,7 +41,9 @@ pub mod export;
 pub mod metrics;
 pub mod trace;
 
-pub use agg::{fold_per_worker, max_mean_ratio, max_min_ratio, percentile, PerWorkerU64};
+pub use agg::{
+    fold_per_worker, max_mean_ratio, max_min_ratio, percentile, BoundedHistogram, PerWorkerU64,
+};
 pub use metrics::{
     exponential_buckets, Counter, Gauge, Histogram, HistogramSnapshot, MetricSample, Registry,
     SampleValue, Snapshot,

@@ -67,6 +67,12 @@ pub enum EventKind {
     /// A batch's results were delivered (`a` = width, `b` = batch size).
     /// Mark.
     BatchComplete,
+    /// A batch's execution panicked and every query in it failed with a
+    /// typed error (`a` = width, `b` = batch size). Mark.
+    BatchFailed,
+    /// A pool worker panicked inside a parallel loop body (`a` = worker,
+    /// `b` = dispatch epoch). Mark.
+    WorkerPanic,
 }
 
 impl EventKind {
@@ -84,13 +90,15 @@ impl EventKind {
             EventKind::BatchCoalesce => "batch_coalesce",
             EventKind::BatchFlush => "batch_flush",
             EventKind::BatchComplete => "batch_complete",
+            EventKind::BatchFailed => "batch_failed",
+            EventKind::WorkerPanic => "worker_panic",
         }
     }
 
     /// Chrome trace category.
     pub fn category(self) -> &'static str {
         match self {
-            EventKind::Task | EventKind::Steal => "sched",
+            EventKind::Task | EventKind::Steal | EventKind::WorkerPanic => "sched",
             EventKind::Iteration
             | EventKind::TopDownPhase1
             | EventKind::TopDownPhase2
@@ -99,7 +107,8 @@ impl EventKind {
             EventKind::BatchSubmit
             | EventKind::BatchCoalesce
             | EventKind::BatchFlush
-            | EventKind::BatchComplete => "engine",
+            | EventKind::BatchComplete
+            | EventKind::BatchFailed => "engine",
         }
     }
 
@@ -111,6 +120,8 @@ impl EventKind {
                 | EventKind::DirectionSwitch
                 | EventKind::BatchSubmit
                 | EventKind::BatchComplete
+                | EventKind::BatchFailed
+                | EventKind::WorkerPanic
         )
     }
 
@@ -128,6 +139,8 @@ impl EventKind {
             EventKind::BatchCoalesce => ("batch", "width"),
             EventKind::BatchFlush => ("width", "batch"),
             EventKind::BatchComplete => ("width", "batch"),
+            EventKind::BatchFailed => ("width", "batch"),
+            EventKind::WorkerPanic => ("worker", "epoch"),
         }
     }
 }

@@ -3,7 +3,7 @@
 
 Usage:
     validate_telemetry.py chrome <trace.json>
-    validate_telemetry.py prometheus <metrics.txt>
+    validate_telemetry.py prometheus <metrics.txt> [--require-nonzero FAMILY]...
 
 ``chrome`` checks that the file is a Chrome-trace JSON object whose
 ``traceEvents`` hold well-formed duration ("X"), instant ("i") and
@@ -11,8 +11,10 @@ metadata ("M") records covering the span kinds the tracer is expected to
 emit during a query replay.  ``prometheus`` checks text exposition
 format 0.0.4: HELP/TYPE headers, sample lines that match their family,
 histogram bucket/sum/count shape, and the metric families every layer
-registers.  Exit status 0 on success; prints the failure and exits 1
-otherwise.
+registers.  ``--require-nonzero`` (repeatable) additionally demands that
+at least one sample of the named family has a value > 0 — used by the
+fault-injection smoke to prove rejections actually happened.  Exit
+status 0 on success; prints the failure and exits 1 otherwise.
 """
 
 import json
@@ -40,6 +42,10 @@ REQUIRED_PROM_FAMILIES = [
     "pbfs_engine_in_flight_queries",
     "pbfs_engine_batch_width",
     "pbfs_engine_query_latency_ns",
+    "pbfs_engine_rejected_total",
+    "pbfs_engine_expired_total",
+    "pbfs_engine_failed_queries_total",
+    "pbfs_sched_worker_panics_total",
     "pbfs_telemetry_dropped_events_total",
 ]
 
@@ -97,7 +103,7 @@ SAMPLE_RE = re.compile(
 )
 
 
-def validate_prometheus(path):
+def validate_prometheus(path, require_nonzero=()):
     with open(path) as f:
         lines = f.read().splitlines()
     if not lines:
@@ -105,7 +111,8 @@ def validate_prometheus(path):
 
     types = {}  # family -> TYPE
     helped = set()
-    samples = {}  # family -> list of (labels, value)
+    samples = {}  # family -> list of (labels, sample name)
+    totals = {}  # family -> sum of sample values
     for line in lines:
         if not line:
             continue
@@ -124,7 +131,7 @@ def validate_prometheus(path):
         if not m:
             fail(f"malformed sample line: {line!r}")
         try:
-            float(m.group("value"))
+            value = float(m.group("value"))
         except ValueError:
             fail(f"non-numeric sample value: {line!r}")
         name = m.group("name")
@@ -133,6 +140,7 @@ def validate_prometheus(path):
         if family not in types:
             fail(f"sample {name!r} has no TYPE header")
         samples.setdefault(family, []).append((m.group("labels") or "", name))
+        totals[family] = totals.get(family, 0.0) + value
 
     for family, typ in types.items():
         if family not in helped:
@@ -151,6 +159,11 @@ def validate_prometheus(path):
     for family in REQUIRED_PROM_FAMILIES:
         if family not in types:
             fail(f"required family {family!r} absent")
+    for family in require_nonzero:
+        if family not in types:
+            fail(f"--require-nonzero family {family!r} absent")
+        if totals.get(family, 0.0) <= 0:
+            fail(f"family {family!r} required nonzero but all samples are 0")
     directions = {lbl for lbl, _ in samples.get("pbfs_bfs_iterations_total", [])}
     for want in ('direction="top_down"', 'direction="bottom_up"'):
         if not any(want in lbl for lbl in directions):
@@ -160,13 +173,25 @@ def validate_prometheus(path):
 
 
 def main():
-    if len(sys.argv) != 3 or sys.argv[1] not in ("chrome", "prometheus"):
+    argv = sys.argv[1:]
+    if len(argv) < 2 or argv[0] not in ("chrome", "prometheus"):
         print(__doc__, file=sys.stderr)
         sys.exit(2)
-    if sys.argv[1] == "chrome":
-        validate_chrome(sys.argv[2])
+    mode, path, rest = argv[0], argv[1], argv[2:]
+    require_nonzero = []
+    while rest:
+        if rest[0] != "--require-nonzero" or len(rest) < 2:
+            print(__doc__, file=sys.stderr)
+            sys.exit(2)
+        require_nonzero.append(rest[1])
+        rest = rest[2:]
+    if mode == "chrome":
+        if require_nonzero:
+            print(__doc__, file=sys.stderr)
+            sys.exit(2)
+        validate_chrome(path)
     else:
-        validate_prometheus(sys.argv[2])
+        validate_prometheus(path, require_nonzero)
 
 
 if __name__ == "__main__":

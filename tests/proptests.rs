@@ -11,6 +11,35 @@ use pbfs::core::textbook;
 use pbfs::graph::{CsrGraph, Permutation};
 use pbfs::sched::{TaskQueues, WorkerPool};
 
+/// Runs `f` on a helper thread and fails if it does not finish in `d` —
+/// the liveness watchdog for the engine fault property below. (On timeout
+/// the helper thread leaks — acceptable in a failing test.)
+fn with_watchdog<T: Send + 'static>(
+    d: std::time::Duration,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> T {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(d) {
+        Ok(v) => {
+            let _ = worker.join();
+            v
+        }
+        Err(_) => panic!("watchdog: blocked for more than {d:?} (liveness violation)"),
+    }
+}
+
+/// Batches containing this source are failed by the injected fault hook.
+const FAULT_SOURCE: u32 = 7;
+
+fn proptest_fault_hook(_pool: &WorkerPool, sources: &[u32]) {
+    if sources.contains(&FAULT_SOURCE) {
+        panic!("injected batch fault");
+    }
+}
+
 /// Strategy: an arbitrary undirected graph with 1..=80 vertices and up to
 /// 300 raw edges (self loops and duplicates included — cleanup is part of
 /// what we test).
@@ -219,6 +248,84 @@ proptest! {
             delivered += 1;
         }
         prop_assert_eq!(delivered, submitted, "every query answered exactly once");
+    }
+
+    #[test]
+    fn engine_fault_interleavings_every_handle_resolves(
+        g in arb_graph(),
+        ops in proptest::collection::vec((0u32..80, 0u32..4), 1..=30),
+        max_queue in 1usize..8,
+        workers in 1usize..4,
+    ) {
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        // Interleaves submit / bounded-wait submit / fault-triggering
+        // submit / drain against a tiny bounded queue with an injected
+        // panic hook. The liveness property: every handle that was issued
+        // resolves to exactly one Ok (oracle-checked) or typed Err — no
+        // hangs (watchdog-enforced), no raw disconnects.
+        with_watchdog(Duration::from_secs(60), move || -> Result<(), TestCaseError> {
+            let n = g.num_vertices() as u32;
+            let g = Arc::new(g);
+            let config = EngineConfig::default()
+                .with_workers(workers)
+                .with_max_queue(max_queue)
+                .with_max_latency(Duration::from_micros(200))
+                .with_fault_hook(proptest_fault_hook);
+            let mut engine = QueryEngine::new(Arc::clone(&g), config);
+            let mut pending: Vec<QueryHandle> = Vec::new();
+            let mut resolved = 0usize;
+            let mut issued = 0usize;
+            let drain = |pending: &mut Vec<QueryHandle>,
+                             resolved: &mut usize|
+             -> Result<(), TestCaseError> {
+                for h in pending.drain(..) {
+                    let src = h.source();
+                    match h.wait() {
+                        Ok(d) => {
+                            // The hook matches the literal FAULT_SOURCE, so
+                            // the guarantee only exists when it is a vertex.
+                            if n > FAULT_SOURCE {
+                                prop_assert!(src != FAULT_SOURCE, "faulted source answered");
+                            }
+                            prop_assert_eq!(d, textbook::distances(&g, src), "source {}", src);
+                        }
+                        Err(EngineError::BatchFailed { .. })
+                        | Err(EngineError::ShutDown) => {}
+                        Err(e) => prop_assert!(false, "untyped failure: {:?}", e),
+                    }
+                    *resolved += 1;
+                }
+                Ok(())
+            };
+            for &(src_raw, kind) in &ops {
+                let src = if kind == 2 { FAULT_SOURCE % n } else { src_raw % n };
+                let submitted = match kind {
+                    1 => engine.submit_timeout(src, Duration::from_millis(20)),
+                    _ => engine.submit(src),
+                };
+                match submitted {
+                    Ok(h) => {
+                        prop_assert_eq!(h.source(), src);
+                        pending.push(h);
+                        issued += 1;
+                    }
+                    Err(EngineError::Overloaded { max_queue: mq }) => {
+                        prop_assert_eq!(mq, max_queue);
+                    }
+                    Err(e) => prop_assert!(false, "unexpected submit error: {:?}", e),
+                }
+                if kind == 3 {
+                    drain(&mut pending, &mut resolved)?;
+                }
+            }
+            engine.begin_shutdown();
+            drain(&mut pending, &mut resolved)?;
+            engine.shutdown();
+            prop_assert_eq!(resolved, issued, "every issued handle resolved exactly once");
+            Ok(())
+        })?;
     }
 
     #[test]
