@@ -1,0 +1,107 @@
+//! `kernels` — Flat vs Summary frontier benchmark + atomic microbench.
+//!
+//! ```text
+//! kernels [OPTIONS]
+//!
+//! OPTIONS:
+//!   --quick        CI sizes (scale 10, 3 trials)
+//!   --check        fail (exit 1) if Summary > 10% slower than Flat on
+//!                  the dense graph (summed MS-PBFS medians)
+//!   --scale N      dense Kronecker scale        (default 12)
+//!   --workers N    worker pool size             (default 4)
+//!   --seed N       RNG seed                     (default 42)
+//!   --trials N     timed repetitions per config (default 5)
+//!   --out FILE     JSON output path             (default BENCH_4.json)
+//! ```
+
+use std::process::ExitCode;
+
+use pbfs_bench::kernels::{
+    atomics_report, bench4_json, check_summary_regression, kernels_report, run_atomics,
+    run_kernels, KernelConfig,
+};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: kernels [--quick] [--check] [--scale N] [--workers N] [--seed N] \
+         [--trials N] [--out FILE]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut cfg = KernelConfig::default();
+    let mut check = false;
+    let mut out = String::from("BENCH_4.json");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| -> Option<String> {
+            let v = args.next();
+            if v.is_none() {
+                eprintln!("missing value for {name}");
+            }
+            v
+        };
+        match arg.as_str() {
+            "--quick" => cfg = cfg.quick(),
+            "--check" => check = true,
+            "--scale" => match take("--scale").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.scale = v,
+                None => return usage(),
+            },
+            "--workers" => match take("--workers").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.workers = v,
+                None => return usage(),
+            },
+            "--seed" => match take("--seed").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.seed = v,
+                None => return usage(),
+            },
+            "--trials" => match take("--trials").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.trials = v,
+                None => return usage(),
+            },
+            "--out" => match take("--out") {
+                Some(v) => out = v,
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                return usage();
+            }
+        }
+    }
+    if cfg.trials == 0 {
+        eprintln!("--trials must be positive");
+        return ExitCode::FAILURE;
+    }
+
+    let kernels = run_kernels(&cfg);
+    let atomics = run_atomics(&cfg);
+    print!("{}", kernels_report(&cfg, &kernels).render());
+    println!();
+    print!("{}", atomics_report(&atomics).render());
+
+    let doc = bench4_json(&cfg, &kernels, &atomics);
+    if let Err(e) = std::fs::write(&out, doc.to_string_pretty()) {
+        eprintln!("failed to write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("\nwrote {out}");
+
+    if check {
+        match check_summary_regression(&kernels) {
+            Ok(msg) => println!("check ok: {msg}"),
+            Err(msg) => {
+                eprintln!("check FAILED: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

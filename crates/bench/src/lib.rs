@@ -12,6 +12,7 @@
 
 pub mod datasets;
 pub mod experiments;
+pub mod kernels;
 pub mod report;
 
 #[cfg(test)]

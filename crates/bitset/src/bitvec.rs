@@ -2,6 +2,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::summary::{FrontierSummary, ScanStats};
 use crate::{words_for_bits, WORD_BITS};
 
 /// A plain (single-threaded) dense bit vector.
@@ -102,8 +103,15 @@ impl BitVec {
 /// type: the first top-down phase sets bits with an atomic RMW, every other
 /// phase uses relaxed loads/stores on whole words thanks to the bijective
 /// task-range → worker mapping.
+///
+/// A [`FrontierSummary`] rides along (one bit per word, i.e. per
+/// [`crate::SUMMARY_CHUNK`] vertices): every setter marks it on the word's
+/// empty→non-empty transition, so [`Self::for_each_active_chunk`] can skip
+/// inactive words without loading them. Word-granular clears also clear the
+/// covered summary bits.
 pub struct AtomicBitVec {
     words: Box<[AtomicU64]>,
+    summary: FrontierSummary,
     len: usize,
 }
 
@@ -114,6 +122,7 @@ impl AtomicBitVec {
         v.resize_with(words_for_bits(len), || AtomicU64::new(0));
         Self {
             words: v.into_boxed_slice(),
+            summary: FrontierSummary::new(len),
             len,
         }
     }
@@ -144,6 +153,11 @@ impl AtomicBitVec {
         debug_assert!(i < self.len);
         let mask = 1u64 << (i % WORD_BITS);
         let old = self.words[i / WORD_BITS].fetch_or(mask, Ordering::Relaxed);
+        if old == 0 {
+            // Empty→non-empty word transition: first activation of the
+            // chunk (any later setter finds the bit already summarized).
+            self.summary.mark(i);
+        }
         old & mask == 0
     }
 
@@ -157,6 +171,9 @@ impl AtomicBitVec {
         debug_assert!(i < self.len);
         let w = &self.words[i / WORD_BITS];
         let cur = w.load(Ordering::Relaxed);
+        if cur == 0 {
+            self.summary.mark(i);
+        }
         w.store(cur | 1u64 << (i % WORD_BITS), Ordering::Relaxed);
     }
 
@@ -175,17 +192,22 @@ impl AtomicBitVec {
         for w in self.words.iter() {
             w.store(0, Ordering::Relaxed);
         }
+        self.summary.clear_all();
     }
 
     /// Clears the words fully covered by the vertex range `start..end`
     /// (used by per-worker range initialization; range must be word-aligned
-    /// or the caller must own the partial boundary words too).
+    /// or the caller must own the partial boundary words too), along with
+    /// their summary bits.
     pub fn clear_range_words(&self, start: usize, end: usize) {
         let first = start / WORD_BITS;
         let last = end.div_ceil(WORD_BITS).min(self.words.len());
         for w in &self.words[first..last] {
             w.store(0, Ordering::Relaxed);
         }
+        // One summary bit per word: the cleared words' bits can be cleared
+        // exactly (chunk index == word index).
+        self.summary.clear_chunk_range(first, last);
     }
 
     /// Number of set bits (relaxed snapshot).
@@ -266,6 +288,30 @@ impl AtomicBitVec {
         self.for_each_masked(start, end, true, &mut f);
     }
 
+    /// Calls `f(chunk_start, chunk_end)` for every summary-marked chunk
+    /// overlapping `start..end` (bounds clipped to the range). Chunks whose
+    /// summary bit is clear are skipped without loading their word — the
+    /// O(active / 4096) scan of the frontier summary hierarchy. Marked
+    /// chunks may still be empty (the summary is conservative); callers
+    /// scan them with e.g. [`Self::for_each_set`].
+    #[inline]
+    pub fn for_each_active_chunk(
+        &self,
+        start: usize,
+        end: usize,
+        f: impl FnMut(usize, usize),
+    ) -> ScanStats {
+        self.summary
+            .for_each_active_chunk(start, end.min(self.len), f)
+    }
+
+    /// Best-effort prefetch of the word holding bit `i` (no-op out of
+    /// range or off x86-64).
+    #[inline(always)]
+    pub fn prefetch_entry(&self, i: usize) {
+        crate::prefetch::prefetch_index(&self.words, i / WORD_BITS);
+    }
+
     /// Shared word-at-a-time scan: iterates bits of value `!invert`.
     fn for_each_masked(&self, start: usize, end: usize, invert: bool, f: &mut impl FnMut(usize)) {
         let first_wi = start / WORD_BITS;
@@ -291,9 +337,9 @@ impl AtomicBitVec {
         }
     }
 
-    /// Bytes of heap memory used.
+    /// Bytes of heap memory used (including the summary bitmap).
     pub fn heap_bytes(&self) -> usize {
-        self.words.len() * 8
+        self.words.len() * 8 + self.summary.heap_bytes()
     }
 }
 

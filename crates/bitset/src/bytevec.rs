@@ -8,9 +8,16 @@
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
+use crate::summary::{FrontierSummary, ScanStats};
+
 /// A dense vector of boolean bytes supporting concurrent mutation.
+///
+/// Carries a [`FrontierSummary`] (one bit per 64 bytes — exactly one cache
+/// line): setters mark it on activation, so summary-guided scans
+/// ([`Self::for_each_active_chunk`]) skip untouched cache lines entirely.
 pub struct AtomicByteVec {
     bytes: Box<[AtomicU8]>,
+    summary: FrontierSummary,
 }
 
 impl AtomicByteVec {
@@ -20,6 +27,7 @@ impl AtomicByteVec {
         v.resize_with(len, || AtomicU8::new(0));
         Self {
             bytes: v.into_boxed_slice(),
+            summary: FrontierSummary::new(len),
         }
     }
 
@@ -46,6 +54,9 @@ impl AtomicByteVec {
     /// Concurrent setters race benignly: all of them write `1`.
     #[inline]
     pub fn set(&self, i: usize) {
+        // The summary mark pre-checks its own bit, so the steady-state
+        // cost on an already-active chunk is one cached load.
+        self.summary.mark(i);
         self.bytes[i].store(1, Ordering::Relaxed);
     }
 
@@ -53,7 +64,11 @@ impl AtomicByteVec {
     /// concurrent setter observes `true` (used for parent/tree recording).
     #[inline]
     pub fn set_claim(&self, i: usize) -> bool {
-        self.bytes[i].swap(1, Ordering::Relaxed) == 0
+        let flipped = self.bytes[i].swap(1, Ordering::Relaxed) == 0;
+        if flipped {
+            self.summary.mark(i);
+        }
+        flipped
     }
 
     /// Clears entry `i`.
@@ -67,13 +82,20 @@ impl AtomicByteVec {
         for b in self.bytes.iter() {
             b.store(0, Ordering::Relaxed);
         }
+        self.summary.clear_all();
     }
 
     /// Clears entries in `start..end`.
+    ///
+    /// Summary bits are cleared conservatively: only chunks fully contained
+    /// in the range are unmarked, so boundary chunks shared with a
+    /// neighboring task stay (possibly falsely) marked.
     pub fn clear_range(&self, start: usize, end: usize) {
-        for b in &self.bytes[start..end.min(self.bytes.len())] {
+        let end = end.min(self.bytes.len());
+        for b in &self.bytes[start..end] {
             b.store(0, Ordering::Relaxed);
         }
+        self.summary.clear_entry_range(start, end);
     }
 
     /// Number of set entries (relaxed snapshot).
@@ -175,9 +197,29 @@ impl AtomicByteVec {
         })
     }
 
+    /// Calls `f(chunk_start, chunk_end)` for each summary chunk in
+    /// `start..end` that may contain set entries, skipping chunks whose
+    /// summary bit is clear. Conservative: `f` may see an all-clear chunk,
+    /// but never misses a set entry.
+    pub fn for_each_active_chunk(
+        &self,
+        start: usize,
+        end: usize,
+        f: impl FnMut(usize, usize),
+    ) -> ScanStats {
+        self.summary
+            .for_each_active_chunk(start, end.min(self.bytes.len()), f)
+    }
+
+    /// Best-effort prefetch of the cache line holding entry `i`.
+    #[inline]
+    pub fn prefetch_entry(&self, i: usize) {
+        crate::prefetch::prefetch_index(&self.bytes, i);
+    }
+
     /// Bytes of heap memory used.
     pub fn heap_bytes(&self) -> usize {
-        self.bytes.len()
+        self.bytes.len() + self.summary.heap_bytes()
     }
 }
 
@@ -278,6 +320,22 @@ mod tests {
         v.for_each_clear(0, 24, true, |i| clear.push(i));
         assert_eq!(clear.len(), 16);
         assert!(clear.iter().all(|&i| !(8..16).contains(&i)));
+    }
+
+    #[test]
+    fn summary_tracks_sets_and_clears() {
+        let v = AtomicByteVec::new(200);
+        v.set(70); // chunk 1
+        v.set_claim(130); // chunk 2
+        let mut chunks = Vec::new();
+        let stats = v.for_each_active_chunk(0, 200, |s, e| chunks.push((s, e)));
+        assert_eq!(chunks, vec![(64, 128), (128, 192)]);
+        assert_eq!(stats.chunks_scanned, 2);
+        assert_eq!(stats.chunks_skipped, 2);
+        // Full-range clear unmarks everything, including the partial tail.
+        v.clear_range(0, 200);
+        let stats = v.for_each_active_chunk(0, 200, |_, _| panic!("no active chunks"));
+        assert_eq!(stats.chunks_scanned, 0);
     }
 
     #[test]

@@ -17,6 +17,14 @@
 //!   chunk-skipping scan described in Section 3.2 of the paper.
 //! * [`BitVec`] — a plain (non-atomic) bit vector used by the sequential
 //!   baselines.
+//! * [`FrontierSummary`] — a second-level bitmap (one bit per
+//!   [`SUMMARY_CHUNK`] vertices) embedded in the three atomic state types,
+//!   maintained by `fetch_or` on first activation, that lets sparse
+//!   frontier scans skip inactive chunks in O(active / 4096) instead of
+//!   O(V / 64) word loads; see [`summary`].
+//! * [`prefetch`] — a safe software-prefetch shim (no-op off x86-64) used
+//!   by the traversal kernels to hide the CSR offset → adjacency →
+//!   destination-state pointer-chase latency.
 //!
 //! All atomic accessors use `Relaxed` ordering: the BFS algorithms only ever
 //! *add* information within an iteration and separate iterations (and the
@@ -28,12 +36,15 @@
 pub mod bits;
 pub mod bitvec;
 pub mod bytevec;
+pub mod prefetch;
 pub mod state;
+pub mod summary;
 
 pub use bits::{Bits, B128, B256, B512, B64};
 pub use bitvec::{AtomicBitVec, BitVec};
 pub use bytevec::AtomicByteVec;
 pub use state::StateArray;
+pub use summary::{FrontierSummary, ScanStats, SUMMARY_CHUNK, SUMMARY_SPAN};
 
 /// Number of bits per machine word used throughout the crate.
 pub const WORD_BITS: usize = 64;

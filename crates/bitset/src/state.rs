@@ -2,6 +2,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::summary::{FrontierSummary, ScanStats};
 use crate::Bits;
 
 /// A dense array of `Bits<W>` values, one per vertex, backed by atomic words.
@@ -22,6 +23,7 @@ use crate::Bits;
 pub struct StateArray<const W: usize> {
     words: Box<[AtomicU64]>,
     len: usize,
+    summary: FrontierSummary,
 }
 
 impl<const W: usize> StateArray<W> {
@@ -32,6 +34,7 @@ impl<const W: usize> StateArray<W> {
         Self {
             words: v.into_boxed_slice(),
             len,
+            summary: FrontierSummary::new(len),
         }
     }
 
@@ -65,6 +68,9 @@ impl<const W: usize> StateArray<W> {
     #[inline]
     pub fn set(&self, v: usize, bits: Bits<W>) {
         debug_assert!(v < self.len);
+        if !bits.is_empty() {
+            self.summary.mark(v);
+        }
         let base = v * W;
         for (i, w) in bits.words().iter().enumerate() {
             self.words[base + i].store(*w, Ordering::Relaxed);
@@ -75,6 +81,9 @@ impl<const W: usize> StateArray<W> {
     #[inline]
     pub fn or_assign_unsync(&self, v: usize, bits: Bits<W>) {
         debug_assert!(v < self.len);
+        if !bits.is_empty() {
+            self.summary.mark(v);
+        }
         let base = v * W;
         for (i, w) in bits.words().iter().enumerate() {
             if *w != 0 {
@@ -99,6 +108,13 @@ impl<const W: usize> StateArray<W> {
     #[inline]
     pub fn fetch_or(&self, v: usize, bits: Bits<W>) -> Bits<W> {
         debug_assert!(v < self.len);
+        if !bits.is_empty() {
+            // Conservative: mark before the OR lands so a concurrent
+            // summary-guided scan can never miss this entry. The mark
+            // pre-checks its own bit, so the steady-state cost is one
+            // cached load.
+            self.summary.mark(v);
+        }
         let base = v * W;
         let mut old = [0u64; W];
         for (i, w) in bits.words().iter().enumerate() {
@@ -123,6 +139,9 @@ impl<const W: usize> StateArray<W> {
     #[inline]
     pub fn fetch_or_cas(&self, v: usize, bits: Bits<W>) -> Bits<W> {
         debug_assert!(v < self.len);
+        if !bits.is_empty() {
+            self.summary.mark(v);
+        }
         let base = v * W;
         let mut old = [0u64; W];
         for (i, w) in bits.words().iter().enumerate() {
@@ -158,14 +177,20 @@ impl<const W: usize> StateArray<W> {
         for w in self.words.iter() {
             w.store(0, Ordering::Relaxed);
         }
+        self.summary.clear_all();
     }
 
     /// Clears entries `start..end` (used for parallel, NUMA-local init).
+    ///
+    /// Summary bits are cleared conservatively: only chunks fully contained
+    /// in the range are unmarked, so boundary chunks shared with a
+    /// neighboring task stay (possibly falsely) marked.
     pub fn clear_range(&self, start: usize, end: usize) {
         let end = end.min(self.len);
         for w in &self.words[start * W..end * W] {
             w.store(0, Ordering::Relaxed);
         }
+        self.summary.clear_entry_range(start, end);
     }
 
     /// Number of entries whose bitset is non-empty (relaxed snapshot).
@@ -181,9 +206,29 @@ impl<const W: usize> StateArray<W> {
             .sum()
     }
 
+    /// Calls `f(chunk_start, chunk_end)` for each summary chunk in
+    /// `start..end` that may contain non-empty entries, skipping chunks
+    /// whose summary bit is clear. Conservative: `f` may see an all-empty
+    /// chunk, but never misses a non-empty entry.
+    pub fn for_each_active_chunk(
+        &self,
+        start: usize,
+        end: usize,
+        f: impl FnMut(usize, usize),
+    ) -> ScanStats {
+        self.summary
+            .for_each_active_chunk(start, end.min(self.len), f)
+    }
+
+    /// Best-effort prefetch of the cache line holding entry `v`'s first word.
+    #[inline]
+    pub fn prefetch_entry(&self, v: usize) {
+        crate::prefetch::prefetch_index(&self.words, v * W);
+    }
+
     /// Bytes of heap memory used.
     pub fn heap_bytes(&self) -> usize {
-        self.words.len() * 8
+        self.words.len() * 8 + self.summary.heap_bytes()
     }
 }
 
@@ -284,6 +329,27 @@ mod tests {
     #[test]
     fn heap_bytes() {
         let a: StateArray<8> = StateArray::new(100);
-        assert_eq!(a.heap_bytes(), 100 * 8 * 8);
+        // 100 entries × 8 words × 8 bytes, plus one 8-byte summary word
+        // covering the two 64-entry chunks.
+        assert_eq!(a.heap_bytes(), 100 * 8 * 8 + 8);
+    }
+
+    #[test]
+    fn summary_tracks_writes_and_clears() {
+        let a: StateArray<1> = StateArray::new(300);
+        a.fetch_or(70, B64::single(0)); // chunk 1
+        a.set(256, B64::single(3)); // chunk 4
+        a.clear_entry(256); // conservative: summary bit stays
+        let mut chunks = Vec::new();
+        a.for_each_active_chunk(0, 300, |s, e| chunks.push((s, e)));
+        assert_eq!(chunks, vec![(64, 128), (256, 300)]);
+        // Empty writes never mark.
+        a.set(10, B64::EMPTY);
+        a.or_assign_unsync(11, B64::EMPTY);
+        let stats = a.for_each_active_chunk(0, 64, |_, _| panic!("chunk 0 clear"));
+        assert_eq!(stats.chunks_scanned, 0);
+        a.clear_range(0, 300);
+        let stats = a.for_each_active_chunk(0, 300, |_, _| panic!("all clear"));
+        assert_eq!(stats.chunks_scanned, 0);
     }
 }

@@ -1,0 +1,111 @@
+//! Property tests: summary-guided iteration must visit exactly the set
+//! entries that a linear scan finds — on every container, at every
+//! word/chunk boundary the generator happens to land on.
+
+use proptest::prelude::*;
+
+use pbfs_bitset::{AtomicBitVec, AtomicByteVec, Bits, StateArray};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn bitvec_summary_matches_linear_scan(
+        len in 1usize..20_000,
+        raw in proptest::collection::vec(0usize..20_000, 0..200),
+    ) {
+        let v = AtomicBitVec::new(len);
+        for &b in &raw {
+            v.set(b % len);
+        }
+        let expected: Vec<usize> = (0..len).filter(|&i| v.get(i)).collect();
+        let mut got = Vec::new();
+        let stats = v.for_each_active_chunk(0, len, |a, b| {
+            for i in a..b {
+                if v.get(i) {
+                    got.push(i);
+                }
+            }
+        });
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(
+            (stats.chunks_skipped + stats.chunks_scanned) as usize,
+            len.div_ceil(64)
+        );
+    }
+
+    #[test]
+    fn bytevec_summary_matches_linear_scan(
+        len in 1usize..20_000,
+        raw in proptest::collection::vec(0usize..20_000, 0..200),
+    ) {
+        let v = AtomicByteVec::new(len);
+        for &b in &raw {
+            v.set(b % len);
+        }
+        let expected: Vec<usize> = (0..len).filter(|&i| v.get(i)).collect();
+        let mut got = Vec::new();
+        v.for_each_active_chunk(0, len, |a, b| {
+            for i in a..b {
+                if v.get(i) {
+                    got.push(i);
+                }
+            }
+        });
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn state_array_summary_matches_linear_scan(
+        len in 1usize..10_000,
+        raw in proptest::collection::vec((0usize..10_000, 0usize..64), 0..150),
+    ) {
+        let s: StateArray<1> = StateArray::new(len);
+        for &(v, bit) in &raw {
+            s.fetch_or(v % len, Bits::single(bit));
+        }
+        let expected: Vec<usize> = (0..len).filter(|&i| !s.get(i).is_empty()).collect();
+        let mut got = Vec::new();
+        s.for_each_active_chunk(0, len, |a, b| {
+            for i in a..b {
+                if !s.get(i).is_empty() {
+                    got.push(i);
+                }
+            }
+        });
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn range_clears_never_hide_entries_outside_the_range(
+        len in 128usize..8_192,
+        raw in proptest::collection::vec(0usize..8_192, 1..100),
+        lo_chunk in 0usize..64,
+        span in 1usize..64,
+    ) {
+        // Clearing an arbitrary chunk-aligned word range must leave every
+        // set bit outside it reachable through the summary.
+        let v = AtomicBitVec::new(len);
+        for &b in &raw {
+            v.set(b % len);
+        }
+        let words = len.div_ceil(64);
+        let lo = lo_chunk.min(words.saturating_sub(1));
+        let hi = (lo + span).min(words);
+        // clear_range_words takes entry indices; lo/hi are word-aligned.
+        v.clear_range_words(lo * 64, (hi * 64).min(len));
+        let expected: Vec<usize> = (0..len).filter(|&i| v.get(i)).collect();
+        let mut got = Vec::new();
+        v.for_each_active_chunk(0, len, |a, b| {
+            for i in a..b {
+                if v.get(i) {
+                    got.push(i);
+                }
+            }
+        });
+        prop_assert_eq!(&got, &expected);
+        for i in expected {
+            prop_assert!(!(lo * 64..hi * 64).contains(&i), "bit {i} survived its own clear");
+        }
+    }
+}

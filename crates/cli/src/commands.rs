@@ -8,7 +8,8 @@ use pbfs_core::batch::{gteps, total_traversed_edges};
 use pbfs_core::beamer::{DirectionOptBfs, QueueKind};
 use pbfs_core::centrality::{betweenness_centrality_parallel, harmonic_centrality};
 use pbfs_core::engine::{EngineConfig, EngineError, QueryEngine};
-use pbfs_core::options::BfsOptions;
+use pbfs_core::options::{BfsOptions, DEFAULT_PREFETCH_DISTANCE};
+use pbfs_core::policy::FrontierMode;
 use pbfs_core::smspbfs::{SmsPbfsBit, SmsPbfsByte};
 use pbfs_core::textbook;
 use pbfs_core::validate::validate_tree;
@@ -68,6 +69,19 @@ fn save(args: &Args, g: &CsrGraph) -> Result<(), String> {
         g.num_edges()
     );
     Ok(())
+}
+
+/// Builds [`BfsOptions`] from the shared traversal knobs: `--frontier
+/// flat|summary` and `--prefetch-distance N`.
+fn bfs_options(args: &Args) -> Result<BfsOptions, String> {
+    let mut opts = BfsOptions::default();
+    if let Some(s) = args.get("frontier") {
+        let mode = FrontierMode::parse(s)
+            .ok_or_else(|| format!("invalid value for --frontier: {s} (flat or summary)"))?;
+        opts = opts.with_frontier_mode(mode);
+    }
+    let pd: usize = args.num("prefetch-distance", DEFAULT_PREFETCH_DISTANCE)?;
+    Ok(opts.with_prefetch_distance(pd))
 }
 
 fn workers(args: &Args) -> Result<usize, String> {
@@ -138,7 +152,7 @@ fn bfs(args: &Args) -> Result<(), String> {
     let algo = args.get("algo").unwrap_or("sms-bit");
     let w = workers(args)?;
     let pool = WorkerPool::new(w);
-    let opts = BfsOptions::default();
+    let opts = bfs_options(args)?;
     let n = g.num_vertices();
     let dists = DistanceVisitor::new(n);
     let parents = ParentVisitor::new(n, source);
@@ -219,7 +233,7 @@ fn centrality(args: &Args) -> Result<(), String> {
     let top: usize = args.num("top", 10)?;
     let w = workers(args)?;
     let pool = WorkerPool::new(w);
-    let opts = BfsOptions::default();
+    let opts = bfs_options(args)?;
     let sources: Vec<u32> = (0..g.num_vertices() as u32).collect();
     let t0 = Instant::now();
     let values: Vec<f64> = match measure {
@@ -294,7 +308,8 @@ fn queries(args: &Args) -> Result<(), String> {
         .with_max_latency(Duration::from_micros(max_latency_us))
         .with_max_queue(max_queue)
         .with_query_timeout(nonzero_ms(query_timeout_ms))
-        .with_drain_timeout(nonzero_ms(drain_timeout_ms));
+        .with_drain_timeout(nonzero_ms(drain_timeout_ms))
+        .with_bfs(bfs_options(args)?);
     let mut engine = QueryEngine::from_graph(g, cfg);
 
     // Synthetic arrival trace: uniformly random sources; with --rate,
@@ -463,7 +478,8 @@ fn metrics(args: &Args) -> Result<(), String> {
     let max_queue: usize = args.num("max-queue", 8192)?;
     let cfg = EngineConfig::default()
         .with_workers(threads)
-        .with_max_queue(max_queue);
+        .with_max_queue(max_queue)
+        .with_bfs(bfs_options(args)?);
     let mut engine = QueryEngine::from_graph(g, cfg);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut handles = Vec::with_capacity(num_queries);

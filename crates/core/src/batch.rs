@@ -388,8 +388,13 @@ mod tests {
         assert_eq!(four.state_bytes, 4 * one.state_bytes);
         let pool = WorkerPool::new(4);
         let par = run_mspbfs_batches::<1, _>(&g, &pool, &sources, &opts, &NoopConsumer);
+        // MS-PBFS adds three frontier-summary bitmaps on top of the
+        // sequential state, but stays independent of the thread count.
+        let summaries =
+            3 * crate::memory::MemoryModel::graph500(g.num_vertices()).frontier_summary_bytes();
         assert_eq!(
-            par.state_bytes, one.state_bytes,
+            par.state_bytes,
+            one.state_bytes + summaries,
             "MS-PBFS state independent of threads"
         );
     }

@@ -234,6 +234,13 @@ impl EngineConfig {
         self
     }
 
+    /// Returns a copy with the given per-traversal BFS options (frontier
+    /// mode, prefetch distance, direction policy, ...).
+    pub fn with_bfs(mut self, bfs: BfsOptions) -> Self {
+        self.bfs = bfs;
+        self
+    }
+
     /// The effective width cap: `max_batch` rounded up to a supported
     /// batch width.
     fn width_cap(&self) -> usize {

@@ -68,8 +68,8 @@ pub mod prelude {
     pub use crate::engine::{EngineConfig, EngineError, EngineStats, QueryEngine, QueryHandle};
     pub use crate::msbfs::MsBfs;
     pub use crate::mspbfs::MsPbfs;
-    pub use crate::options::{AtomicKind, BfsOptions};
-    pub use crate::policy::{Direction, DirectionPolicy};
+    pub use crate::options::{AtomicKind, BfsOptions, DEFAULT_PREFETCH_DISTANCE};
+    pub use crate::policy::{Direction, DirectionPolicy, FrontierMode};
     pub use crate::smspbfs::{SmsPbfsBit, SmsPbfsByte};
     pub use crate::stats::{IterationStats, TraversalStats};
     pub use crate::visitor::{

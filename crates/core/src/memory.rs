@@ -46,26 +46,37 @@ impl MemoryModel {
         threads * self.single_instance_state_bytes()
     }
 
+    /// Heap bytes of one frontier-summary bitmap: one bit per 64-entry
+    /// chunk, packed into 64-bit words — 1 bit per 4096 vertices, a
+    /// ~0.002% overhead on the state array it covers. Only the parallel
+    /// algorithms carry summaries (one per state array); the sequential
+    /// baselines do not.
+    pub fn frontier_summary_bytes(&self) -> usize {
+        self.vertices.div_ceil(64 * 64) * 8
+    }
+
     /// Dynamic state of MS-PBFS: one shared instance regardless of thread
     /// count ("MS-PBFS ... only consumes as much memory as a single
-    /// MS-BFS").
+    /// MS-BFS"), plus three frontier summaries.
     pub fn mspbfs_state_bytes(&self, _threads: usize) -> usize {
-        self.single_instance_state_bytes()
+        self.single_instance_state_bytes() + 3 * self.frontier_summary_bytes()
     }
 
     /// Dynamic state of MS-PBFS (one per socket): one instance per NUMA
     /// node.
     pub fn one_per_socket_state_bytes(&self, sockets: usize) -> usize {
-        sockets * self.single_instance_state_bytes()
+        sockets * self.mspbfs_state_bytes(1)
     }
 
-    /// State of SMS-PBFS: three boolean arrays (bit or byte per vertex).
+    /// State of SMS-PBFS: three boolean arrays (bit or byte per vertex)
+    /// plus three frontier summaries.
     pub fn smspbfs_state_bytes(&self, byte_repr: bool) -> usize {
-        if byte_repr {
+        let arrays = if byte_repr {
             3 * self.vertices
         } else {
             3 * self.vertices.div_ceil(8)
-        }
+        };
+        arrays + 3 * self.frontier_summary_bytes()
     }
 
     /// The Figure 3 y-axis: MS-BFS state relative to graph size as a
@@ -116,14 +127,17 @@ mod tests {
         assert_eq!(m.graph_bytes(), 128_000);
         assert_eq!(m.single_instance_state_bytes(), 3 * 1000 * 32);
         assert_eq!(m.msbfs_state_bytes(10), 10 * 96_000);
-        assert_eq!(m.one_per_socket_state_bytes(4), 4 * 96_000);
+        // One summary word per state array (1000 vertices → 16 chunks).
+        assert_eq!(m.frontier_summary_bytes(), 8);
+        assert_eq!(m.one_per_socket_state_bytes(4), 4 * (96_000 + 24));
     }
 
     #[test]
     fn smspbfs_state_is_tiny() {
         let m = MemoryModel::graph500(1 << 20);
-        assert_eq!(m.smspbfs_state_bytes(false), 3 * (1 << 20) / 8);
-        assert_eq!(m.smspbfs_state_bytes(true), 3 * (1 << 20));
+        let summaries = 3 * m.frontier_summary_bytes();
+        assert_eq!(m.smspbfs_state_bytes(false), 3 * (1 << 20) / 8 + summaries);
+        assert_eq!(m.smspbfs_state_bytes(true), 3 * (1 << 20) + summaries);
         assert!(m.smspbfs_state_bytes(true) < m.single_instance_state_bytes());
     }
 

@@ -14,13 +14,13 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use pbfs_bitset::{Bits, StateArray};
+use pbfs_bitset::{Bits, ScanStats, StateArray, SUMMARY_CHUNK};
 use pbfs_graph::{CsrGraph, VertexId};
 use pbfs_sched::WorkerPool;
 use pbfs_telemetry::{EventKind, PerWorkerU64};
 
 use crate::options::{AtomicKind, BfsOptions};
-use crate::policy::{Direction, FrontierState};
+use crate::policy::{Direction, FrontierMode, FrontierState};
 use crate::stats::{IterationStats, TraversalStats, WorkerIterStats};
 use crate::visitor::MsVisitor;
 
@@ -80,7 +80,17 @@ impl<const W: usize> MsPbfs<W> {
         assert!(!sources.is_empty(), "need at least one source");
         assert!(sources.len() <= W * 64, "batch exceeds bitset width");
         let start = std::time::Instant::now();
-        let split = opts.split_size.max(1);
+        // Summary-guided scans want task ranges aligned to summary chunks:
+        // range clears then cover whole chunks, so summary bits are cleared
+        // exactly instead of conservatively.
+        let split = match opts.frontier_mode {
+            FrontierMode::Summary => {
+                pbfs_sched::aligned_split(opts.split_size.max(1), SUMMARY_CHUNK)
+            }
+            FrontierMode::Flat => opts.split_size.max(1),
+        };
+        let mode = opts.frontier_mode;
+        let pd = opts.prefetch_distance;
         let rec = pbfs_telemetry::recorder();
 
         // Parallel init: each worker first-touches (and later processes)
@@ -122,6 +132,13 @@ impl<const W: usize> MsPbfs<W> {
         };
         let mut direction = Direction::TopDown;
         let mut depth = 0u32;
+        // Whole-traversal summary-scan totals, fed from every phase.
+        let sum_skipped = AtomicU64::new(0);
+        let sum_scanned = AtomicU64::new(0);
+        let note_scan = |s: ScanStats| {
+            sum_skipped.fetch_add(s.chunks_skipped, Ordering::Relaxed);
+            sum_scanned.fetch_add(s.chunks_scanned, Ordering::Relaxed);
+        };
 
         while frontier_vertices > 0 {
             if let Some(max) = opts.max_iterations {
@@ -158,24 +175,78 @@ impl<const W: usize> MsPbfs<W> {
                     let phase1 = |_worker: usize, r: std::ops::Range<usize>| {
                         let owner = (r.start / split) % workers;
                         let mut visited = 0u64;
-                        for v in r {
-                            let f = frontier.get(v);
-                            if f.is_empty() {
-                                continue;
+                        // Expand one frontier vertex, prefetching the state
+                        // entries of neighbors `pd` positions ahead so the
+                        // atomic OR hits warm cache lines.
+                        let mut expand = |v: usize, f: Bits<W>| {
+                            let nbrs = g.neighbors_fast(v as VertexId);
+                            if pd > 0 {
+                                for &nbr in &nbrs[..pd.min(nbrs.len())] {
+                                    next.prefetch_entry(nbr as usize);
+                                }
                             }
                             match opts.atomic {
                                 AtomicKind::FetchOr => {
-                                    for &nbr in g.neighbors(v as VertexId) {
+                                    for (j, &nbr) in nbrs.iter().enumerate() {
+                                        if pd > 0 && j + pd < nbrs.len() {
+                                            next.prefetch_entry(nbrs[j + pd] as usize);
+                                        }
                                         next.fetch_or(nbr as usize, f);
                                     }
                                 }
                                 AtomicKind::CasLoop => {
-                                    for &nbr in g.neighbors(v as VertexId) {
+                                    for (j, &nbr) in nbrs.iter().enumerate() {
+                                        if pd > 0 && j + pd < nbrs.len() {
+                                            next.prefetch_entry(nbrs[j + pd] as usize);
+                                        }
                                         next.fetch_or_cas(nbr as usize, f);
                                     }
                                 }
                             }
-                            visited += g.degree(v as VertexId) as u64;
+                            visited += nbrs.len() as u64;
+                        };
+                        match mode {
+                            FrontierMode::Flat => {
+                                for v in r {
+                                    let f = frontier.get(v);
+                                    if !f.is_empty() {
+                                        expand(v, f);
+                                    }
+                                }
+                            }
+                            FrontierMode::Summary => {
+                                note_scan(frontier.for_each_active_chunk(
+                                    r.start,
+                                    r.end,
+                                    |cs, ce| {
+                                        // Gather the chunk's active vertices
+                                        // so the CSR pointer chase can be
+                                        // pipelined `pd` vertices deep.
+                                        let mut vbuf = [0u32; SUMMARY_CHUNK];
+                                        let mut fbuf = [Bits::<W>::EMPTY; SUMMARY_CHUNK];
+                                        let mut cnt = 0usize;
+                                        for v in cs..ce {
+                                            let f = frontier.get(v);
+                                            if !f.is_empty() {
+                                                vbuf[cnt] = v as u32;
+                                                fbuf[cnt] = f;
+                                                cnt += 1;
+                                            }
+                                        }
+                                        if pd > 0 {
+                                            for &v in &vbuf[..cnt] {
+                                                g.prefetch_offsets(v);
+                                            }
+                                        }
+                                        for i in 0..cnt {
+                                            if pd > 0 && i + pd < cnt {
+                                                g.prefetch_neighbors(vbuf[i + pd]);
+                                            }
+                                            expand(vbuf[i] as usize, fbuf[i]);
+                                        }
+                                    },
+                                ));
+                            }
                         }
                         visited_pw.add(owner, visited);
                     };
@@ -184,11 +255,10 @@ impl<const W: usize> MsPbfs<W> {
                         let owner = (r.start / split) % workers;
                         let (mut disc, mut fv, mut fd, mut full_deg, mut upd) =
                             (0u64, 0u64, 0u64, 0u64, 0u64);
-                        for v in r {
-                            frontier.clear_entry(v);
+                        let mut settle = |v: usize| {
                             let nx = next.get(v);
                             if nx.is_empty() {
-                                continue;
+                                return;
                             }
                             let seen_v = seen.get(v);
                             let new = nx.and_not(&seen_v);
@@ -207,6 +277,29 @@ impl<const W: usize> MsPbfs<W> {
                                 if merged == full {
                                     full_deg += g.degree(v as VertexId) as u64;
                                 }
+                            }
+                        };
+                        match mode {
+                            FrontierMode::Flat => {
+                                for v in r {
+                                    frontier.clear_entry(v);
+                                    settle(v);
+                                }
+                            }
+                            FrontierMode::Summary => {
+                                // Nothing reads `frontier` this phase: clear
+                                // only its active chunks (ranges are chunk-
+                                // aligned, so summary bits clear exactly).
+                                note_scan(frontier.for_each_active_chunk(
+                                    r.start,
+                                    r.end,
+                                    |cs, ce| frontier.clear_range(cs, ce),
+                                ));
+                                note_scan(next.for_each_active_chunk(r.start, r.end, |cs, ce| {
+                                    for v in cs..ce {
+                                        settle(v);
+                                    }
+                                }));
                             }
                         }
                         discovered.fetch_add(disc, Ordering::Relaxed);
@@ -246,8 +339,17 @@ impl<const W: usize> MsPbfs<W> {
                             if seen_u == full {
                                 continue;
                             }
+                            let nbrs = g.neighbors_fast(u as VertexId);
+                            if pd > 0 {
+                                for &v in &nbrs[..pd.min(nbrs.len())] {
+                                    frontier.prefetch_entry(v as usize);
+                                }
+                            }
                             let mut acc = Bits::EMPTY;
-                            for &v in g.neighbors(u as VertexId) {
+                            for (j, &v) in nbrs.iter().enumerate() {
+                                if pd > 0 && j + pd < nbrs.len() {
+                                    frontier.prefetch_entry(nbrs[j + pd] as usize);
+                                }
                                 visited += 1;
                                 acc |= frontier.get(v as usize);
                                 if opts.early_exit && (acc | seen_u) == full {
@@ -300,7 +402,19 @@ impl<const W: usize> MsPbfs<W> {
             std::mem::swap(&mut self.frontier, &mut self.next);
             if direction == Direction::BottomUp {
                 let next = &self.next;
-                pool.parallel_for(n, split, |_, r| next.clear_range(r.start, r.end));
+                match mode {
+                    FrontierMode::Flat => {
+                        pool.parallel_for(n, split, |_, r| next.clear_range(r.start, r.end));
+                    }
+                    FrontierMode::Summary => {
+                        // Only active chunks can hold stale bits.
+                        pool.parallel_for(n, split, |_, r| {
+                            note_scan(next.for_each_active_chunk(r.start, r.end, |cs, ce| {
+                                next.clear_range(cs, ce)
+                            }));
+                        });
+                    }
+                }
             }
 
             frontier_vertices = new_fv.load(Ordering::Relaxed);
@@ -328,6 +442,9 @@ impl<const W: usize> MsPbfs<W> {
             });
         }
 
+        stats.summary_chunks_skipped = sum_skipped.load(Ordering::Relaxed);
+        stats.summary_chunks_scanned = sum_scanned.load(Ordering::Relaxed);
+        crate::obs::note_summary_scan(stats.summary_chunks_skipped, stats.summary_chunks_scanned);
         crate::obs::note_traversal(stats.total_discovered);
         stats.total_wall_ns = start.elapsed().as_nanos() as u64;
         stats
@@ -437,6 +554,57 @@ mod tests {
     }
 
     #[test]
+    fn frontier_modes_and_prefetch_distances_match() {
+        let g = gen::Kronecker::graph500(10).seed(21).generate();
+        let sources: Vec<u32> = (0..48).map(|i| i * 11 % 1024).collect();
+        for mode in [
+            crate::policy::FrontierMode::Flat,
+            crate::policy::FrontierMode::Summary,
+        ] {
+            for pd in [0usize, 4, 16] {
+                let opts = BfsOptions::default()
+                    .with_frontier_mode(mode)
+                    .with_prefetch_distance(pd);
+                check_batch::<1>(&g, &sources, 4, &opts);
+            }
+        }
+    }
+
+    #[test]
+    fn summary_mode_reports_skips_on_sparse_frontiers() {
+        // A long path keeps the frontier at one vertex per iteration: the
+        // summary must skip almost every chunk.
+        let g = gen::path(10_000);
+        let pool = WorkerPool::new(2);
+        let mut bfs: MsPbfs<1> = MsPbfs::new(g.num_vertices());
+        let stats = bfs.run(
+            &g,
+            &pool,
+            &[0],
+            &BfsOptions::default().with_policy(DirectionPolicy::AlwaysTopDown),
+            &crate::visitor::NoopMsVisitor,
+        );
+        assert!(stats.summary_chunks_skipped > 0, "no skips recorded");
+        assert!(
+            stats.summary_skip_ratio() > 0.9,
+            "ratio {}",
+            stats.summary_skip_ratio()
+        );
+
+        let flat = bfs.run(
+            &g,
+            &pool,
+            &[0],
+            &BfsOptions::default()
+                .with_policy(DirectionPolicy::AlwaysTopDown)
+                .with_frontier_mode(crate::policy::FrontierMode::Flat),
+            &crate::visitor::NoopMsVisitor,
+        );
+        assert_eq!(flat.summary_chunks_skipped + flat.summary_chunks_scanned, 0);
+        assert_eq!(flat.summary_skip_ratio(), 0.0);
+    }
+
+    #[test]
     fn small_split_sizes_stay_correct() {
         let g = gen::uniform(200, 800, 5);
         check_batch::<1>(&g, &[0, 1], 4, &BfsOptions::default().with_split_size(7));
@@ -498,7 +666,9 @@ mod tests {
     #[test]
     fn state_bytes_independent_of_workers() {
         let bfs: MsPbfs<1> = MsPbfs::new(1 << 12);
-        assert_eq!(bfs.state_bytes(), 3 * (1 << 12) * 8);
+        // Entry words plus the one-word frontier summary per array (a
+        // 0.2 ‰ overhead at W = 1).
+        assert_eq!(bfs.state_bytes(), 3 * ((1 << 12) * 8 + 8));
     }
 
     #[test]

@@ -19,6 +19,10 @@ pub(crate) struct BfsMetrics {
     pub traversals: Arc<Counter>,
     /// Vertex states discovered (bits for multi-source).
     pub discovered: Arc<Counter>,
+    /// Summary chunks skipped by summary-guided frontier scans.
+    pub summary_skipped: Arc<Counter>,
+    /// Summary chunks scanned by summary-guided frontier scans.
+    pub summary_scanned: Arc<Counter>,
 }
 
 pub(crate) fn bfs_metrics() -> &'static BfsMetrics {
@@ -47,6 +51,14 @@ pub(crate) fn bfs_metrics() -> &'static BfsMetrics {
             discovered: r.counter(
                 "pbfs_bfs_discovered_states_total",
                 "Vertex states discovered by parallel BFS (bits for multi-source)",
+            ),
+            summary_skipped: r.counter(
+                "pbfs_bfs_summary_chunks_skipped_total",
+                "Frontier summary chunks skipped without loading state words",
+            ),
+            summary_scanned: r.counter(
+                "pbfs_bfs_summary_chunks_scanned_total",
+                "Frontier summary chunks scanned (summary bit was set)",
             ),
         }
     })
@@ -78,4 +90,14 @@ pub(crate) fn note_traversal(discovered: u64) {
     let m = bfs_metrics();
     m.traversals.inc();
     m.discovered.add(discovered);
+}
+
+/// Bumps the summary-scan counters (once per traversal, totals across all
+/// iterations and phases).
+pub(crate) fn note_summary_scan(skipped: u64, scanned: u64) {
+    if skipped | scanned != 0 {
+        let m = bfs_metrics();
+        m.summary_skipped.add(skipped);
+        m.summary_scanned.add(scanned);
+    }
 }

@@ -1,6 +1,6 @@
 //! Tuning knobs shared by all BFS implementations.
 
-use crate::policy::DirectionPolicy;
+use crate::policy::{DirectionPolicy, FrontierMode};
 
 /// How the first top-down phase merges frontiers into `next`.
 ///
@@ -15,6 +15,11 @@ pub enum AtomicKind {
     /// Explicit compare-and-swap loop per word, as written in the paper.
     CasLoop,
 }
+
+/// Default software-prefetch lookahead: deep enough to cover an L2 miss
+/// with the work of a few frontier vertices, shallow enough that the
+/// prefetched lines survive until use.
+pub const DEFAULT_PREFETCH_DISTANCE: usize = 4;
 
 /// Per-run configuration.
 #[derive(Clone, Copy, Debug)]
@@ -32,6 +37,15 @@ pub struct BfsOptions {
     /// Bottom-up early exit once no further bits can be gained
     /// (Section 3.1.2). Disable only for the ablation bench.
     pub early_exit: bool,
+    /// How the kernels iterate the frontier arrays: linear scan or
+    /// summary-guided chunk skipping.
+    pub frontier_mode: FrontierMode,
+    /// Software-prefetch lookahead in the traversal hot loops: while
+    /// processing frontier vertex (or neighbor) `i`, prefetch the CSR /
+    /// state data of `i + prefetch_distance`. `0` disables prefetching;
+    /// `Flat` mode with distance 0 reproduces the pre-summary kernels
+    /// exactly.
+    pub prefetch_distance: usize,
     /// Collect per-iteration, per-worker statistics. Costs one `Instant`
     /// read per task; leave off in throughput measurements.
     pub instrument: bool,
@@ -48,6 +62,8 @@ impl Default for BfsOptions {
             atomic: AtomicKind::FetchOr,
             chunk_skip: true,
             early_exit: true,
+            frontier_mode: FrontierMode::default(),
+            prefetch_distance: DEFAULT_PREFETCH_DISTANCE,
             instrument: false,
             max_iterations: None,
         }
@@ -72,6 +88,33 @@ impl BfsOptions {
         self.split_size = split_size;
         self
     }
+
+    /// Returns a copy with the given frontier iteration mode.
+    pub fn with_frontier_mode(mut self, mode: FrontierMode) -> Self {
+        self.frontier_mode = mode;
+        self
+    }
+
+    /// Returns a copy with the given prefetch lookahead (0 disables).
+    pub fn with_prefetch_distance(mut self, distance: usize) -> Self {
+        self.prefetch_distance = distance;
+        self
+    }
+
+    /// Returns a copy with the prefetch distance tuned from per-chunk
+    /// degree statistics: short adjacency lists leave the pointer chase
+    /// latency-bound (deepen the lookahead), long ones stream well under
+    /// hardware prefetch (shallow lookahead suffices).
+    pub fn tuned_for(mut self, stats: &pbfs_graph::ChunkDegreeStats) -> Self {
+        self.prefetch_distance = if stats.avg_degree < 4.0 {
+            2 * DEFAULT_PREFETCH_DISTANCE
+        } else if stats.avg_degree > 64.0 {
+            DEFAULT_PREFETCH_DISTANCE / 2
+        } else {
+            DEFAULT_PREFETCH_DISTANCE
+        };
+        self
+    }
 }
 
 #[cfg(test)]
@@ -85,14 +128,33 @@ mod tests {
         assert_eq!(o.atomic, AtomicKind::FetchOr);
         assert!(o.chunk_skip);
         assert!(o.early_exit);
+        assert_eq!(o.frontier_mode, FrontierMode::Summary);
+        assert_eq!(o.prefetch_distance, 4);
         assert!(!o.instrument);
         assert!(o.max_iterations.is_none());
     }
 
     #[test]
     fn builders() {
-        let o = BfsOptions::default().instrumented().with_split_size(64);
+        let o = BfsOptions::default()
+            .instrumented()
+            .with_split_size(64)
+            .with_frontier_mode(FrontierMode::Flat)
+            .with_prefetch_distance(0);
         assert!(o.instrument);
         assert_eq!(o.split_size, 64);
+        assert_eq!(o.frontier_mode, FrontierMode::Flat);
+        assert_eq!(o.prefetch_distance, 0);
+    }
+
+    #[test]
+    fn tuning_follows_degree() {
+        let sparse = pbfs_graph::ChunkDegreeStats::compute(&pbfs_graph::gen::path(100));
+        let dense = pbfs_graph::ChunkDegreeStats::compute(&pbfs_graph::gen::complete(100));
+        assert_eq!(
+            BfsOptions::default().tuned_for(&sparse).prefetch_distance,
+            8
+        );
+        assert_eq!(BfsOptions::default().tuned_for(&dense).prefetch_distance, 2);
     }
 }

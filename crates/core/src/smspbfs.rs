@@ -17,13 +17,13 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use pbfs_bitset::{AtomicBitVec, AtomicByteVec};
+use pbfs_bitset::{AtomicBitVec, AtomicByteVec, ScanStats, SUMMARY_CHUNK};
 use pbfs_graph::{CsrGraph, VertexId};
 use pbfs_sched::WorkerPool;
 use pbfs_telemetry::{EventKind, PerWorkerU64};
 
 use crate::options::BfsOptions;
-use crate::policy::{Direction, FrontierState};
+use crate::policy::{Direction, FrontierMode, FrontierState};
 use crate::stats::{IterationStats, TraversalStats, WorkerIterStats};
 use crate::visitor::SsVisitor;
 
@@ -60,6 +60,17 @@ pub trait SsState: Sync {
     fn for_each_set(&self, start: usize, end: usize, chunk_skip: bool, f: impl FnMut(usize));
     /// Calls `f` for every clear entry in `start..end`.
     fn for_each_clear(&self, start: usize, end: usize, chunk_skip: bool, f: impl FnMut(usize));
+    /// Calls `f(chunk_start, chunk_end)` for every summary chunk in
+    /// `start..end` that may contain set entries (conservative: `f` may see
+    /// an all-clear chunk, but never misses a set entry).
+    fn for_each_active_chunk(
+        &self,
+        start: usize,
+        end: usize,
+        f: impl FnMut(usize, usize),
+    ) -> ScanStats;
+    /// Best-effort prefetch of entry `i`'s storage.
+    fn prefetch_entry(&self, i: usize);
     /// Heap bytes used.
     fn heap_bytes(&self) -> usize;
 }
@@ -107,6 +118,18 @@ impl SsState for BitState {
     }
     fn for_each_clear(&self, start: usize, end: usize, chunk_skip: bool, f: impl FnMut(usize)) {
         self.0.for_each_clear(start, end, chunk_skip, f);
+    }
+    fn for_each_active_chunk(
+        &self,
+        start: usize,
+        end: usize,
+        f: impl FnMut(usize, usize),
+    ) -> ScanStats {
+        self.0.for_each_active_chunk(start, end, f)
+    }
+    #[inline]
+    fn prefetch_entry(&self, i: usize) {
+        self.0.prefetch_entry(i);
     }
     fn heap_bytes(&self) -> usize {
         self.0.heap_bytes()
@@ -156,6 +179,18 @@ impl SsState for ByteState {
     }
     fn for_each_clear(&self, start: usize, end: usize, chunk_skip: bool, f: impl FnMut(usize)) {
         self.0.for_each_clear(start, end, chunk_skip, f);
+    }
+    fn for_each_active_chunk(
+        &self,
+        start: usize,
+        end: usize,
+        f: impl FnMut(usize, usize),
+    ) -> ScanStats {
+        self.0.for_each_active_chunk(start, end, f)
+    }
+    #[inline]
+    fn prefetch_entry(&self, i: usize) {
+        self.0.prefetch_entry(i);
     }
     fn heap_bytes(&self) -> usize {
         self.0.heap_bytes()
@@ -220,9 +255,17 @@ impl<S: SsState> SmsPbfs<S> {
         assert!((source as usize) < n, "source out of range");
         let start = std::time::Instant::now();
         // Task ranges must respect the ownership granularity of the state
-        // representation so that `*_owned` accesses never share a word.
-        let split = opts.split_size.max(1).next_multiple_of(S::OWNERSHIP_ALIGN);
+        // representation so that `*_owned` accesses never share a word; in
+        // summary mode they additionally align to summary chunks so range
+        // clears cover whole chunks and clear summary bits exactly.
+        let align = match opts.frontier_mode {
+            FrontierMode::Summary => S::OWNERSHIP_ALIGN.max(SUMMARY_CHUNK),
+            FrontierMode::Flat => S::OWNERSHIP_ALIGN,
+        };
+        let split = pbfs_sched::aligned_split(opts.split_size.max(1), align);
         let chunk = opts.chunk_skip;
+        let mode = opts.frontier_mode;
+        let pd = opts.prefetch_distance;
         let rec = pbfs_telemetry::recorder();
 
         {
@@ -247,6 +290,13 @@ impl<S: SsState> SmsPbfs<S> {
         let mut unexplored_degree = g.num_directed_edges() as u64 - g.degree(source) as u64;
         let mut direction = Direction::TopDown;
         let mut depth = 0u32;
+        // Whole-traversal summary-scan totals, fed from every phase.
+        let sum_skipped = AtomicU64::new(0);
+        let sum_scanned = AtomicU64::new(0);
+        let note_scan = |s: ScanStats| {
+            sum_skipped.fetch_add(s.chunks_skipped, Ordering::Relaxed);
+            sum_scanned.fetch_add(s.chunks_scanned, Ordering::Relaxed);
+        };
 
         while frontier_vertices > 0 {
             if let Some(max) = opts.max_iterations {
@@ -281,22 +331,71 @@ impl<S: SsState> SmsPbfs<S> {
                     let phase1 = |_worker: usize, r: std::ops::Range<usize>| {
                         let owner = (r.start / split) % workers;
                         let mut visited = 0u64;
-                        frontier.for_each_set(r.start, r.end, chunk, |v| {
-                            for &nbr in g.neighbors(v as VertexId) {
+                        // Expand one frontier vertex, prefetching the state
+                        // entries of neighbors `pd` positions ahead so the
+                        // claim hits warm cache lines.
+                        let mut expand = |v: usize| {
+                            let nbrs = g.neighbors_fast(v as VertexId);
+                            if pd > 0 {
+                                for &nbr in &nbrs[..pd.min(nbrs.len())] {
+                                    next.prefetch_entry(nbr as usize);
+                                }
+                            }
+                            for (j, &nbr) in nbrs.iter().enumerate() {
+                                if pd > 0 && j + pd < nbrs.len() {
+                                    next.prefetch_entry(nbrs[j + pd] as usize);
+                                }
                                 visited += 1;
                                 if next.set_shared(nbr as usize) {
                                     visitor.on_tree_edge(v as VertexId, nbr);
                                 }
                             }
-                        });
-                        frontier.clear_range(r.start, r.end);
+                        };
+                        match mode {
+                            FrontierMode::Flat => {
+                                frontier.for_each_set(r.start, r.end, chunk, &mut expand);
+                                frontier.clear_range(r.start, r.end);
+                            }
+                            FrontierMode::Summary => {
+                                note_scan(frontier.for_each_active_chunk(
+                                    r.start,
+                                    r.end,
+                                    |cs, ce| {
+                                        // Gather the chunk's active vertices
+                                        // so the CSR pointer chase can be
+                                        // pipelined `pd` vertices deep.
+                                        let mut vbuf = [0u32; SUMMARY_CHUNK];
+                                        let mut cnt = 0usize;
+                                        frontier.for_each_set(cs, ce, chunk, |v| {
+                                            vbuf[cnt] = v as u32;
+                                            cnt += 1;
+                                        });
+                                        if pd > 0 {
+                                            for &v in &vbuf[..cnt] {
+                                                g.prefetch_offsets(v);
+                                            }
+                                        }
+                                        for i in 0..cnt {
+                                            if pd > 0 && i + pd < cnt {
+                                                g.prefetch_neighbors(vbuf[i + pd]);
+                                            }
+                                            expand(vbuf[i] as usize);
+                                        }
+                                        // Nothing reads this chunk again:
+                                        // clear it (and its summary bit —
+                                        // chunks are clear-exact here).
+                                        frontier.clear_range(cs, ce);
+                                    },
+                                ));
+                            }
+                        }
                         visited_pw.add(owner, visited);
                     };
                     // Listing 3 lines 7–12: filter next by seen.
                     let phase2 = |_worker: usize, r: std::ops::Range<usize>| {
                         let owner = (r.start / split) % workers;
                         let (mut disc, mut fd) = (0u64, 0u64);
-                        next.for_each_set(r.start, r.end, chunk, |v| {
+                        let mut settle = |v: usize| {
                             if seen.get(v) {
                                 next.clear_owned(v);
                             } else {
@@ -305,7 +404,17 @@ impl<S: SsState> SmsPbfs<S> {
                                 disc += 1;
                                 fd += g.degree(v as VertexId) as u64;
                             }
-                        });
+                        };
+                        match mode {
+                            FrontierMode::Flat => {
+                                next.for_each_set(r.start, r.end, chunk, &mut settle);
+                            }
+                            FrontierMode::Summary => {
+                                note_scan(next.for_each_active_chunk(r.start, r.end, |cs, ce| {
+                                    next.for_each_set(cs, ce, chunk, &mut settle);
+                                }));
+                            }
+                        }
                         discovered.fetch_add(disc, Ordering::Relaxed);
                         new_fd.fetch_add(fd, Ordering::Relaxed);
                         updated_pw.add(owner, disc);
@@ -337,7 +446,16 @@ impl<S: SsState> SmsPbfs<S> {
                         let owner = (r.start / split) % workers;
                         let (mut disc, mut fd, mut visited) = (0u64, 0u64, 0u64);
                         seen.for_each_clear(r.start, r.end, chunk, |u| {
-                            for &v in g.neighbors(u as VertexId) {
+                            let nbrs = g.neighbors_fast(u as VertexId);
+                            if pd > 0 {
+                                for &v in &nbrs[..pd.min(nbrs.len())] {
+                                    frontier.prefetch_entry(v as usize);
+                                }
+                            }
+                            for (j, &v) in nbrs.iter().enumerate() {
+                                if pd > 0 && j + pd < nbrs.len() {
+                                    frontier.prefetch_entry(nbrs[j + pd] as usize);
+                                }
                                 visited += 1;
                                 if frontier.get(v as usize) {
                                     next.set_owned(u);
@@ -377,7 +495,19 @@ impl<S: SsState> SmsPbfs<S> {
                 // The old frontier was read throughout the bottom-up loop
                 // and must be cleared before it can serve as `next`.
                 let next = &self.next;
-                pool.parallel_for(n, split, |_, r| next.clear_range(r.start, r.end));
+                match mode {
+                    FrontierMode::Flat => {
+                        pool.parallel_for(n, split, |_, r| next.clear_range(r.start, r.end));
+                    }
+                    FrontierMode::Summary => {
+                        // Only active chunks can hold stale bits.
+                        pool.parallel_for(n, split, |_, r| {
+                            note_scan(next.for_each_active_chunk(r.start, r.end, |cs, ce| {
+                                next.clear_range(cs, ce)
+                            }));
+                        });
+                    }
+                }
             }
 
             let disc = discovered.load(Ordering::Relaxed);
@@ -404,6 +534,9 @@ impl<S: SsState> SmsPbfs<S> {
             });
         }
 
+        stats.summary_chunks_skipped = sum_skipped.load(Ordering::Relaxed);
+        stats.summary_chunks_scanned = sum_scanned.load(Ordering::Relaxed);
+        crate::obs::note_summary_scan(stats.summary_chunks_skipped, stats.summary_chunks_scanned);
         crate::obs::note_traversal(stats.total_discovered);
         stats.total_wall_ns = start.elapsed().as_nanos() as u64;
         stats
@@ -476,6 +609,43 @@ mod tests {
             check_bit(&g, 2, 4, &opts);
             check_byte(&g, 2, 4, &opts);
         }
+    }
+
+    #[test]
+    fn frontier_modes_and_prefetch_distances_match() {
+        let g = gen::Kronecker::graph500(10).seed(22).generate();
+        for mode in [FrontierMode::Flat, FrontierMode::Summary] {
+            for pd in [0usize, 4, 16] {
+                let opts = BfsOptions::default()
+                    .with_frontier_mode(mode)
+                    .with_prefetch_distance(pd);
+                check_bit(&g, 5, 4, &opts);
+                check_byte(&g, 5, 4, &opts);
+            }
+        }
+    }
+
+    #[test]
+    fn summary_mode_reports_skips_on_sparse_frontiers() {
+        let g = gen::path(10_000);
+        let pool = WorkerPool::new(2);
+        let opts = BfsOptions::default().with_policy(DirectionPolicy::AlwaysTopDown);
+        let mut bit = SmsPbfsBit::new(g.num_vertices());
+        let stats = bit.run(&g, &pool, 0, &opts, &NoopVisitor);
+        assert!(stats.summary_chunks_skipped > 0);
+        assert!(
+            stats.summary_skip_ratio() > 0.9,
+            "ratio {}",
+            stats.summary_skip_ratio()
+        );
+        let mut byte = SmsPbfsByte::new(g.num_vertices());
+        let stats = byte.run(&g, &pool, 0, &opts, &NoopVisitor);
+        assert!(stats.summary_chunks_skipped > 0);
+        assert!(
+            stats.summary_skip_ratio() > 0.9,
+            "ratio {}",
+            stats.summary_skip_ratio()
+        );
     }
 
     #[test]
@@ -576,8 +746,10 @@ mod tests {
     fn state_bytes_bit_vs_byte() {
         let bit = SmsPbfsBit::new(1 << 16);
         let byte = SmsPbfsByte::new(1 << 16);
-        assert_eq!(bit.state_bytes(), 3 * (1 << 16) / 8);
-        assert_eq!(byte.state_bytes(), 3 * (1 << 16));
+        // Base state plus the frontier summary: one bit per 64 entries,
+        // i.e. 128 bytes per array at 2^16 vertices.
+        assert_eq!(bit.state_bytes(), 3 * ((1 << 16) / 8 + 128));
+        assert_eq!(byte.state_bytes(), 3 * ((1 << 16) + 128));
     }
 
     #[test]

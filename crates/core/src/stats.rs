@@ -81,6 +81,11 @@ pub struct TraversalStats {
     /// Total states discovered (= reached vertices; for multi-source the
     /// sum over all concurrent BFSs, sources included).
     pub total_discovered: u64,
+    /// Summary chunks skipped without loading their state words
+    /// (0 in `FrontierMode::Flat`).
+    pub summary_chunks_skipped: u64,
+    /// Summary chunks scanned because their summary bit was set.
+    pub summary_chunks_scanned: u64,
 }
 
 impl TraversalStats {
@@ -112,6 +117,17 @@ impl TraversalStats {
     /// Sum of visited neighbors per worker over all iterations (Figure 6).
     pub fn visited_per_worker(&self) -> Vec<u64> {
         self.fold_workers(|w| w.visited_neighbors)
+    }
+
+    /// Fraction of summary chunks skipped during summary-guided frontier
+    /// scans (0.0 when nothing was scanned, e.g. in `FrontierMode::Flat`).
+    pub fn summary_skip_ratio(&self) -> f64 {
+        let total = self.summary_chunks_skipped + self.summary_chunks_scanned;
+        if total == 0 {
+            0.0
+        } else {
+            self.summary_chunks_skipped as f64 / total as f64
+        }
     }
 }
 
@@ -170,11 +186,19 @@ mod tests {
     fn per_worker_aggregation() {
         let t = TraversalStats {
             iterations: vec![iter_with(&[10, 20], &[1, 2]), iter_with(&[5, 5], &[3, 4])],
-            total_wall_ns: 0,
-            total_discovered: 0,
+            ..Default::default()
         };
         assert_eq!(t.busy_per_worker(), vec![15, 25]);
         assert_eq!(t.num_iterations(), 2);
         assert_eq!(t.bottom_up_iterations(), 0);
+    }
+
+    #[test]
+    fn summary_skip_ratio() {
+        let mut t = TraversalStats::default();
+        assert_eq!(t.summary_skip_ratio(), 0.0);
+        t.summary_chunks_skipped = 30;
+        t.summary_chunks_scanned = 10;
+        assert!((t.summary_skip_ratio() - 0.75).abs() < 1e-12);
     }
 }

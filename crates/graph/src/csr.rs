@@ -184,6 +184,41 @@ impl CsrGraph {
         &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
     }
 
+    /// Sorted neighbor list of `v`, skipping the slice bounds checks.
+    ///
+    /// Semantically identical to [`Self::neighbors`] but avoids the double
+    /// bounds check (offsets, then targets) in the traversal hot loops.
+    /// Safe to call for any `v < num_vertices()`: the CSR invariants —
+    /// monotone offsets bounded by `targets.len()` — are established at
+    /// construction and never change.
+    #[inline]
+    pub fn neighbors_fast(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        debug_assert!(v + 1 < self.offsets.len(), "vertex out of range");
+        // SAFETY: `from_raw_parts`/`from_edges_with` guarantee
+        // `offsets.len() == num_vertices + 1`, offsets are monotone, and
+        // `offsets[n] == targets.len()`, so `lo <= hi <= targets.len()`.
+        unsafe {
+            let lo = *self.offsets.get_unchecked(v) as usize;
+            let hi = *self.offsets.get_unchecked(v + 1) as usize;
+            debug_assert!(lo <= hi && hi <= self.targets.len());
+            self.targets.get_unchecked(lo..hi)
+        }
+    }
+
+    /// Best-effort prefetch of `v`'s CSR offset pair.
+    #[inline]
+    pub fn prefetch_offsets(&self, v: VertexId) {
+        pbfs_bitset::prefetch::prefetch_index(&self.offsets, v as usize);
+    }
+
+    /// Best-effort prefetch of the start of `v`'s adjacency list.
+    #[inline]
+    pub fn prefetch_neighbors(&self, v: VertexId) {
+        let o = self.offsets[v as usize] as usize;
+        pbfs_bitset::prefetch::prefetch_index(&self.targets, o);
+    }
+
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {
@@ -333,6 +368,16 @@ mod tests {
     #[should_panic(expected = "edge endpoint out of range")]
     fn out_of_range_edge_panics() {
         let _ = CsrGraph::from_edges(2, &[(0, 2)]);
+    }
+
+    #[test]
+    fn neighbors_fast_matches_checked() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (2, 3), (4, 5)]);
+        for v in g.vertices() {
+            assert_eq!(g.neighbors_fast(v), g.neighbors(v), "vertex {v}");
+            g.prefetch_offsets(v);
+            g.prefetch_neighbors(v);
+        }
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod transform;
 
 pub use csr::{BuildOptions, CsrGraph};
 pub use labeling::Permutation;
-pub use stats::{ComponentInfo, GraphStats};
+pub use stats::{ChunkDegreeStats, ComponentInfo, GraphStats};
 
 /// Vertex identifier. 32 bits suffice for every graph in the evaluation and
 /// halve the memory traffic of the hot adjacency scans compared to `usize`.

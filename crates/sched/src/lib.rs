@@ -28,7 +28,7 @@ pub mod topology;
 
 pub use instrument::{RunStats, WorkerRun};
 pub use pool::WorkerPool;
-pub use task::{TaskQueues, DEFAULT_SPLIT_SIZE};
+pub use task::{aligned_split, TaskQueues, DEFAULT_SPLIT_SIZE};
 pub use topology::Topology;
 
 /// Identifies a worker within a [`WorkerPool`]; worker 0 is the caller.

@@ -14,6 +14,23 @@ use crate::WorkerId;
 /// yielding thousands of tasks for load balancing.
 pub const DEFAULT_SPLIT_SIZE: usize = 256;
 
+/// Rounds `split` up to a positive multiple of `align`.
+///
+/// Task ranges often must respect a storage granularity: a 64-bit word of
+/// bit-state, or a 64-entry summary chunk, must never straddle two workers'
+/// ranges or conflict-free phases would share cache lines (and summary bits
+/// could be cleared out from under a concurrent scan). `align <= 1` returns
+/// `split` unchanged (but at least 1).
+#[inline]
+pub const fn aligned_split(split: usize, align: usize) -> usize {
+    let split = if split == 0 { 1 } else { split };
+    if align <= 1 {
+        split
+    } else {
+        split.next_multiple_of(align)
+    }
+}
+
 /// One per-worker queue: an index to the next unclaimed task plus the list
 /// of task ranges assigned to this worker at creation time.
 struct Queue {
@@ -170,6 +187,17 @@ mod tests {
             out.push(r);
         }
         out
+    }
+
+    #[test]
+    fn aligned_split_rounds_up() {
+        assert_eq!(aligned_split(256, 64), 256);
+        assert_eq!(aligned_split(17, 64), 64);
+        assert_eq!(aligned_split(65, 64), 128);
+        assert_eq!(aligned_split(100, 1), 100);
+        assert_eq!(aligned_split(100, 0), 100);
+        assert_eq!(aligned_split(0, 64), 64);
+        assert_eq!(aligned_split(0, 0), 1);
     }
 
     #[test]

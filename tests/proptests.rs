@@ -329,6 +329,45 @@ proptest! {
     }
 
     #[test]
+    fn flat_and_summary_frontiers_visit_identically(
+        g in arb_graph(),
+        sources_raw in proptest::collection::vec(0u32..80, 1..=64),
+        workers in 1usize..5,
+        pd in 0usize..8,
+    ) {
+        // The summary bitmap is conservative ("may be active"); a missed
+        // mark would shrink the visit set. Flat iteration is the ground
+        // truth: both modes must discover exactly the same states, for
+        // multi-source and single-source kernels alike.
+        let n = g.num_vertices() as u32;
+        let sources: Vec<u32> = sources_raw.iter().map(|&s| s % n).collect();
+        let flat = BfsOptions::default()
+            .with_frontier_mode(FrontierMode::Flat)
+            .with_prefetch_distance(0);
+        let summary = BfsOptions::default()
+            .with_frontier_mode(FrontierMode::Summary)
+            .with_prefetch_distance(pd);
+        let pool = WorkerPool::new(workers);
+
+        let mut a: MsPbfs<1> = MsPbfs::new(g.num_vertices());
+        let va: MsDistanceVisitor<1> = MsDistanceVisitor::new(g.num_vertices(), sources.len());
+        a.run(&g, &pool, &sources, &flat, &va);
+        let mut b: MsPbfs<1> = MsPbfs::new(g.num_vertices());
+        let vb: MsDistanceVisitor<1> = MsDistanceVisitor::new(g.num_vertices(), sources.len());
+        b.run(&g, &pool, &sources, &summary, &vb);
+        for (i, &s) in sources.iter().enumerate() {
+            prop_assert_eq!(va.distances_of(i), vb.distances_of(i), "ms source {}", s);
+        }
+
+        let src = sources[0];
+        let da = DistanceVisitor::new(g.num_vertices());
+        SmsPbfsBit::new(g.num_vertices()).run(&g, &pool, src, &flat, &da);
+        let db = DistanceVisitor::new(g.num_vertices());
+        SmsPbfsBit::new(g.num_vertices()).run(&g, &pool, src, &summary, &db);
+        prop_assert_eq!(da.distances(), db.distances(), "sms source {}", src);
+    }
+
+    #[test]
     fn distance_triangle_inequality_on_edges(g in arb_graph(), src_raw in 0u32..80) {
         // For every edge (u, v): |d(u) - d(v)| ≤ 1 when both reached.
         let src = src_raw % g.num_vertices() as u32;
