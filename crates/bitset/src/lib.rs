@@ -33,6 +33,18 @@
 
 #![warn(missing_docs)]
 
+// Failpoint shim: `crate::fail_point!` is the real injection macro when the
+// `failpoints` feature is on and expands to nothing otherwise, so
+// instrumented sites need no per-site cfg noise.
+#[cfg(feature = "failpoints")]
+pub(crate) use pbfs_fault::fail_point;
+#[cfg(not(feature = "failpoints"))]
+macro_rules! fail_point {
+    ($($tt:tt)*) => {};
+}
+#[cfg(not(feature = "failpoints"))]
+pub(crate) use fail_point;
+
 pub mod bits;
 pub mod bitvec;
 pub mod bytevec;

@@ -102,6 +102,7 @@ impl FrontierSummary {
     /// no atomic RMW (and no cache line invalidation).
     #[inline]
     pub fn mark(&self, i: usize) {
+        crate::fail_point!("bitset.summary.mark");
         debug_assert!(i < self.len);
         let chunk = i / SUMMARY_CHUNK;
         let mask = 1u64 << (chunk % WORD_BITS);
@@ -150,6 +151,7 @@ impl FrontierSummary {
     /// Clears summary bits for chunks `lo..hi` (used directly by the bit
     /// representation, whose word-granular clears cover whole chunks).
     pub fn clear_chunk_range(&self, lo: usize, hi: usize) {
+        crate::fail_point!("bitset.summary.clear");
         let hi = hi.min(self.chunks);
         if lo >= hi {
             return;

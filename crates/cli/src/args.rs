@@ -33,7 +33,17 @@ usage:
         [--max-queue N] [--json] [--text]
         runs a small replay and prints the telemetry registry as
         Prometheus text exposition (default) or JSON (--json); a tiny
-        --max-queue forces Overloaded rejections into the export";
+        --max-queue forces Overloaded rejections into the export
+  pbfs chaos [--schedules N] [--seed N] [--scale N] [--queries N]
+        [--workers N] [--schedule-timeout SECS] [--metrics-out FILE]
+        runs seeded randomized failpoint schedules against the batched
+        query engine with a textbook-BFS oracle and checks the engine's
+        failure-model invariants (exactly-once resolution, oracle-exact
+        results, pool recovery, hang-free shutdown); requires a build
+        with --features failpoints to actually inject faults, and exits
+        nonzero on any violation; --metrics-out dumps the telemetry
+        registry (including pbfs_fault_triggered_total) as Prometheus
+        text";
 
 /// Parsed command line: positionals plus `--flag value` / `--flag` pairs.
 pub struct Args {

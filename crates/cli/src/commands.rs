@@ -36,6 +36,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "centrality" => centrality(&args),
         "queries" => queries(&args),
         "metrics" => metrics(&args),
+        "chaos" => chaos(&args),
         "relabel" => relabel(&args),
         other => Err(format!("unknown command: {other}")),
     }
@@ -512,6 +513,87 @@ fn metrics(args: &Args) -> Result<(), String> {
         println!("{}", snapshot.to_json().to_string_pretty());
     } else {
         print!("{}", pbfs_telemetry::export::prometheus_text(&snapshot));
+    }
+    Ok(())
+}
+
+/// Runs the chaos soak harness: seeded randomized failpoint schedules
+/// against the batched query engine with a textbook-BFS oracle. Exits
+/// nonzero on any invariant violation, and — when the `failpoints` feature
+/// is compiled in — when no fault fired at all (a dead harness must not
+/// pass as green).
+fn chaos(args: &Args) -> Result<(), String> {
+    use pbfs_core::chaos::{ChaosConfig, ChaosReport};
+
+    let defaults = ChaosConfig::default();
+    let cfg = ChaosConfig {
+        schedules: args.num("schedules", defaults.schedules)?,
+        seed: args.num("seed", defaults.seed)?,
+        scale: args.num("scale", defaults.scale)?,
+        queries: args.num("queries", defaults.queries)?,
+        workers: args.num("workers", defaults.workers)?,
+        schedule_timeout: Duration::from_secs(
+            args.num("schedule-timeout", defaults.schedule_timeout.as_secs())?,
+        ),
+    };
+    if cfg.schedules == 0 {
+        return Err("--schedules must be positive".into());
+    }
+    if !pbfs_fault::enabled() {
+        eprintln!(
+            "warning: built without the `failpoints` feature — schedules run \
+             fault-free (smoke mode); rebuild with --features failpoints to inject"
+        );
+    }
+
+    let report: ChaosReport = pbfs_core::chaos::run(&cfg);
+    for o in &report.outcomes {
+        eprintln!(
+            "schedule {:>3} seed {:>20} ok {:>3} typed-err {:>3} rejected {:>3} \
+             fired {:>3} {} [{}]",
+            o.schedule,
+            o.seed,
+            o.ok,
+            o.typed_failures,
+            o.rejected,
+            o.triggered,
+            if o.violations.is_empty() {
+                "pass"
+            } else {
+                "FAIL"
+            },
+            o.sites.join("; "),
+        );
+    }
+    println!(
+        "chaos: {} schedules, {} ok queries, {} typed failures, \
+         {} faults fired, {} skipped, {} violations",
+        report.outcomes.len(),
+        report.ok_total(),
+        report.typed_failures_total(),
+        report.triggered_total,
+        report.skipped_total,
+        report.violations().len(),
+    );
+
+    if let Some(path) = args.get("metrics-out") {
+        let snapshot = pbfs_telemetry::registry().snapshot();
+        let text = pbfs_telemetry::export::prometheus_text(&snapshot);
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+
+    let violations = report.violations();
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("violation: {v}");
+        }
+        return Err(format!("{} chaos invariant violation(s)", violations.len()));
+    }
+    if pbfs_fault::enabled() && report.triggered_total == 0 {
+        return Err(
+            "failpoints are enabled but no fault fired — harness is not exercising anything".into(),
+        );
     }
     Ok(())
 }

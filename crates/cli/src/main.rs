@@ -12,6 +12,8 @@
 //! pbfs queries [FILE] [--scale N] [--queries N] [--threads N] [--max-batch N]
 //!       [--max-latency-us N] [--rate QPS] [--seed N] [--trace-out FILE]
 //! pbfs metrics [FILE] [--scale N] [--queries N] [--threads N] [--json]
+//! pbfs chaos [--schedules N] [--seed N] [--scale N] [--queries N]
+//!       [--workers N] [--schedule-timeout SECS] [--metrics-out FILE]
 //! ```
 //!
 //! Graph files use the suite's binary format (`pbfs_graph::io`); pass

@@ -1,0 +1,347 @@
+//! Chaos soak harness: seeded randomized fault schedules against the
+//! batched query engine, with a textbook-BFS oracle.
+//!
+//! Each *schedule* derives a deterministic sub-seed, configures a random
+//! subset of the workspace's failpoint sites (random actions, probabilities
+//! and fire-count limits), then drives concurrent query traffic through a
+//! [`QueryEngine`] and checks the engine's failure-model invariants:
+//!
+//! 1. **Exactly-once resolution** — every admitted query terminates with
+//!    one `Ok` or one typed [`EngineError`]; [`EngineError::Internal`] (a
+//!    lost result channel) is a violation.
+//! 2. **Correctness under faults** — every `Ok` result matches the
+//!    [`textbook`](crate::textbook) oracle exactly.
+//! 3. **Recovery** — after the schedule's faults are cleared, a probe
+//!    query must succeed: the worker pool and algorithm state healed.
+//! 4. **No hangs** — the whole schedule (traffic, drain, shutdown) runs
+//!    under a watchdog; a timeout is a violation, never a stuck process.
+//!
+//! The harness compiles in every build. Without the `failpoints` feature
+//! the schedules still run (useful as a smoke test) but no fault ever
+//! fires; [`pbfs_fault::enabled`] tells callers which mode they are in.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use pbfs_fault::{FailAction, FailConfig};
+use pbfs_graph::{gen, CsrGraph, VertexId};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::engine::{EngineConfig, EngineError, QueryEngine};
+use crate::textbook;
+
+/// Failpoint sites a chaos schedule may arm. Ingestion sites
+/// (`graph.io.*`, `graph.csr.build`) are deliberately absent: the graph is
+/// built during schedule *setup*, and those sites are exercised by the
+/// dedicated corrupt-input and injection tests instead.
+pub const CHAOS_SITES: &[&str] = &[
+    "sched.pool.dispatch",
+    "sched.pool.worker",
+    "sched.pool.respawn",
+    "sched.task.fetch",
+    "core.engine.coalesce",
+    "core.engine.flush",
+    "core.engine.drain",
+    "core.engine.expire",
+    "core.mspbfs.phase",
+    "core.smspbfs.phase",
+    "bitset.summary.mark",
+    "bitset.summary.clear",
+];
+
+/// Parameters of a chaos soak run.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosConfig {
+    /// Independent fault schedules to run.
+    pub schedules: usize,
+    /// Master seed; schedule `i` uses a sub-seed derived from it.
+    pub seed: u64,
+    /// Kronecker scale of the workload graph (2^scale vertices).
+    pub scale: u32,
+    /// Queries submitted per schedule.
+    pub queries: usize,
+    /// Engine worker threads.
+    pub workers: usize,
+    /// Watchdog bound for one whole schedule (traffic + drain + shutdown).
+    pub schedule_timeout: Duration,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            schedules: 25,
+            seed: 42,
+            scale: 8,
+            queries: 48,
+            workers: 4,
+            schedule_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// What one schedule did and found.
+#[derive(Clone, Debug)]
+pub struct ScheduleOutcome {
+    /// Schedule index within the run.
+    pub schedule: usize,
+    /// The derived sub-seed (failpoint streams and traffic shape).
+    pub seed: u64,
+    /// The armed sites as `site=spec` strings.
+    pub sites: Vec<String>,
+    /// Queries answered `Ok` with oracle-identical distances.
+    pub ok: u64,
+    /// Queries that terminated with a typed, expected error
+    /// (`BatchFailed`, `Expired`, `Overloaded`, `ShutDown`).
+    pub typed_failures: u64,
+    /// Submissions rejected at admission.
+    pub rejected: u64,
+    /// Faults that actually fired during this schedule.
+    pub triggered: u64,
+    /// Failpoint evaluations that did not fire during this schedule.
+    pub skipped: u64,
+    /// Invariant violations (empty = schedule passed).
+    pub violations: Vec<String>,
+}
+
+/// Aggregated result of a chaos soak run.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosReport {
+    /// Per-schedule outcomes, in order.
+    pub outcomes: Vec<ScheduleOutcome>,
+    /// Faults fired across all schedules.
+    pub triggered_total: u64,
+    /// Evaluations that did not fire across all schedules.
+    pub skipped_total: u64,
+}
+
+impl ChaosReport {
+    /// All violations across all schedules, prefixed with their schedule.
+    pub fn violations(&self) -> Vec<String> {
+        self.outcomes
+            .iter()
+            .flat_map(|o| {
+                o.violations
+                    .iter()
+                    .map(move |v| format!("schedule {} (seed {}): {v}", o.schedule, o.seed))
+            })
+            .collect()
+    }
+
+    /// `true` when no schedule violated an invariant.
+    pub fn passed(&self) -> bool {
+        self.outcomes.iter().all(|o| o.violations.is_empty())
+    }
+
+    /// Total `Ok` queries across all schedules.
+    pub fn ok_total(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.ok).sum()
+    }
+
+    /// Total typed failures across all schedules.
+    pub fn typed_failures_total(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.typed_failures).sum()
+    }
+}
+
+/// SplitMix64 step used to derive independent per-schedule sub-seeds.
+fn sub_seed(master: u64, index: usize) -> u64 {
+    let mut z = master
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((index as u64).wrapping_mul(0x2545_f491_4f6c_dd1d));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Draws a random fault schedule: 2–4 distinct sites, the first armed
+/// deterministically (p = 1, so every schedule injects *something* when
+/// the feature is on), the rest probabilistic. Every site has a fire-count
+/// limit — an unbounded panic storm would otherwise starve the engine's
+/// retry loops forever.
+fn arm_sites(rng: &mut StdRng) -> Vec<String> {
+    let mut pool: Vec<&str> = CHAOS_SITES.to_vec();
+    let count = rng.random_range(2..=4usize);
+    let mut armed = Vec::with_capacity(count);
+    for i in 0..count {
+        let pick = rng.random_range(0..pool.len());
+        let site = pool.swap_remove(pick);
+        let action = match rng.random_range(0..4u32) {
+            0 => FailAction::Panic(None),
+            1 => FailAction::Sleep(rng.random_range(1..=3u64)),
+            2 => FailAction::Yield,
+            _ => FailAction::ReturnError, // counted no-op at non-return sites
+        };
+        let config = if i == 0 {
+            FailConfig::always(action).with_max(rng.random_range(1..=3u64))
+        } else {
+            FailConfig::always(action)
+                .with_probability(0.05 + rng.random::<f64>() * 0.45)
+                .with_max(rng.random_range(1..=5u64))
+        };
+        armed.push(format!("{site}={}", config.to_spec()));
+        pbfs_fault::configure(site, config);
+    }
+    armed
+}
+
+/// Runs one schedule to completion. May hang if the engine's no-hang
+/// invariant is broken — the caller watchdogs this.
+fn run_schedule(cfg: &ChaosConfig, schedule: usize) -> ScheduleOutcome {
+    let seed = sub_seed(cfg.seed, schedule);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Setup runs fault-free: the graph and oracle must be trustworthy.
+    pbfs_fault::clear_all();
+    let graph: Arc<CsrGraph> = Arc::new(gen::Kronecker::graph500(cfg.scale).seed(seed).generate());
+    let n = graph.num_vertices();
+
+    pbfs_fault::set_seed(seed);
+    let sites = arm_sites(&mut rng);
+
+    let engine = QueryEngine::new(
+        Arc::clone(&graph),
+        EngineConfig::default()
+            .with_workers(cfg.workers)
+            .with_max_latency(Duration::from_millis(1))
+            .with_max_queue(256)
+            .with_query_timeout(Some(Duration::from_secs(5)))
+            .with_drain_timeout(Some(Duration::from_secs(2))),
+    );
+
+    let mut violations: Vec<String> = Vec::new();
+    let ok = AtomicU64::new(0);
+    let typed = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+    let sources: Vec<VertexId> = (0..cfg.queries)
+        .map(|_| rng.random_range(0..n as u32))
+        .collect();
+
+    // Two client threads submitting interleaved halves, like the engine's
+    // differential tests: faults must be survived under concurrency, not
+    // just in sequence.
+    let mismatches = std::thread::scope(|scope| {
+        let mut clients = Vec::new();
+        for half in 0..2usize {
+            let engine = &engine;
+            let graph = &graph;
+            let (ok, typed, rejected) = (&ok, &typed, &rejected);
+            let sources = &sources;
+            clients.push(scope.spawn(move || {
+                let mut local: Vec<String> = Vec::new();
+                for &s in sources.iter().skip(half).step_by(2) {
+                    match engine.submit_timeout(s, Duration::from_millis(500)) {
+                        Ok(handle) => match handle.wait() {
+                            Ok(distances) => {
+                                if distances == textbook::bfs(graph, s).distances {
+                                    ok.fetch_add(1, Ordering::Relaxed);
+                                } else {
+                                    local.push(format!(
+                                        "distances from source {s} disagree with oracle"
+                                    ));
+                                }
+                            }
+                            Err(EngineError::Internal(msg)) => {
+                                local.push(format!("exactly-once violated for source {s}: {msg}"));
+                            }
+                            Err(_) => {
+                                typed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        },
+                        Err(_) => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                local
+            }));
+        }
+        clients
+            .into_iter()
+            .flat_map(|c| c.join().expect("chaos client thread panicked"))
+            .collect::<Vec<String>>()
+    });
+    violations.extend(mismatches);
+
+    // Snapshot fault activity before disarming.
+    let (mut triggered, mut skipped) = (0u64, 0u64);
+    for s in pbfs_fault::stats() {
+        triggered += s.triggered;
+        skipped += s.skipped;
+    }
+
+    // Recovery probe: with faults cleared, the engine must serve a correct
+    // answer — proof the pool respawned and algorithm state was rebuilt.
+    pbfs_fault::clear_all();
+    let probe = rng.random_range(0..n as u32);
+    match engine.submit(probe).and_then(|h| h.wait()) {
+        Ok(distances) => {
+            if distances != textbook::bfs(&graph, probe).distances {
+                violations.push(format!("recovery probe from {probe} disagrees with oracle"));
+            }
+        }
+        Err(e) => violations.push(format!("recovery probe failed: {e}")),
+    }
+
+    // Shutdown must complete (bounded by drain_timeout); a hang here trips
+    // the caller's watchdog.
+    drop(engine);
+
+    ScheduleOutcome {
+        schedule,
+        seed,
+        sites,
+        ok: ok.into_inner(),
+        typed_failures: typed.into_inner(),
+        rejected: rejected.into_inner(),
+        triggered,
+        skipped,
+        violations,
+    }
+}
+
+/// Runs `cfg.schedules` fault schedules and aggregates the outcomes.
+///
+/// Each schedule is watchdogged by `cfg.schedule_timeout`: a hang is
+/// recorded as a violation (the stuck schedule's thread is leaked, its
+/// engine abandoned) and the run continues with the next schedule.
+pub fn run(cfg: &ChaosConfig) -> ChaosReport {
+    let mut report = ChaosReport::default();
+    for schedule in 0..cfg.schedules {
+        let (tx, rx) = mpsc::channel();
+        let cfg_copy = *cfg;
+        let _worker = std::thread::Builder::new()
+            .name(format!("chaos-schedule-{schedule}"))
+            .spawn(move || {
+                let _ = tx.send(run_schedule(&cfg_copy, schedule));
+            })
+            .expect("failed to spawn chaos schedule thread");
+        let outcome = match rx.recv_timeout(cfg.schedule_timeout) {
+            Ok(outcome) => outcome,
+            Err(_) => {
+                // Disarm so the leaked thread stops injecting into
+                // subsequent schedules.
+                pbfs_fault::clear_all();
+                ScheduleOutcome {
+                    schedule,
+                    seed: sub_seed(cfg.seed, schedule),
+                    sites: Vec::new(),
+                    ok: 0,
+                    typed_failures: 0,
+                    rejected: 0,
+                    triggered: 0,
+                    skipped: 0,
+                    violations: vec![format!(
+                        "schedule hung: no completion within {:?} (no-hang invariant)",
+                        cfg.schedule_timeout
+                    )],
+                }
+            }
+        };
+        report.triggered_total += outcome.triggered;
+        report.skipped_total += outcome.skipped;
+        report.outcomes.push(outcome);
+    }
+    pbfs_fault::clear_all();
+    report
+}

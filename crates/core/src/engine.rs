@@ -778,61 +778,83 @@ fn dispatcher_loop(shared: &Shared) {
         // Collect a batch: wait for work, then coalesce until the width cap
         // is reached or the oldest query's flush deadline expires. Stale
         // queries are expired before each decision so they never batch.
-        let batch: Vec<Pending> = {
-            let mut q = lock(&shared.queue);
-            loop {
-                if let Some(timeout) = config.query_timeout {
-                    expire_stale(&mut q, timeout, shared);
-                }
-                if q.shutting_down {
-                    if let Some(bound) = config.drain_timeout {
-                        let deadline =
-                            *drain_deadline.get_or_insert_with(|| Instant::now() + bound);
-                        if Instant::now() >= deadline {
-                            fail_remaining(&mut q, shared, &EngineError::ShutDown);
+        //
+        // The whole phase runs under `catch_unwind`: the only queue
+        // mutations before the final drain are per-item (send + retain), so
+        // a panic here leaves every undrained query queued and the
+        // dispatcher retries after a short backoff instead of dying with
+        // admitted queries stranded.
+        let collected =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> Option<Vec<Pending>> {
+                let mut q = lock(&shared.queue);
+                loop {
+                    if let Some(timeout) = config.query_timeout {
+                        crate::fail_point!("core.engine.expire");
+                        expire_stale(&mut q, timeout, shared);
+                    }
+                    if q.shutting_down {
+                        if let Some(bound) = config.drain_timeout {
+                            let deadline =
+                                *drain_deadline.get_or_insert_with(|| Instant::now() + bound);
+                            if Instant::now() >= deadline {
+                                fail_remaining(&mut q, shared, &EngineError::ShutDown);
+                            }
                         }
+                        if q.items.is_empty() {
+                            return None;
+                        }
+                        crate::fail_point!("core.engine.drain");
+                        break; // drain mode: flush immediately, no coalescing
                     }
                     if q.items.is_empty() {
-                        return;
+                        q = shared
+                            .queue_cv
+                            .wait(q)
+                            .unwrap_or_else(PoisonError::into_inner);
+                        continue;
                     }
-                    break; // drain mode: flush immediately, no coalescing
-                }
-                if q.items.is_empty() {
-                    q = shared
+                    if q.items.len() >= cap {
+                        break;
+                    }
+                    // Items are in submit order, so [0] is both the next to
+                    // flush and the next to expire.
+                    let flush_at = q.items[0].submitted + config.max_latency;
+                    let wake_at = match config.query_timeout {
+                        Some(t) => flush_at.min(q.items[0].submitted + t),
+                        None => flush_at,
+                    };
+                    let now = Instant::now();
+                    if now >= flush_at {
+                        break;
+                    }
+                    if now >= wake_at {
+                        continue; // a query just expired; re-check from the top
+                    }
+                    let (guard, _timeout) = shared
                         .queue_cv
-                        .wait(q)
+                        .wait_timeout(q, wake_at - now)
                         .unwrap_or_else(PoisonError::into_inner);
-                    continue;
+                    q = guard;
                 }
-                if q.items.len() >= cap {
-                    break;
-                }
-                // Items are in submit order, so [0] is both the next to
-                // flush and the next to expire.
-                let flush_at = q.items[0].submitted + config.max_latency;
-                let wake_at = match config.query_timeout {
-                    Some(t) => flush_at.min(q.items[0].submitted + t),
-                    None => flush_at,
-                };
-                let now = Instant::now();
-                if now >= flush_at {
-                    break;
-                }
-                if now >= wake_at {
-                    continue; // a query just expired; re-check from the top
-                }
-                let (guard, _timeout) = shared
-                    .queue_cv
-                    .wait_timeout(q, wake_at - now)
-                    .unwrap_or_else(PoisonError::into_inner);
-                q = guard;
+                // Before the drain so an injected panic leaves the batch
+                // queued, not stranded half-taken.
+                crate::fail_point!("core.engine.coalesce");
+                let width = width_for(q.items.len().min(cap), cap);
+                let take = q.items.len().min(width.max(1));
+                let batch: Vec<Pending> = q.items.drain(..take).collect();
+                engine_metrics().queue_depth.set(q.items.len() as i64);
+                shared.space_cv.notify_all();
+                Some(batch)
+            }));
+        let batch: Vec<Pending> = match collected {
+            Ok(Some(batch)) => batch,
+            Ok(None) => return, // clean shutdown: queue fully drained
+            Err(_) => {
+                // Nothing was drained; back off briefly so a persistently
+                // firing fault cannot spin the dispatcher hot.
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
             }
-            let width = width_for(q.items.len().min(cap), cap);
-            let take = q.items.len().min(width.max(1));
-            let batch: Vec<Pending> = q.items.drain(..take).collect();
-            engine_metrics().queue_depth.set(q.items.len() as i64);
-            shared.space_cv.notify_all();
-            batch
         };
 
         let rec = pbfs_telemetry::recorder();
@@ -854,6 +876,9 @@ fn dispatcher_loop(shared: &Shared) {
         // batch. Pool poisoning and partially-updated algorithm state are
         // repaired before the next batch.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Inside the batch catch_unwind: an injected panic fails this
+            // batch with `BatchFailed`, exercising the repair path.
+            crate::fail_point!("core.engine.flush");
             if let Some(hook) = config.fault_hook {
                 hook(&pool, &sources);
             }
@@ -882,7 +907,10 @@ fn dispatcher_loop(shared: &Shared) {
                 ms2 = None;
                 ms4 = None;
                 ms8 = None;
-                pool.recover();
+                // `recover` hosts the `sched.pool.respawn` failpoint: a
+                // panic there must not kill the dispatcher — the respawn
+                // sweep simply runs again before the next batch.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.recover()));
                 let m = engine_metrics();
                 m.failed.add(batch.len() as u64);
                 m.in_flight.sub(batch.len() as i64);

@@ -41,11 +41,25 @@
 
 #![warn(missing_docs)]
 
+// Failpoint shim: `crate::fail_point!` is the real injection macro when the
+// `failpoints` feature is on and expands to nothing otherwise. pbfs-fault
+// itself is an unconditional dependency (the chaos harness needs its
+// registry API in every build); only the macro is feature-gated.
+#[cfg(feature = "failpoints")]
+pub(crate) use pbfs_fault::fail_point;
+#[cfg(not(feature = "failpoints"))]
+macro_rules! fail_point {
+    ($($tt:tt)*) => {};
+}
+#[cfg(not(feature = "failpoints"))]
+pub(crate) use fail_point;
+
 pub mod analytics;
 pub mod batch;
 pub mod beamer;
 pub mod build;
 pub mod centrality;
+pub mod chaos;
 pub mod engine;
 pub mod memory;
 pub mod msbfs;

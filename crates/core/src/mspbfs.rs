@@ -141,6 +141,9 @@ impl<const W: usize> MsPbfs<W> {
         };
 
         while frontier_vertices > 0 {
+            // Phase boundary: state arrays are consistent here, so an
+            // injected panic exercises the engine's mid-traversal repair.
+            crate::fail_point!("core.mspbfs.phase");
             if let Some(max) = opts.max_iterations {
                 if depth >= max {
                     break;

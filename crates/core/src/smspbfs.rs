@@ -299,6 +299,9 @@ impl<S: SsState> SmsPbfs<S> {
         };
 
         while frontier_vertices > 0 {
+            // Phase boundary: state arrays are consistent here, so an
+            // injected panic exercises the engine's mid-traversal repair.
+            crate::fail_point!("core.smspbfs.phase");
             if let Some(max) = opts.max_iterations {
                 if depth >= max {
                     break;

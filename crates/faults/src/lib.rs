@@ -1,0 +1,722 @@
+//! Deterministic, feature-gated fault injection (failpoints).
+//!
+//! Production BFS services must survive worker death, stragglers and
+//! corrupt inputs under *arbitrary* interleavings, not just the handful a
+//! test author plants by hand. This crate provides named **failpoint
+//! sites** — `fail_point!("sched.pool.dispatch")` — wired into the hot
+//! seams of the suite, and a process-global registry that decides, per
+//! evaluation, whether a site fires and what it does:
+//!
+//! * **panic** — unwind at the site (exercises panic isolation/recovery),
+//! * **sleep(ms)** — delay the executing thread (stragglers, timeouts),
+//! * **return-error** — make the enclosing function return an injected
+//!   typed error (only at sites instrumented with the two-argument macro
+//!   form),
+//! * **yield** — `thread::yield_now()` (perturbs interleavings cheaply).
+//!
+//! Every site carries a **deterministic seeded probability** and an
+//! optional **fire-count limit**: with a fixed [`set_seed`] the k-th
+//! evaluation of a site either always fires or never fires, so a failing
+//! chaos schedule replays exactly.
+//!
+//! # Configuration
+//!
+//! Programmatic ([`configure`]) or via the `PBFS_FAILPOINTS` environment
+//! variable, read once on first evaluation:
+//!
+//! ```text
+//! PBFS_FAILPOINTS="site=action[(arg)][:p=F][:max=N][;site2=...]"
+//! PBFS_FAILPOINTS_SEED=42
+//! ```
+//!
+//! e.g. `PBFS_FAILPOINTS="core.engine.flush=panic:p=0.1:max=3;sched.task.fetch=sleep(2):p=0.05"`.
+//!
+//! # Zero overhead when compiled out
+//!
+//! The `fail_point!` macro is defined twice, gated on this crate's
+//! `failpoints` feature: without the feature both forms expand to nothing
+//! (verified by a release-mode overhead guard test), with it each
+//! evaluation costs one `Once` check plus one relaxed atomic load while no
+//! site is configured.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, Once, OnceLock, PoisonError};
+use std::time::Duration;
+
+use pbfs_telemetry::Counter;
+
+/// What a configured site does when it fires.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FailAction {
+    /// Panic at the site, with an optional custom message.
+    Panic(Option<String>),
+    /// Sleep for the given number of milliseconds.
+    Sleep(u64),
+    /// Return an injected error from the enclosing function. Only sites
+    /// instrumented with the two-argument `fail_point!` form honor this;
+    /// elsewhere it degrades to a counted no-op.
+    ReturnError,
+    /// `std::thread::yield_now()`.
+    Yield,
+}
+
+/// Full configuration of one failpoint site.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FailConfig {
+    /// Action performed when the site fires.
+    pub action: FailAction,
+    /// Probability in `[0, 1]` that an evaluation fires (deterministic
+    /// given the registry seed, the site name and the evaluation index).
+    pub probability: f64,
+    /// Maximum number of times the site may fire; `None` = unlimited.
+    pub max: Option<u64>,
+}
+
+impl FailConfig {
+    /// A config that always fires with the given action (p=1, no limit).
+    pub fn always(action: FailAction) -> Self {
+        Self {
+            action,
+            probability: 1.0,
+            max: None,
+        }
+    }
+
+    /// Returns a copy with the given probability.
+    pub fn with_probability(mut self, p: f64) -> Self {
+        self.probability = p;
+        self
+    }
+
+    /// Returns a copy with the given fire-count limit.
+    pub fn with_max(mut self, max: u64) -> Self {
+        self.max = Some(max);
+        self
+    }
+
+    /// Renders the `action[(arg)][:p=F][:max=N]` spec this config parses
+    /// back from ([`parse_config`] round-trips it).
+    pub fn to_spec(&self) -> String {
+        let mut s = match &self.action {
+            FailAction::Panic(None) => "panic".to_string(),
+            FailAction::Panic(Some(msg)) => format!("panic({msg})"),
+            FailAction::Sleep(ms) => format!("sleep({ms})"),
+            FailAction::ReturnError => "return-error".to_string(),
+            FailAction::Yield => "yield".to_string(),
+        };
+        if self.probability != 1.0 {
+            s.push_str(&format!(":p={}", self.probability));
+        }
+        if let Some(max) = self.max {
+            s.push_str(&format!(":max={max}"));
+        }
+        s
+    }
+}
+
+/// A malformed failpoint spec (env var or [`configure_from_spec`] input).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecError {
+    /// What was wrong, including the offending fragment.
+    pub message: String,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid failpoint spec: {}", self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn spec_err(message: impl Into<String>) -> SpecError {
+    SpecError {
+        message: message.into(),
+    }
+}
+
+/// Parses one `action[(arg)][:p=F][:max=N]` fragment.
+pub fn parse_config(spec: &str) -> Result<FailConfig, SpecError> {
+    let mut parts = spec.split(':');
+    let action_str = parts.next().unwrap_or("").trim();
+    let (name, arg) = match action_str.find('(') {
+        Some(open) => {
+            let close = action_str
+                .rfind(')')
+                .ok_or_else(|| spec_err(format!("unclosed '(' in {action_str:?}")))?;
+            if close < open {
+                return Err(spec_err(format!("mismatched parens in {action_str:?}")));
+            }
+            (&action_str[..open], Some(&action_str[open + 1..close]))
+        }
+        None => (action_str, None),
+    };
+    let action = match (name, arg) {
+        ("panic", None) => FailAction::Panic(None),
+        ("panic", Some(msg)) => FailAction::Panic(Some(msg.to_string())),
+        ("sleep", Some(ms)) => FailAction::Sleep(
+            ms.trim()
+                .parse()
+                .map_err(|_| spec_err(format!("sleep wants integer milliseconds, got {ms:?}")))?,
+        ),
+        ("sleep", None) => return Err(spec_err("sleep requires a millisecond argument")),
+        ("return-error" | "error", None) => FailAction::ReturnError,
+        ("yield", None) => FailAction::Yield,
+        (other, _) => {
+            return Err(spec_err(format!(
+                "unknown action {other:?} (expected panic, sleep(ms), return-error or yield)"
+            )))
+        }
+    };
+    let mut config = FailConfig::always(action);
+    for part in parts {
+        let part = part.trim();
+        if let Some(p) = part.strip_prefix("p=") {
+            let p: f64 = p
+                .parse()
+                .map_err(|_| spec_err(format!("bad probability {p:?}")))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(spec_err(format!("probability {p} outside [0, 1]")));
+            }
+            config.probability = p;
+        } else if let Some(max) = part.strip_prefix("max=") {
+            config.max = Some(
+                max.parse()
+                    .map_err(|_| spec_err(format!("bad max count {max:?}")))?,
+            );
+        } else {
+            return Err(spec_err(format!(
+                "unknown modifier {part:?} (expected p=F or max=N)"
+            )));
+        }
+    }
+    Ok(config)
+}
+
+/// Per-site runtime state: immutable config plus fire accounting.
+struct Site {
+    config: FailConfig,
+    /// Evaluations so far; indexes the deterministic probability stream.
+    evals: AtomicU64,
+    /// Fires so far; bounded by `config.max`.
+    fired: AtomicU64,
+    /// Evaluations that fired (mirrors `fired`, kept for snapshots).
+    triggered: AtomicU64,
+    /// Evaluations that did not fire (probability miss or exhausted max).
+    skipped: AtomicU64,
+    ctr_triggered: Arc<Counter>,
+    ctr_skipped: Arc<Counter>,
+}
+
+struct Registry {
+    sites: Mutex<HashMap<String, Arc<Site>>>,
+    seed: AtomicU64,
+}
+
+/// Number of configured sites; the macro's fast path skips the registry
+/// entirely while this is zero.
+static ACTIVE_SITES: AtomicUsize = AtomicUsize::new(0);
+static ENV_INIT: Once = Once::new();
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        sites: Mutex::new(HashMap::new()),
+        seed: AtomicU64::new(0),
+    })
+}
+
+fn lock_sites() -> std::sync::MutexGuard<'static, HashMap<String, Arc<Site>>> {
+    registry()
+        .sites
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// True when the `failpoints` feature is compiled in (sites are live).
+pub const fn enabled() -> bool {
+    cfg!(feature = "failpoints")
+}
+
+/// Sets the seed of the deterministic per-site probability streams.
+/// Changing the seed does not reset per-site evaluation counters; use
+/// [`clear_all`] + reconfigure for a fresh schedule.
+pub fn set_seed(seed: u64) {
+    registry().seed.store(seed, Ordering::Relaxed);
+}
+
+/// Configures (or reconfigures) one site. Reconfiguring resets the site's
+/// evaluation and fire counters.
+pub fn configure(site: &str, config: FailConfig) {
+    let r = pbfs_telemetry::registry();
+    let labels = format!("site=\"{site}\"");
+    let entry = Arc::new(Site {
+        config,
+        evals: AtomicU64::new(0),
+        fired: AtomicU64::new(0),
+        triggered: AtomicU64::new(0),
+        skipped: AtomicU64::new(0),
+        ctr_triggered: r.counter_with(
+            "pbfs_fault_triggered_total",
+            &labels,
+            "Failpoint evaluations that fired an injected fault",
+        ),
+        ctr_skipped: r.counter_with(
+            "pbfs_fault_skipped_total",
+            &labels,
+            "Failpoint evaluations that did not fire (probability miss or exhausted max)",
+        ),
+    });
+    let mut sites = lock_sites();
+    if sites.insert(site.to_string(), entry).is_none() {
+        ACTIVE_SITES.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Parses and applies a multi-site spec: `site=action(...)[:p=F][:max=N]`
+/// fragments separated by `;`. Returns the number of sites configured.
+pub fn configure_from_spec(spec: &str) -> Result<usize, SpecError> {
+    let mut count = 0;
+    for fragment in spec.split(';') {
+        let fragment = fragment.trim();
+        if fragment.is_empty() {
+            continue;
+        }
+        let (site, action_spec) = fragment
+            .split_once('=')
+            .ok_or_else(|| spec_err(format!("missing '=' in {fragment:?}")))?;
+        let site = site.trim();
+        if site.is_empty() {
+            return Err(spec_err(format!("empty site name in {fragment:?}")));
+        }
+        if action_spec.trim() == "off" {
+            remove(site);
+        } else {
+            configure(site, parse_config(action_spec)?);
+            count += 1;
+        }
+    }
+    Ok(count)
+}
+
+/// Removes one site's configuration.
+pub fn remove(site: &str) {
+    if lock_sites().remove(site).is_some() {
+        ACTIVE_SITES.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Removes every configured site and its counters (telemetry counters in
+/// the global registry stay, cumulatively).
+pub fn clear_all() {
+    let mut sites = lock_sites();
+    let n = sites.len();
+    sites.clear();
+    ACTIVE_SITES.fetch_sub(n, Ordering::Release);
+}
+
+/// Reads `PBFS_FAILPOINTS` / `PBFS_FAILPOINTS_SEED` and applies them.
+/// Returns the number of sites configured (0 when the variable is unset).
+pub fn init_from_env() -> Result<usize, SpecError> {
+    if let Ok(seed) = std::env::var("PBFS_FAILPOINTS_SEED") {
+        let seed = seed
+            .parse()
+            .map_err(|_| spec_err(format!("PBFS_FAILPOINTS_SEED not an integer: {seed:?}")))?;
+        set_seed(seed);
+    }
+    match std::env::var("PBFS_FAILPOINTS") {
+        Ok(spec) => configure_from_spec(&spec),
+        Err(_) => Ok(0),
+    }
+}
+
+/// Snapshot of one site's accounting.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SiteStats {
+    /// Site name.
+    pub site: String,
+    /// Spec the site was configured with.
+    pub spec: String,
+    /// Evaluations so far.
+    pub evals: u64,
+    /// Evaluations that fired.
+    pub triggered: u64,
+    /// Evaluations that did not fire.
+    pub skipped: u64,
+}
+
+/// Snapshot of every configured site, sorted by name.
+pub fn stats() -> Vec<SiteStats> {
+    let sites = lock_sites();
+    let mut out: Vec<SiteStats> = sites
+        .iter()
+        .map(|(name, s)| SiteStats {
+            site: name.clone(),
+            spec: s.config.to_spec(),
+            evals: s.evals.load(Ordering::Relaxed),
+            triggered: s.triggered.load(Ordering::Relaxed),
+            skipped: s.skipped.load(Ordering::Relaxed),
+        })
+        .collect();
+    out.sort_by(|a, b| a.site.cmp(&b.site));
+    out
+}
+
+/// The action a fired evaluation should perform, as decided by [`eval`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum FiredAction {
+    /// Panic with this message.
+    Panic(String),
+    /// Sleep this long.
+    Sleep(Duration),
+    /// Return the injected error (two-argument macro form).
+    ReturnError,
+    /// Yield the thread.
+    Yield,
+}
+
+/// SplitMix64 finalizer: decorrelates (seed, site, eval-index) into a
+/// uniform u64. Deterministic by construction — no process entropy.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn hash_site(site: &str) -> u64 {
+    // FNV-1a.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in site.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Decides whether the site fires on this evaluation. Called by the
+/// `fail_point!` macro; public so the macro can expand to it.
+#[inline]
+pub fn eval(site: &str) -> Option<FiredAction> {
+    ENV_INIT.call_once(|| {
+        if let Err(e) = init_from_env() {
+            // A malformed env spec must not take the process down from an
+            // arbitrary instrumented call site; report and inject nothing.
+            eprintln!("pbfs-fault: ignoring PBFS_FAILPOINTS: {e}");
+        }
+    });
+    if ACTIVE_SITES.load(Ordering::Acquire) == 0 {
+        return None;
+    }
+    eval_slow(site)
+}
+
+#[cold]
+fn eval_slow(site: &str) -> Option<FiredAction> {
+    let entry = lock_sites().get(site).cloned()?;
+    let k = entry.evals.fetch_add(1, Ordering::Relaxed);
+    let seed = registry().seed.load(Ordering::Relaxed);
+    // Uniform in [0, 1) from the deterministic (seed, site, k) stream.
+    let r = (mix(seed ^ hash_site(site) ^ k.wrapping_mul(0x2545_f491_4f6c_dd1d)) >> 11) as f64
+        / (1u64 << 53) as f64;
+    let fires = r < entry.config.probability
+        && match entry.config.max {
+            None => true,
+            // Atomically reserve one of the remaining fires so concurrent
+            // evaluations never exceed the limit.
+            Some(m) => entry
+                .fired
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |f| {
+                    (f < m).then_some(f + 1)
+                })
+                .is_ok(),
+        };
+    if !fires {
+        entry.skipped.fetch_add(1, Ordering::Relaxed);
+        entry.ctr_skipped.inc();
+        return None;
+    }
+    entry.triggered.fetch_add(1, Ordering::Relaxed);
+    entry.ctr_triggered.inc();
+    Some(match &entry.config.action {
+        FailAction::Panic(msg) => FiredAction::Panic(match msg {
+            Some(m) => m.clone(),
+            None => format!("failpoint '{site}' injected panic"),
+        }),
+        FailAction::Sleep(ms) => FiredAction::Sleep(Duration::from_millis(*ms)),
+        FailAction::ReturnError => FiredAction::ReturnError,
+        FailAction::Yield => FiredAction::Yield,
+    })
+}
+
+/// Performs a fired action's side effect (everything but `ReturnError`,
+/// which only the two-argument macro form can honor). Public for the
+/// macro expansion.
+pub fn perform(action: FiredAction) {
+    match action {
+        FiredAction::Panic(msg) => panic!("{msg}"),
+        FiredAction::Sleep(d) => std::thread::sleep(d),
+        FiredAction::Yield => std::thread::yield_now(),
+        // No error channel at this site: degrade to a counted no-op.
+        FiredAction::ReturnError => {}
+    }
+}
+
+/// Evaluates the named failpoint site.
+///
+/// * `fail_point!("site")` — panic/sleep/yield actions take effect here; a
+///   `return-error` action is counted but does nothing.
+/// * `fail_point!("site", expr)` — additionally, a `return-error` action
+///   makes the enclosing function `return expr;`.
+///
+/// Without the `failpoints` feature both forms expand to nothing.
+#[cfg(feature = "failpoints")]
+#[macro_export]
+macro_rules! fail_point {
+    ($site:expr) => {
+        if let Some(action) = $crate::eval($site) {
+            $crate::perform(action);
+        }
+    };
+    ($site:expr, $ret:expr) => {
+        if let Some(action) = $crate::eval($site) {
+            if matches!(action, $crate::FiredAction::ReturnError) {
+                return $ret;
+            }
+            $crate::perform(action);
+        }
+    };
+}
+
+/// Evaluates the named failpoint site (compiled out: expands to nothing).
+#[cfg(not(feature = "failpoints"))]
+#[macro_export]
+macro_rules! fail_point {
+    ($site:expr) => {};
+    ($site:expr, $ret:expr) => {};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry is process-global; tests that touch it serialize here.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static GUARD: Mutex<()> = Mutex::new(());
+        GUARD.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn fresh(site: &str, config: FailConfig, seed: u64) {
+        clear_all();
+        set_seed(seed);
+        configure(site, config);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        let cases = [
+            "panic",
+            "panic(storage died)",
+            "sleep(25)",
+            "return-error",
+            "yield",
+            "panic:p=0.25",
+            "sleep(3):p=0.5:max=7",
+            "return-error:max=1",
+        ];
+        for spec in cases {
+            let config = parse_config(spec).unwrap();
+            assert_eq!(config.to_spec(), spec, "round-trip of {spec:?}");
+            assert_eq!(parse_config(&config.to_spec()).unwrap(), config);
+        }
+        assert_eq!(
+            parse_config("error").unwrap().action,
+            FailAction::ReturnError
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "explode",
+            "sleep",
+            "sleep(abc)",
+            "panic:p=2.0",
+            "panic:p=-0.1",
+            "panic:p=x",
+            "panic:max=x",
+            "panic:frequency=2",
+            "sleep(5",
+        ] {
+            assert!(parse_config(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn multi_site_spec_configures_and_removes() {
+        let _g = guard();
+        clear_all();
+        let n = configure_from_spec("a.site=panic:max=1; b.site=sleep(2):p=0.5 ;; c.site=yield")
+            .unwrap();
+        assert_eq!(n, 3);
+        let st = stats();
+        assert_eq!(
+            st.iter().map(|s| s.site.as_str()).collect::<Vec<_>>(),
+            vec!["a.site", "b.site", "c.site"]
+        );
+        assert_eq!(st[1].spec, "sleep(2):p=0.5");
+        configure_from_spec("b.site=off").unwrap();
+        assert_eq!(stats().len(), 2);
+        assert!(configure_from_spec("nospec").is_err());
+        assert!(configure_from_spec("=panic").is_err());
+        clear_all();
+        assert_eq!(stats().len(), 0);
+    }
+
+    #[test]
+    fn probability_stream_is_deterministic_under_fixed_seed() {
+        let _g = guard();
+        let pattern = |seed: u64| -> Vec<bool> {
+            fresh(
+                "det.site",
+                FailConfig::always(FailAction::Yield).with_probability(0.3),
+                seed,
+            );
+            (0..200).map(|_| eval("det.site").is_some()).collect()
+        };
+        let a = pattern(7);
+        let b = pattern(7);
+        assert_eq!(a, b, "same seed must replay the same fire pattern");
+        let fired = a.iter().filter(|&&f| f).count();
+        assert!(
+            (20..=100).contains(&fired),
+            "p=0.3 over 200 evals fired {fired} times"
+        );
+        let c = pattern(8);
+        assert_ne!(a, c, "a different seed must give a different pattern");
+        clear_all();
+    }
+
+    #[test]
+    fn fire_count_limit_is_exact() {
+        let _g = guard();
+        fresh(
+            "max.site",
+            FailConfig::always(FailAction::Yield).with_max(3),
+            1,
+        );
+        let fired = (0..10).filter(|_| eval("max.site").is_some()).count();
+        assert_eq!(fired, 3);
+        let st = stats();
+        assert_eq!(st[0].triggered, 3);
+        assert_eq!(st[0].skipped, 7);
+        assert_eq!(st[0].evals, 10);
+        clear_all();
+    }
+
+    #[test]
+    fn fire_count_limit_holds_under_concurrency() {
+        let _g = guard();
+        fresh(
+            "conc.site",
+            FailConfig::always(FailAction::Yield).with_max(5),
+            2,
+        );
+        let fired = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        if eval("conc.site").is_some() {
+                            fired.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(fired.load(Ordering::Relaxed), 5);
+        clear_all();
+    }
+
+    #[test]
+    fn unconfigured_sites_never_fire() {
+        let _g = guard();
+        clear_all();
+        assert_eq!(eval("no.such.site"), None);
+        configure("other.site", FailConfig::always(FailAction::Yield));
+        assert_eq!(eval("no.such.site"), None);
+        clear_all();
+    }
+
+    #[test]
+    fn fired_actions_map_to_configs() {
+        let _g = guard();
+        fresh("act.site", FailConfig::always(FailAction::Panic(None)), 0);
+        assert_eq!(
+            eval("act.site"),
+            Some(FiredAction::Panic(
+                "failpoint 'act.site' injected panic".into()
+            ))
+        );
+        fresh("act.site", FailConfig::always(FailAction::Sleep(4)), 0);
+        assert_eq!(
+            eval("act.site"),
+            Some(FiredAction::Sleep(Duration::from_millis(4)))
+        );
+        fresh("act.site", FailConfig::always(FailAction::ReturnError), 0);
+        assert_eq!(eval("act.site"), Some(FiredAction::ReturnError));
+        clear_all();
+    }
+
+    #[test]
+    fn reconfigure_resets_counters() {
+        let _g = guard();
+        fresh(
+            "re.site",
+            FailConfig::always(FailAction::Yield).with_max(1),
+            0,
+        );
+        assert!(eval("re.site").is_some());
+        assert!(eval("re.site").is_none(), "max exhausted");
+        configure("re.site", FailConfig::always(FailAction::Yield).with_max(1));
+        assert!(eval("re.site").is_some(), "reconfigure resets the budget");
+        clear_all();
+    }
+
+    /// The macro is exercised (as opposed to `eval` directly) only when
+    /// the feature is on; `cargo test -p pbfs-fault --features failpoints`
+    /// runs this in CI's chaos step.
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn macro_return_form_injects_typed_error() {
+        let _g = guard();
+        fn guarded() -> Result<u32, &'static str> {
+            fail_point!("macro.site", Err("injected"));
+            Ok(1)
+        }
+        fresh(
+            "macro.site",
+            FailConfig::always(FailAction::ReturnError).with_max(1),
+            0,
+        );
+        assert_eq!(guarded(), Err("injected"));
+        assert_eq!(guarded(), Ok(1), "max=1 exhausted, site passive again");
+        clear_all();
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn macro_panic_form_panics() {
+        let _g = guard();
+        fresh(
+            "boom.site",
+            FailConfig::always(FailAction::Panic(Some("kaboom".into()))).with_max(1),
+            0,
+        );
+        let r = std::panic::catch_unwind(|| fail_point!("boom.site"));
+        let msg = *r.unwrap_err().downcast::<String>().unwrap();
+        assert_eq!(msg, "kaboom");
+        clear_all();
+    }
+}

@@ -1,0 +1,66 @@
+//! Default-build guard: without the `failpoints` feature the macro must
+//! expand to nothing — even for sites that are *configured* to fire.
+//!
+//! (With the feature on this file is compiled out; the macro's live
+//! behavior is covered by the unit tests in `src/lib.rs`.)
+
+#![cfg(not(feature = "failpoints"))]
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use pbfs_fault::{fail_point, FailAction, FailConfig};
+
+/// The failpoint registry is process-global; serialize the tests that
+/// touch it.
+fn guard() -> MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    GUARD.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[test]
+fn feature_reports_disabled() {
+    assert!(!pbfs_fault::enabled());
+}
+
+#[test]
+fn macro_is_inert_even_when_configured() {
+    let _g = guard();
+    pbfs_fault::clear_all();
+    pbfs_fault::configure(
+        "compile_out.armed",
+        FailConfig::always(FailAction::Panic(None)),
+    );
+
+    // Both macro forms: a live build would panic / return here.
+    fail_point!("compile_out.armed");
+    let checked = || -> Result<u32, &'static str> {
+        fail_point!("compile_out.armed", Err("injected"));
+        Ok(7)
+    };
+    assert_eq!(checked(), Ok(7));
+
+    // The registry was never even consulted: zero evaluations recorded.
+    let stats = pbfs_fault::stats();
+    let site = stats
+        .iter()
+        .find(|s| s.site == "compile_out.armed")
+        .expect("configured site is listed");
+    assert_eq!(site.evals, 0, "no-op macro must not reach eval()");
+    assert_eq!(site.triggered, 0);
+
+    pbfs_fault::clear_all();
+}
+
+#[test]
+fn registry_api_still_works_without_the_feature() {
+    let _g = guard();
+    pbfs_fault::clear_all();
+    // Harnesses (e.g. `pbfs chaos`) parse and manage specs in every
+    // build; only injection is feature-gated.
+    let n = pbfs_fault::configure_from_spec("a.site=panic:p=0.5:max=2;b.site=sleep(3)")
+        .expect("valid spec parses");
+    assert_eq!(n, 2);
+    assert_eq!(pbfs_fault::stats().len(), 2);
+    pbfs_fault::clear_all();
+    assert!(pbfs_fault::stats().is_empty());
+}

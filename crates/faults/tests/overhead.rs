@@ -1,0 +1,68 @@
+//! Release-mode zero-overhead guard: a hot loop peppered with
+//! compiled-out failpoint sites must run at the speed of the same loop
+//! without them. Runs only in release builds without the `failpoints`
+//! feature (CI's "Test (release)" step); debug builds don't optimize
+//! enough for the comparison to mean anything.
+
+#![cfg(all(not(debug_assertions), not(feature = "failpoints")))]
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use pbfs_fault::fail_point;
+
+const ITEMS: usize = 8_000_000;
+
+#[inline(never)]
+fn sum_with_sites(data: &[u64]) -> u64 {
+    let mut acc = 0u64;
+    for &x in data {
+        fail_point!("overhead.hot.a");
+        fail_point!("overhead.hot.b");
+        fail_point!("overhead.hot.c");
+        acc = acc.wrapping_add(x).rotate_left(1);
+    }
+    acc
+}
+
+#[inline(never)]
+fn sum_plain(data: &[u64]) -> u64 {
+    let mut acc = 0u64;
+    for &x in data {
+        acc = acc.wrapping_add(x).rotate_left(1);
+    }
+    acc
+}
+
+fn best_of(reps: usize, mut f: impl FnMut() -> u64) -> Duration {
+    (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed()
+        })
+        .min()
+        .expect("reps > 0")
+}
+
+#[test]
+fn compiled_out_sites_are_free() {
+    let data: Vec<u64> = (0..ITEMS as u64).collect();
+    // Same work, so same result — and a warmup for both paths.
+    assert_eq!(
+        sum_with_sites(black_box(&data)),
+        sum_plain(black_box(&data))
+    );
+
+    let with = best_of(5, || sum_with_sites(black_box(&data)));
+    let plain = best_of(5, || sum_plain(black_box(&data)));
+
+    // The macro expands to nothing, so the two loops are the same machine
+    // code; 2x + fixed slack absorbs scheduler noise without ever letting
+    // a real per-iteration cost (branch + registry load) slip through.
+    assert!(
+        with <= plain * 2 + Duration::from_millis(2),
+        "instrumented loop took {with:?} vs plain {plain:?} — \
+         compiled-out failpoints are not free"
+    );
+}

@@ -84,6 +84,49 @@ impl CsrGraph {
         Self { offsets, targets }
     }
 
+    /// Non-panicking variant of [`CsrGraph::from_raw_parts`] for arrays
+    /// deserialized from untrusted input: every structural violation is a
+    /// typed [`GraphIoError`] instead of a panic.
+    pub fn try_from_raw_parts(
+        offsets: Box<[u64]>,
+        targets: Box<[VertexId]>,
+    ) -> Result<Self, crate::io::GraphIoError> {
+        use crate::io::GraphIoError;
+        if offsets.is_empty() || offsets[0] != 0 {
+            return Err(GraphIoError::NonMonotoneOffsets { index: 0 });
+        }
+        if let Some(i) = (1..offsets.len()).find(|&i| offsets[i] < offsets[i - 1]) {
+            return Err(GraphIoError::NonMonotoneOffsets { index: i });
+        }
+        let declared = *offsets.last().unwrap();
+        if declared != targets.len() as u64 {
+            return Err(GraphIoError::OffsetTargetMismatch {
+                declared,
+                targets: targets.len(),
+            });
+        }
+        let n = offsets.len() - 1;
+        if n > u32::MAX as usize {
+            return Err(GraphIoError::CountOverflow {
+                what: "vertex",
+                value: n as u64,
+            });
+        }
+        if let Some((i, &t)) = targets
+            .iter()
+            .enumerate()
+            .find(|&(_, &t)| (t as usize) >= n)
+        {
+            return Err(GraphIoError::EndpointOutOfRange {
+                line: None,
+                edge: Some(i),
+                endpoint: t as u64,
+                num_vertices: n,
+            });
+        }
+        Ok(Self::from_raw_parts(offsets, targets))
+    }
+
     /// Builds a graph with explicit cleanup rules.
     ///
     /// # Panics
@@ -94,6 +137,7 @@ impl CsrGraph {
         edges: &[(VertexId, VertexId)],
         opts: BuildOptions,
     ) -> Self {
+        crate::fail_point!("graph.csr.build");
         assert!(num_vertices <= u32::MAX as usize, "vertex ids are 32-bit");
         let n = num_vertices;
         let keep = |&(u, v): &(VertexId, VertexId)| {

@@ -1,5 +1,12 @@
 //! Edge-list I/O: whitespace-separated text and a compact binary format.
+//!
+//! Both readers treat their input as **untrusted**: every failure mode on
+//! arbitrary bytes — truncation, corrupted magic, lying length fields,
+//! out-of-range endpoints — surfaces as a typed [`GraphIoError`] instead of
+//! a panic or an unbounded allocation. The corrupt-input property tests in
+//! `crates/graph/tests/corrupt_io.rs` enforce this contract.
 
+use std::fmt;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
@@ -10,6 +17,162 @@ use crate::{CsrGraph, VertexId};
 
 /// Magic prefix of the binary format.
 const MAGIC: &[u8; 8] = b"PBFSG1\0\0";
+
+/// Edges decoded per read when streaming the binary payload. Bounds the
+/// transient buffer regardless of what the (untrusted) header claims.
+const EDGE_CHUNK: usize = 1 << 16;
+
+/// Typed failure taxonomy for graph ingestion.
+///
+/// Every variant names what the reader observed so operators can tell a
+/// truncated transfer from a corrupted file from a malformed export without
+/// reproducing the input.
+#[derive(Debug)]
+pub enum GraphIoError {
+    /// The underlying reader or writer failed.
+    Io(io::Error),
+    /// The first 8 bytes did not match the `PBFSG1\0\0` magic.
+    BadMagic {
+        /// The bytes actually found where the magic was expected.
+        found: [u8; 8],
+    },
+    /// The input ended inside the 24-byte binary header.
+    TruncatedHeader {
+        /// Header bytes that were present before EOF.
+        read: usize,
+    },
+    /// The input ended before the edge count declared in the header.
+    TruncatedPayload {
+        /// Edges the header promised.
+        expected_edges: usize,
+        /// Whole edges actually decoded before EOF.
+        read_edges: usize,
+    },
+    /// A declared count does not fit the implementation limits
+    /// (32-bit vertex ids; edge payload must fit in `usize` bytes).
+    CountOverflow {
+        /// Which count overflowed: `"vertex"` or `"edge"`.
+        what: &'static str,
+        /// The declared value.
+        value: u64,
+    },
+    /// An edge endpoint is outside the declared vertex count.
+    EndpointOutOfRange {
+        /// 1-based text line the endpoint was read from, when known.
+        line: Option<usize>,
+        /// 0-based edge index in the binary payload, when known.
+        edge: Option<usize>,
+        /// The offending endpoint.
+        endpoint: u64,
+        /// The declared vertex count it must stay below.
+        num_vertices: usize,
+    },
+    /// A text line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong on that line.
+        message: String,
+    },
+    /// Prebuilt CSR offsets are not monotone starting at zero.
+    NonMonotoneOffsets {
+        /// Index of the first offending offset.
+        index: usize,
+    },
+    /// The final CSR offset disagrees with the target-array length.
+    OffsetTargetMismatch {
+        /// `offsets.last()` as declared.
+        declared: u64,
+        /// Actual number of targets.
+        targets: usize,
+    },
+    /// A failpoint fired (only with the `failpoints` feature enabled).
+    Injected {
+        /// The failpoint site that injected this error.
+        site: &'static str,
+    },
+}
+
+impl GraphIoError {
+    /// Constructs the error a firing I/O failpoint injects.
+    pub fn injected(site: &'static str) -> Self {
+        GraphIoError::Injected { site }
+    }
+}
+
+impl fmt::Display for GraphIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphIoError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphIoError::BadMagic { found } => {
+                write!(f, "bad magic: expected {MAGIC:?}, found {found:?}")
+            }
+            GraphIoError::TruncatedHeader { read } => {
+                write!(f, "truncated header: {read} of 24 bytes present")
+            }
+            GraphIoError::TruncatedPayload {
+                expected_edges,
+                read_edges,
+            } => write!(
+                f,
+                "truncated payload: header declared {expected_edges} edges, \
+                 input ended after {read_edges}"
+            ),
+            GraphIoError::CountOverflow { what, value } => {
+                write!(f, "{what} count {value} exceeds implementation limits")
+            }
+            GraphIoError::EndpointOutOfRange {
+                line,
+                edge,
+                endpoint,
+                num_vertices,
+            } => {
+                write!(
+                    f,
+                    "edge endpoint {endpoint} out of range for {num_vertices} vertices"
+                )?;
+                if let Some(line) = line {
+                    write!(f, " (line {line})")?;
+                }
+                if let Some(edge) = edge {
+                    write!(f, " (edge {edge})")?;
+                }
+                Ok(())
+            }
+            GraphIoError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphIoError::NonMonotoneOffsets { index } => {
+                write!(f, "CSR offsets not monotone starting at 0 (index {index})")
+            }
+            GraphIoError::OffsetTargetMismatch { declared, targets } => write!(
+                f,
+                "CSR offsets declare {declared} targets but {targets} are present"
+            ),
+            GraphIoError::Injected { site } => {
+                write!(f, "injected fault at failpoint `{site}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphIoError {
+    fn from(e: io::Error) -> Self {
+        GraphIoError::Io(e)
+    }
+}
+
+/// Result alias for graph I/O operations.
+pub type IoResult<T> = std::result::Result<T, GraphIoError>;
 
 /// Metadata describing a stored graph (written as a JSON side-car by the
 /// experiment harness).
@@ -49,26 +212,55 @@ impl GraphMeta {
     }
 }
 
+/// Reads into `buf` until it is full or the input is exhausted, retrying
+/// interrupted reads. Returns the number of bytes filled.
+fn read_up_to<R: Read>(input: &mut R, buf: &mut [u8]) -> IoResult<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match input.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(k) => filled += k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(GraphIoError::Io(e)),
+        }
+    }
+    Ok(filled)
+}
+
 /// Writes `g` as text: a `# vertices <n>` header line followed by one
 /// `u v` pair per undirected edge.
-pub fn write_text<W: Write>(g: &CsrGraph, out: W) -> io::Result<()> {
+pub fn write_text<W: Write>(g: &CsrGraph, out: W) -> IoResult<()> {
     let mut out = BufWriter::new(out);
     writeln!(out, "# vertices {}", g.num_vertices())?;
     for (u, v) in g.edges() {
         writeln!(out, "{u} {v}")?;
     }
-    out.flush()
+    out.flush()?;
+    Ok(())
 }
 
 /// Reads the text format produced by [`write_text`]. Lines starting with
 /// `#` other than the header are skipped; the vertex count is the header
 /// value or, absent a header, one past the maximum endpoint.
-pub fn read_text<R: Read>(input: R) -> io::Result<CsrGraph> {
+///
+/// Every malformed line is a typed error carrying its 1-based line number,
+/// and an endpoint at or beyond a declared `# vertices <n>` header is
+/// rejected as [`GraphIoError::EndpointOutOfRange`] rather than silently
+/// accepted.
+pub fn read_text<R: Read>(input: R) -> IoResult<CsrGraph> {
+    crate::fail_point!(
+        "graph.io.read_text",
+        Err(GraphIoError::injected("graph.io.read_text"))
+    );
     let reader = BufReader::new(input);
     let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
     let mut num_vertices: Option<usize> = None;
+    // Track the maximum endpoint and the line it appeared on so a header
+    // that arrives *after* its offending edge still yields a precise error.
     let mut max_seen: usize = 0;
-    for line in reader.lines() {
+    let mut max_line: usize = 0;
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
         let line = line?;
         let line = line.trim();
         if line.is_empty() {
@@ -77,30 +269,61 @@ pub fn read_text<R: Read>(input: R) -> io::Result<CsrGraph> {
         if let Some(rest) = line.strip_prefix('#') {
             let mut parts = rest.split_whitespace();
             if parts.next() == Some("vertices") {
-                if let Some(Ok(n)) = parts.next().map(str::parse) {
-                    num_vertices = Some(n);
-                }
+                let token = parts.next().ok_or_else(|| GraphIoError::Parse {
+                    line: lineno,
+                    message: "header `# vertices` missing a count".to_string(),
+                })?;
+                let n: usize = token.parse().map_err(|e| GraphIoError::Parse {
+                    line: lineno,
+                    message: format!("bad vertex count `{token}`: {e}"),
+                })?;
+                num_vertices = Some(n);
             }
             continue;
         }
         let mut parts = line.split_whitespace();
-        let parse = |s: Option<&str>| -> io::Result<VertexId> {
-            s.ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing endpoint"))?
-                .parse()
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        let parse = |s: Option<&str>| -> IoResult<VertexId> {
+            let s = s.ok_or_else(|| GraphIoError::Parse {
+                line: lineno,
+                message: "missing endpoint".to_string(),
+            })?;
+            s.parse().map_err(|e| GraphIoError::Parse {
+                line: lineno,
+                message: format!("bad endpoint `{s}`: {e}"),
+            })
         };
         let u = parse(parts.next())?;
         let v = parse(parts.next())?;
-        max_seen = max_seen.max(u as usize).max(v as usize);
+        let hi = u.max(v) as usize;
+        if hi > max_seen || max_line == 0 {
+            max_seen = hi;
+            max_line = lineno;
+        }
         edges.push((u, v));
     }
+    if let Some(n) = num_vertices {
+        if !edges.is_empty() && max_seen >= n {
+            return Err(GraphIoError::EndpointOutOfRange {
+                line: Some(max_line),
+                edge: None,
+                endpoint: max_seen as u64,
+                num_vertices: n,
+            });
+        }
+    }
     let n = num_vertices.unwrap_or(if edges.is_empty() { 0 } else { max_seen + 1 });
+    if n > u32::MAX as usize {
+        return Err(GraphIoError::CountOverflow {
+            what: "vertex",
+            value: n as u64,
+        });
+    }
     Ok(CsrGraph::from_edges(n, &edges))
 }
 
 /// Writes `g` in the binary format: magic, vertex count, undirected edge
 /// count, then little-endian `u32` endpoint pairs.
-pub fn write_binary<W: Write>(g: &CsrGraph, out: W) -> io::Result<()> {
+pub fn write_binary<W: Write>(g: &CsrGraph, out: W) -> IoResult<()> {
     let mut out = BufWriter::new(out);
     let mut header = Vec::with_capacity(24);
     header.put_slice(MAGIC);
@@ -117,40 +340,93 @@ pub fn write_binary<W: Write>(g: &CsrGraph, out: W) -> io::Result<()> {
         }
     }
     out.write_all(&buf)?;
-    out.flush()
+    out.flush()?;
+    Ok(())
 }
 
 /// Reads the binary format produced by [`write_binary`].
-pub fn read_binary<R: Read>(mut input: R) -> io::Result<CsrGraph> {
+///
+/// The declared edge count is *not* trusted: the payload is streamed in
+/// bounded chunks (a lying length field cannot trigger a huge upfront
+/// allocation), every endpoint is validated against the declared vertex
+/// count, and a short read yields [`GraphIoError::TruncatedPayload`] with
+/// exact progress instead of a panic.
+pub fn read_binary<R: Read>(mut input: R) -> IoResult<CsrGraph> {
+    crate::fail_point!(
+        "graph.io.read_binary",
+        Err(GraphIoError::injected("graph.io.read_binary"))
+    );
     let mut header = [0u8; 24];
-    input.read_exact(&mut header)?;
+    let got = read_up_to(&mut input, &mut header)?;
+    if got < header.len() {
+        return Err(GraphIoError::TruncatedHeader { read: got });
+    }
     let mut cursor = &header[..];
     let mut magic = [0u8; 8];
     cursor.copy_to_slice(&mut magic);
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        return Err(GraphIoError::BadMagic { found: magic });
     }
-    let n = cursor.get_u64_le() as usize;
-    let m = cursor.get_u64_le() as usize;
-    let mut payload = vec![0u8; m * 8];
-    input.read_exact(&mut payload)?;
-    let mut cursor = &payload[..];
-    let mut edges = Vec::with_capacity(m);
-    for _ in 0..m {
-        let u = cursor.get_u32_le();
-        let v = cursor.get_u32_le();
-        edges.push((u, v));
+    let n64 = cursor.get_u64_le();
+    let m64 = cursor.get_u64_le();
+    if n64 > u32::MAX as u64 {
+        return Err(GraphIoError::CountOverflow {
+            what: "vertex",
+            value: n64,
+        });
+    }
+    let n = n64 as usize;
+    let m = usize::try_from(m64)
+        .ok()
+        .filter(|m| m.checked_mul(8).is_some())
+        .ok_or(GraphIoError::CountOverflow {
+            what: "edge",
+            value: m64,
+        })?;
+    // Capacity is capped: growth past the cap only happens as real bytes
+    // arrive, so a fabricated edge count cannot reserve memory it never
+    // delivers.
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(m.min(1 << 20));
+    let mut buf = vec![0u8; EDGE_CHUNK.min(m.max(1)) * 8];
+    let mut remaining = m;
+    while remaining > 0 {
+        let take = remaining.min(EDGE_CHUNK);
+        let want = take * 8;
+        let got = read_up_to(&mut input, &mut buf[..want])?;
+        let whole = got / 8;
+        let mut cursor = &buf[..whole * 8];
+        for _ in 0..whole {
+            let u = cursor.get_u32_le();
+            let v = cursor.get_u32_le();
+            let hi = u.max(v);
+            if hi as usize >= n {
+                return Err(GraphIoError::EndpointOutOfRange {
+                    line: None,
+                    edge: Some(edges.len()),
+                    endpoint: hi as u64,
+                    num_vertices: n,
+                });
+            }
+            edges.push((u, v));
+        }
+        if got < want {
+            return Err(GraphIoError::TruncatedPayload {
+                expected_edges: m,
+                read_edges: edges.len(),
+            });
+        }
+        remaining -= take;
     }
     Ok(CsrGraph::from_edges(n, &edges))
 }
 
 /// Convenience: writes the binary format to `path`.
-pub fn save(g: &CsrGraph, path: impl AsRef<Path>) -> io::Result<()> {
+pub fn save(g: &CsrGraph, path: impl AsRef<Path>) -> IoResult<()> {
     write_binary(g, std::fs::File::create(path)?)
 }
 
 /// Convenience: reads the binary format from `path`.
-pub fn load(path: impl AsRef<Path>) -> io::Result<CsrGraph> {
+pub fn load(path: impl AsRef<Path>) -> IoResult<CsrGraph> {
     read_binary(std::fs::File::open(path)?)
 }
 
@@ -212,15 +488,52 @@ mod tests {
     }
 
     #[test]
-    fn malformed_text_errors() {
-        assert!(read_text(&b"0\n"[..]).is_err());
-        assert!(read_text(&b"a b\n"[..]).is_err());
+    fn malformed_text_errors_carry_line_numbers() {
+        match read_text(&b"0 1\n0\n"[..]) {
+            Err(GraphIoError::Parse { line: 2, .. }) => {}
+            other => panic!("expected Parse at line 2, got {other:?}"),
+        }
+        match read_text(&b"a b\n"[..]) {
+            Err(GraphIoError::Parse { line: 1, .. }) => {}
+            other => panic!("expected Parse at line 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn text_rejects_endpoint_beyond_declared_header() {
+        // 7 >= 4: must be a typed error naming the offending line, not a
+        // silently grown graph.
+        match read_text(&b"# vertices 4\n0 1\n2 7\n"[..]) {
+            Err(GraphIoError::EndpointOutOfRange {
+                line: Some(3),
+                endpoint: 7,
+                num_vertices: 4,
+                ..
+            }) => {}
+            other => panic!("expected EndpointOutOfRange at line 3, got {other:?}"),
+        }
+        // Header after the edges must still be enforced.
+        assert!(matches!(
+            read_text(&b"0 9\n# vertices 4\n"[..]),
+            Err(GraphIoError::EndpointOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn text_rejects_malformed_header_count() {
+        assert!(matches!(
+            read_text(&b"# vertices nope\n0 1\n"[..]),
+            Err(GraphIoError::Parse { line: 1, .. })
+        ));
     }
 
     #[test]
     fn bad_magic_errors() {
         let buf = [0u8; 24];
-        assert!(read_binary(&buf[..]).is_err());
+        assert!(matches!(
+            read_binary(&buf[..]),
+            Err(GraphIoError::BadMagic { .. })
+        ));
     }
 
     #[test]
@@ -229,7 +542,74 @@ mod tests {
         let mut buf = Vec::new();
         write_binary(&g, &mut buf).unwrap();
         buf.truncate(buf.len() - 3);
-        assert!(read_binary(&buf[..]).is_err());
+        assert!(matches!(
+            read_binary(&buf[..]),
+            Err(GraphIoError::TruncatedPayload { .. })
+        ));
+        assert!(matches!(
+            read_binary(&buf[..10]),
+            Err(GraphIoError::TruncatedHeader { read: 10 })
+        ));
+    }
+
+    #[test]
+    fn binary_length_lie_does_not_allocate_or_panic() {
+        // Header claims u64::MAX edges with an empty payload: must fail
+        // fast with a typed error, not attempt a multi-exabyte allocation.
+        let mut buf = Vec::new();
+        buf.put_slice(MAGIC);
+        buf.put_u64_le(4);
+        buf.put_u64_le(u64::MAX);
+        assert!(matches!(
+            read_binary(&buf[..]),
+            Err(GraphIoError::CountOverflow { what: "edge", .. })
+        ));
+        // A large-but-representable lie streams until EOF then reports
+        // exact progress.
+        let mut buf = Vec::new();
+        buf.put_slice(MAGIC);
+        buf.put_u64_le(4);
+        buf.put_u64_le(1 << 40);
+        buf.put_u32_le(0);
+        buf.put_u32_le(1);
+        match read_binary(&buf[..]) {
+            Err(GraphIoError::TruncatedPayload {
+                expected_edges,
+                read_edges: 1,
+            }) => assert_eq!(expected_edges, 1 << 40),
+            other => panic!("expected TruncatedPayload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_rejects_out_of_range_endpoint() {
+        let mut buf = Vec::new();
+        buf.put_slice(MAGIC);
+        buf.put_u64_le(3);
+        buf.put_u64_le(1);
+        buf.put_u32_le(0);
+        buf.put_u32_le(7);
+        match read_binary(&buf[..]) {
+            Err(GraphIoError::EndpointOutOfRange {
+                edge: Some(0),
+                endpoint: 7,
+                num_vertices: 3,
+                ..
+            }) => {}
+            other => panic!("expected EndpointOutOfRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_rejects_oversized_vertex_count() {
+        let mut buf = Vec::new();
+        buf.put_slice(MAGIC);
+        buf.put_u64_le(u64::MAX);
+        buf.put_u64_le(0);
+        assert!(matches!(
+            read_binary(&buf[..]),
+            Err(GraphIoError::CountOverflow { what: "vertex", .. })
+        ));
     }
 
     #[test]

@@ -21,6 +21,17 @@
 
 #![warn(missing_docs)]
 
+// Failpoint shim: `crate::fail_point!` is the real injection macro when the
+// `failpoints` feature is on and expands to nothing otherwise.
+#[cfg(feature = "failpoints")]
+pub(crate) use pbfs_fault::fail_point;
+#[cfg(not(feature = "failpoints"))]
+macro_rules! fail_point {
+    ($($tt:tt)*) => {};
+}
+#[cfg(not(feature = "failpoints"))]
+pub(crate) use fail_point;
+
 pub mod csr;
 pub mod gen;
 pub mod io;
@@ -30,6 +41,7 @@ pub mod stats;
 pub mod transform;
 
 pub use csr::{BuildOptions, CsrGraph};
+pub use io::{GraphIoError, GraphMeta};
 pub use labeling::Permutation;
 pub use stats::{ChunkDegreeStats, ComponentInfo, GraphStats};
 

@@ -99,7 +99,9 @@ impl PartitionedCsr {
     /// Number of undirected edges.
     #[inline]
     pub fn num_edges(&self) -> usize {
-        (*self.offsets.last().unwrap() as usize) / 2
+        // Invariant: the constructor builds `offsets` with n + 1 >= 1
+        // entries, so `last()` always exists.
+        (*self.offsets.last().expect("offsets has n + 1 entries") as usize) / 2
     }
 
     /// Degree of `v`.
@@ -154,7 +156,10 @@ impl PartitionedCsr {
     /// Reassembles a plain [`CsrGraph`] (for equivalence testing).
     pub fn to_csr(&self) -> CsrGraph {
         let n = self.num_vertices();
-        let mut targets = Vec::with_capacity(*self.offsets.last().unwrap() as usize);
+        // Same constructor invariant as `num_edges`: `offsets` is never
+        // empty.
+        let mut targets =
+            Vec::with_capacity(*self.offsets.last().expect("offsets has n + 1 entries") as usize);
         for v in 0..n as VertexId {
             targets.extend_from_slice(self.neighbors(v));
         }

@@ -1,0 +1,136 @@
+//! Corrupt- and truncated-input property tests for graph ingestion.
+//!
+//! Contract under test: `read_binary`, `read_text` and
+//! `GraphMeta::from_json` accept **arbitrary bytes** and either succeed or
+//! return a typed error — they never panic, hang, or allocate according to
+//! a lying length field.
+
+use proptest::prelude::*;
+
+use pbfs_graph::io::{read_binary, read_text, write_binary, GraphIoError, GraphMeta};
+use pbfs_graph::CsrGraph;
+
+/// A small random graph whose serialized form seeds the mutations.
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (1usize..=40).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(edge, 0..=120)
+            .prop_map(move |edges| CsrGraph::from_edges(n, &edges))
+    })
+}
+
+fn valid_binary(g: &CsrGraph) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_binary(g, &mut buf).expect("serializing to a Vec cannot fail");
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn read_binary_survives_bit_flips(
+        g in arb_graph(),
+        flips in proptest::collection::vec((any::<usize>(), 0u32..8), 1..=8),
+    ) {
+        let mut buf = valid_binary(&g);
+        let len = buf.len();
+        for (pos, bit) in flips {
+            buf[pos % len] ^= 1u8 << bit;
+        }
+        // Ok (the flip hit a redundant byte or produced another valid
+        // graph) or a typed Err — anything but a panic.
+        let _ = read_binary(&buf[..]);
+    }
+
+    #[test]
+    fn read_binary_rejects_every_truncation(g in arb_graph(), cut in any::<usize>()) {
+        let full = valid_binary(&g);
+        let keep = cut % full.len(); // strictly shorter than the original
+        match read_binary(&full[..keep]) {
+            Err(GraphIoError::TruncatedHeader { read }) => prop_assert!(read < 24),
+            Err(GraphIoError::TruncatedPayload { expected_edges, read_edges }) => {
+                prop_assert!(read_edges < expected_edges);
+            }
+            Err(other) => prop_assert!(false, "unexpected error kind: {other:?}"),
+            Ok(_) => prop_assert!(false, "truncated input must not parse"),
+        }
+    }
+
+    #[test]
+    fn read_binary_survives_length_field_lies(
+        g in arb_graph(),
+        n_lie in any::<u64>(),
+        m_lie in any::<u64>(),
+    ) {
+        let mut buf = valid_binary(&g);
+        buf[8..16].copy_from_slice(&n_lie.to_le_bytes());
+        buf[16..24].copy_from_slice(&m_lie.to_le_bytes());
+        // The reader streams bounded chunks, so even an exabyte-scale lie
+        // terminates promptly with Ok or a typed error.
+        let _ = read_binary(&buf[..]);
+    }
+
+    #[test]
+    fn read_text_survives_arbitrary_lines(
+        lines in proptest::collection::vec(
+            (any::<u64>(), any::<u64>(), 0u32..6),
+            0..=40,
+        ),
+    ) {
+        // Fuzz the line *shapes* the parser distinguishes: comments,
+        // headers, pairs, partial pairs, junk tokens.
+        let text: String = lines
+            .iter()
+            .map(|&(a, b, kind)| match kind {
+                0 => format!("{a} {b}\n"),
+                1 => format!("# vertices {a}\n"),
+                2 => format!("# noise {a} {b}\n"),
+                3 => format!("{a}\n"),
+                4 => format!("x{a} y{b}\n"),
+                _ => "\n".to_string(),
+            })
+            .collect();
+        let _ = read_text(text.as_bytes());
+    }
+
+    #[test]
+    fn graph_meta_from_json_survives_mutations(
+        g in arb_graph(),
+        edit in (any::<usize>(), 0u32..128),
+    ) {
+        let meta = GraphMeta {
+            name: "fuzz".into(),
+            source: "corrupt_io".into(),
+            num_vertices: g.num_vertices(),
+            num_edges: g.num_edges(),
+            seed: 1,
+        };
+        use pbfs_json::ToJson;
+        let mut text = meta.to_json().to_string().into_bytes();
+        let len = text.len();
+        text[edit.0 % len] = edit.1 as u8; // may break UTF-8, quoting, digits
+        // Both layers are total: the parser returns Result, from_json
+        // returns Option, neither panics.
+        if let Ok(s) = String::from_utf8(text) {
+            if let Ok(v) = pbfs_json::parse(&s) {
+                let _ = GraphMeta::from_json(&v);
+            }
+        }
+    }
+}
+
+/// Non-property regression: `read_binary` error values survive a
+/// `Display` round through the CLI's `format!("{path}: {e}")` without
+/// losing the diagnostic.
+#[test]
+fn errors_display_their_diagnosis() {
+    let err = read_binary(&[0u8; 24][..]).unwrap_err();
+    assert!(err.to_string().contains("bad magic"), "{err}");
+    let err = read_text(&b"# vertices 2\n0 5\n"[..]).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("out of range") && msg.contains("line 2"),
+        "{msg}"
+    );
+}

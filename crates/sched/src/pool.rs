@@ -163,6 +163,10 @@ impl WorkerPool {
             !self.poisoned.load(Ordering::Relaxed),
             "worker pool poisoned by an earlier panic in a parallel loop"
         );
+        // Before the job is published nothing is in flight, so an injected
+        // panic here unwinds to the dispatching caller with the pool state
+        // untouched (and unpoisoned).
+        crate::fail_point!("sched.pool.dispatch");
         let spawned = self.handles.len();
         if spawned == 0 {
             f(0);
@@ -228,6 +232,7 @@ impl WorkerPool {
     /// propagated panic (e.g. the query engine's dispatcher) recover the
     /// pool and keep serving.
     pub fn recover(&mut self) -> bool {
+        crate::fail_point!("sched.pool.respawn");
         let was_poisoned = self.poisoned.swap(false, Ordering::Relaxed);
         // Snapshot the epoch before spawning so a replacement worker never
         // mistakes the current (already finished) epoch for fresh work.
@@ -449,8 +454,18 @@ fn worker_loop(shared: &Shared, worker_id: WorkerId, start_epoch: u64) {
         // SAFETY: see `run_dyn` — the dispatcher keeps the closure alive
         // until `remaining` reaches zero, which happens below.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Inside the catch_unwind on purpose: an injected panic is then
+            // counted in `st.panicked` like any loop-body panic instead of
+            // killing the thread and deadlocking the epoch barrier.
+            crate::fail_point!("sched.pool.worker");
             (unsafe { &*job.0 })(worker_id)
         }));
+        // Telemetry before the barrier releases: anyone who observes the
+        // re-raised panic (e.g. a test asserting on the counter after a
+        // failed batch resolves) must also observe the count.
+        if result.is_err() {
+            crate::instrument::note_panic(worker_id, last_epoch);
+        }
         {
             let mut st = shared.state.lock();
             st.remaining -= 1;
@@ -463,9 +478,6 @@ fn worker_loop(shared: &Shared, worker_id: WorkerId, start_epoch: u64) {
             if st.remaining == 0 {
                 shared.done_cv.notify_one();
             }
-        }
-        if result.is_err() {
-            crate::instrument::note_panic(worker_id, last_epoch);
         }
     }
 }

@@ -139,6 +139,7 @@ impl TaskQueues {
     /// the queue is not empty avoids atomic writes").
     #[inline]
     pub fn fetch(&self, worker: WorkerId, cursor: &mut usize) -> Option<(Range<usize>, usize)> {
+        crate::fail_point!("sched.task.fetch");
         let n = self.queues.len();
         debug_assert!(worker < n);
         let start = *cursor;

@@ -3,7 +3,8 @@
 
 Usage:
     validate_telemetry.py chrome <trace.json>
-    validate_telemetry.py prometheus <metrics.txt> [--require-nonzero FAMILY]...
+    validate_telemetry.py prometheus <metrics.txt> [--failpoints]
+        [--require-nonzero FAMILY]...
 
 ``chrome`` checks that the file is a Chrome-trace JSON object whose
 ``traceEvents`` hold well-formed duration ("X"), instant ("i") and
@@ -13,8 +14,12 @@ format 0.0.4: HELP/TYPE headers, sample lines that match their family,
 histogram bucket/sum/count shape, and the metric families every layer
 registers.  ``--require-nonzero`` (repeatable) additionally demands that
 at least one sample of the named family has a value > 0 — used by the
-fault-injection smoke to prove rejections actually happened.  Exit
-status 0 on success; prints the failure and exits 1 otherwise.
+fault-injection smoke to prove rejections actually happened.
+``--failpoints`` declares that the export came from a build with live
+failpoint sites: the ``pbfs_fault_triggered_total`` /
+``pbfs_fault_skipped_total`` families become required, and every sample
+must carry a ``site="..."`` label.  Exit status 0 on success; prints the
+failure and exits 1 otherwise.
 """
 
 import json
@@ -47,6 +52,13 @@ REQUIRED_PROM_FAMILIES = [
     "pbfs_engine_failed_queries_total",
     "pbfs_sched_worker_panics_total",
     "pbfs_telemetry_dropped_events_total",
+]
+
+# Additionally required when the export came from a failpoints build
+# (--failpoints); every sample must be labeled with its site.
+FAILPOINT_PROM_FAMILIES = [
+    "pbfs_fault_triggered_total",
+    "pbfs_fault_skipped_total",
 ]
 
 
@@ -103,7 +115,7 @@ SAMPLE_RE = re.compile(
 )
 
 
-def validate_prometheus(path, require_nonzero=()):
+def validate_prometheus(path, require_nonzero=(), failpoints=False):
     with open(path) as f:
         lines = f.read().splitlines()
     if not lines:
@@ -159,6 +171,15 @@ def validate_prometheus(path, require_nonzero=()):
     for family in REQUIRED_PROM_FAMILIES:
         if family not in types:
             fail(f"required family {family!r} absent")
+    if failpoints:
+        for family in FAILPOINT_PROM_FAMILIES:
+            if family not in types:
+                fail(f"--failpoints requires family {family!r}")
+            if types[family] != "counter":
+                fail(f"{family!r} must be a counter, is {types[family]!r}")
+            for labels, _ in samples[family]:
+                if 'site="' not in labels:
+                    fail(f"{family!r} sample without a site label: {labels!r}")
     for family in require_nonzero:
         if family not in types:
             fail(f"--require-nonzero family {family!r} absent")
@@ -179,19 +200,24 @@ def main():
         sys.exit(2)
     mode, path, rest = argv[0], argv[1], argv[2:]
     require_nonzero = []
+    failpoints = False
     while rest:
-        if rest[0] != "--require-nonzero" or len(rest) < 2:
+        if rest[0] == "--failpoints":
+            failpoints = True
+            rest = rest[1:]
+        elif rest[0] == "--require-nonzero" and len(rest) >= 2:
+            require_nonzero.append(rest[1])
+            rest = rest[2:]
+        else:
             print(__doc__, file=sys.stderr)
             sys.exit(2)
-        require_nonzero.append(rest[1])
-        rest = rest[2:]
     if mode == "chrome":
-        if require_nonzero:
+        if require_nonzero or failpoints:
             print(__doc__, file=sys.stderr)
             sys.exit(2)
         validate_chrome(path)
     else:
-        validate_prometheus(path, require_nonzero)
+        validate_prometheus(path, require_nonzero, failpoints)
 
 
 if __name__ == "__main__":

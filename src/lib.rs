@@ -10,6 +10,7 @@
 
 pub use pbfs_bitset as bitset;
 pub use pbfs_core as core;
+pub use pbfs_fault as fault;
 pub use pbfs_graph as graph;
 pub use pbfs_sched as sched;
 pub use pbfs_telemetry as telemetry;

@@ -1,0 +1,233 @@
+//! Chaos soak integration tests: live failpoints against the batched
+//! query engine. Compiled only with `--features failpoints` (CI's chaos
+//! smoke step); the default build verifies the sites compile out instead.
+
+#![cfg(feature = "failpoints")]
+
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use pbfs::core::chaos::{self, ChaosConfig};
+use pbfs::core::engine::{EngineConfig, EngineError, QueryEngine};
+use pbfs::core::textbook;
+use pbfs::fault::{FailAction, FailConfig};
+use pbfs::graph::{gen, io};
+
+/// The failpoint registry is process-global: every test that arms sites
+/// must hold this.
+fn guard() -> MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    GUARD.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Runs `f` on a helper thread and fails if it does not finish in `d` —
+/// the no-hang watchdog. (On timeout the helper thread leaks —
+/// acceptable in a failing test.)
+fn with_watchdog<T: Send + 'static>(d: Duration, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(d) {
+        Ok(v) => {
+            let _ = worker.join();
+            v
+        }
+        Err(_) => panic!("watchdog: blocked for more than {d:?} (liveness violation)"),
+    }
+}
+
+/// The acceptance bar: 25+ seeded schedules, every engine invariant held,
+/// and the harness demonstrably injected faults.
+#[test]
+fn chaos_soak_holds_engine_invariants_across_25_schedules() {
+    let _g = guard();
+    let report = with_watchdog(Duration::from_secs(300), || {
+        chaos::run(&ChaosConfig {
+            schedules: 25,
+            seed: 42,
+            scale: 7,
+            queries: 32,
+            workers: 3,
+            schedule_timeout: Duration::from_secs(30),
+        })
+    });
+    assert!(
+        report.passed(),
+        "chaos violations:\n{}",
+        report.violations().join("\n")
+    );
+    assert_eq!(report.outcomes.len(), 25);
+    assert!(
+        report.triggered_total > 0,
+        "25 schedules with a guaranteed p=1 site each must fire something"
+    );
+    assert!(
+        report.ok_total() > 0,
+        "the engine should still answer queries between faults"
+    );
+}
+
+/// The same master seed arms the same sites with the same specs in every
+/// schedule — a failing soak can be replayed exactly.
+#[test]
+fn chaos_schedules_are_deterministic_per_seed() {
+    let _g = guard();
+    let cfg = ChaosConfig {
+        schedules: 5,
+        seed: 7,
+        scale: 6,
+        queries: 8,
+        workers: 2,
+        schedule_timeout: Duration::from_secs(30),
+    };
+    let a = with_watchdog(Duration::from_secs(120), move || chaos::run(&cfg));
+    let b = with_watchdog(Duration::from_secs(120), move || chaos::run(&cfg));
+    let sites = |r: &pbfs::core::chaos::ChaosReport| -> Vec<Vec<String>> {
+        r.outcomes.iter().map(|o| o.sites.clone()).collect()
+    };
+    assert_eq!(sites(&a), sites(&b), "armed schedules must replay exactly");
+    let seeds = |r: &pbfs::core::chaos::ChaosReport| -> Vec<u64> {
+        r.outcomes.iter().map(|o| o.seed).collect()
+    };
+    assert_eq!(seeds(&a), seeds(&b));
+}
+
+/// The reader failpoints inject a typed `GraphIoError::Injected` through
+/// the return-form macro, honoring the fire-count limit.
+#[test]
+fn io_failpoints_inject_typed_errors() {
+    let _g = guard();
+    pbfs::fault::clear_all();
+    let g = gen::cycle(16);
+    let mut bin = Vec::new();
+    io::write_binary(&g, &mut bin).unwrap();
+
+    pbfs::fault::configure(
+        "graph.io.read_binary",
+        FailConfig::always(FailAction::ReturnError).with_max(1),
+    );
+    match io::read_binary(&bin[..]) {
+        Err(io::GraphIoError::Injected { site }) => assert_eq!(site, "graph.io.read_binary"),
+        other => panic!("expected injected error, got {other:?}"),
+    }
+    // max=1 exhausted: the same bytes now parse.
+    let h = io::read_binary(&bin[..]).expect("fault budget exhausted");
+    assert_eq!(h.num_vertices(), 16);
+
+    pbfs::fault::configure(
+        "graph.io.read_text",
+        FailConfig::always(FailAction::ReturnError).with_max(1),
+    );
+    let mut txt = Vec::new();
+    io::write_text(&g, &mut txt).unwrap();
+    assert!(matches!(
+        io::read_text(&txt[..]),
+        Err(io::GraphIoError::Injected { .. })
+    ));
+    assert!(io::read_text(&txt[..]).is_ok());
+    pbfs::fault::clear_all();
+}
+
+/// A sustained panic storm at the flush site: every query resolves
+/// exactly once (Ok or BatchFailed), the dispatcher survives, and after
+/// the storm the engine serves oracle-correct answers again.
+#[test]
+fn engine_survives_panic_storm_and_recovers() {
+    let _g = guard();
+    pbfs::fault::clear_all();
+    pbfs::fault::set_seed(99);
+    pbfs::fault::configure(
+        "core.engine.flush",
+        FailConfig::always(FailAction::Panic(None)).with_max(50),
+    );
+
+    let graph = Arc::new(gen::Kronecker::graph500(7).seed(3).generate());
+    let n = graph.num_vertices();
+    let verdict = with_watchdog(Duration::from_secs(60), {
+        let graph = Arc::clone(&graph);
+        move || {
+            let engine = QueryEngine::new(
+                Arc::clone(&graph),
+                EngineConfig::default()
+                    .with_workers(2)
+                    .with_max_latency(Duration::from_millis(1))
+                    .with_drain_timeout(Some(Duration::from_secs(2))),
+            );
+            let handles: Vec<_> = (0..20u32)
+                .map(|i| {
+                    engine
+                        .submit(i % n as u32)
+                        .expect("admission is fault-free")
+                })
+                .collect();
+            let (mut ok, mut failed) = (0u32, 0u32);
+            for h in handles {
+                match h.wait() {
+                    Ok(_) => ok += 1,
+                    Err(EngineError::BatchFailed { .. }) => failed += 1,
+                    Err(other) => panic!("unexpected error under panic storm: {other}"),
+                }
+            }
+            // Storm over: a probe must heal and match the oracle.
+            pbfs::fault::clear_all();
+            let d = engine
+                .submit(0)
+                .expect("engine accepts after storm")
+                .wait()
+                .expect("engine answers after storm");
+            (ok, failed, d)
+        }
+    });
+    let (ok, failed, probe) = verdict;
+    assert_eq!(ok + failed, 20, "exactly-once: every query resolved");
+    assert!(failed > 0, "the storm must have hit something");
+    assert_eq!(probe, textbook::bfs(&graph, 0).distances);
+    pbfs::fault::clear_all();
+}
+
+/// Faults inside the traversal phases and scheduler (not just the engine
+/// shell) are survived: arm the deepest sites directly with certainty.
+#[test]
+fn deep_sites_fire_and_are_survived() {
+    let _g = guard();
+    pbfs::fault::clear_all();
+    pbfs::fault::set_seed(5);
+    for (site, max) in [
+        ("sched.pool.worker", 3u64),
+        ("sched.task.fetch", 2),
+        ("core.smspbfs.phase", 2),
+        ("bitset.summary.mark", 2),
+    ] {
+        pbfs::fault::configure(
+            site,
+            FailConfig::always(FailAction::Panic(None)).with_max(max),
+        );
+    }
+    let graph = Arc::new(gen::Kronecker::graph500(7).seed(11).generate());
+    let n = graph.num_vertices();
+    with_watchdog(Duration::from_secs(60), {
+        let graph = Arc::clone(&graph);
+        move || {
+            let engine = QueryEngine::new(
+                Arc::clone(&graph),
+                EngineConfig::default()
+                    .with_workers(3)
+                    .with_max_latency(Duration::from_millis(1))
+                    .with_drain_timeout(Some(Duration::from_secs(2))),
+            );
+            let handles: Vec<_> = (0..12u32)
+                .map(|i| engine.submit((i * 7) % n as u32).expect("admission"))
+                .collect();
+            for h in handles {
+                match h.wait() {
+                    Ok(_) | Err(EngineError::BatchFailed { .. }) => {}
+                    Err(other) => panic!("unexpected: {other}"),
+                }
+            }
+        }
+    });
+    let fired: u64 = pbfs::fault::stats().iter().map(|s| s.triggered).sum();
+    assert!(fired > 0, "at least one deep site must have fired");
+    pbfs::fault::clear_all();
+}
