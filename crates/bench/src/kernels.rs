@@ -1,5 +1,5 @@
-//! Frontier-kernel benchmark: Flat vs Summary iteration across batch
-//! widths, plus the `fetch_or` vs CAS-loop atomic microbenchmark.
+//! Frontier-kernel benchmark: Flat vs Summary vs Auto iteration across
+//! batch widths, plus the `fetch_or` vs CAS-loop atomic microbenchmark.
 //!
 //! This is the harness behind `BENCH_4.json` and the CI regression smoke
 //! (`cargo run -p pbfs-bench --release --bin kernels`). Two fixed-seed
@@ -20,6 +20,7 @@
 
 use std::time::Instant;
 
+use pbfs_core::adapt::AdaptDecision;
 use pbfs_core::mspbfs::MsPbfs;
 use pbfs_core::options::{AtomicKind, BfsOptions};
 use pbfs_core::policy::FrontierMode;
@@ -79,7 +80,7 @@ pub struct KernelRow {
     pub algo: String,
     /// Concurrent sources (64–512 for MS, 1 for SMS).
     pub width: usize,
-    /// Frontier mode (`Flat` or `Summary`).
+    /// Frontier mode (`Flat`, `Summary` or `Auto`).
     pub mode: String,
     /// Median wall nanoseconds per directed edge over the trials.
     pub median_ns_per_edge: f64,
@@ -89,6 +90,25 @@ pub struct KernelRow {
     pub skip_ratio: f64,
     /// Number of timed repetitions.
     pub trials: usize,
+}
+
+/// One adaptive-controller decision, attributed to the benchmark
+/// configuration whose traversal took it (from the last timed trial).
+pub struct DecisionRow {
+    /// Graph name.
+    pub graph: String,
+    /// Algorithm.
+    pub algo: String,
+    /// Batch width.
+    pub width: usize,
+    /// Iteration the switch took effect in.
+    pub iteration: u32,
+    /// Representation (or direction) switched away from.
+    pub from: String,
+    /// Representation (or direction) switched to.
+    pub to: String,
+    /// Which threshold fired.
+    pub reason: String,
 }
 
 /// One atomic-microbenchmark configuration.
@@ -115,18 +135,20 @@ fn bench_ms<const W: usize>(
     sources: &[u32],
     opts: &BfsOptions,
     trials: usize,
-) -> (f64, f64, f64) {
+) -> (f64, f64, f64, Vec<AdaptDecision>) {
     let edges = g.num_directed_edges().max(1) as f64;
     let mut bfs: MsPbfs<W> = MsPbfs::new(g.num_vertices());
     let mut samples = Vec::with_capacity(trials);
     let mut skip = 0.0;
+    let mut decisions = Vec::new();
     for _ in 0..trials {
         let t0 = Instant::now();
         let stats = bfs.run(g, pool, sources, opts, &NoopMsVisitor);
         samples.push(t0.elapsed().as_nanos() as f64 / edges);
         skip = stats.summary_skip_ratio();
+        decisions = stats.adapt_decisions;
     }
-    (median(&mut samples), minimum(&samples), skip)
+    (median(&mut samples), minimum(&samples), skip, decisions)
 }
 
 /// Times one SMS-PBFS representation in the given mode.
@@ -137,10 +159,11 @@ fn bench_sms(
     opts: &BfsOptions,
     trials: usize,
     byte_repr: bool,
-) -> (f64, f64, f64) {
+) -> (f64, f64, f64, Vec<AdaptDecision>) {
     let edges = g.num_directed_edges().max(1) as f64;
     let mut samples = Vec::with_capacity(trials);
     let mut skip = 0.0;
+    let mut decisions = Vec::new();
     for _ in 0..trials {
         let t0 = Instant::now();
         let stats = if byte_repr {
@@ -150,22 +173,52 @@ fn bench_sms(
         };
         samples.push(t0.elapsed().as_nanos() as f64 / edges);
         skip = stats.summary_skip_ratio();
+        decisions = stats.adapt_decisions;
     }
-    (median(&mut samples), minimum(&samples), skip)
+    (median(&mut samples), minimum(&samples), skip, decisions)
 }
 
 fn opts_for(mode: FrontierMode) -> BfsOptions {
     let pd = match mode {
         FrontierMode::Flat => 0,
-        FrontierMode::Summary => pbfs_core::options::DEFAULT_PREFETCH_DISTANCE,
+        FrontierMode::Summary | FrontierMode::Auto => pbfs_core::options::DEFAULT_PREFETCH_DISTANCE,
     };
     BfsOptions::default()
         .with_frontier_mode(mode)
         .with_prefetch_distance(pd)
 }
 
-/// Runs every kernel configuration and returns the rows.
-pub fn run_kernels(cfg: &KernelConfig) -> Vec<KernelRow> {
+fn decision_rows(
+    graph: &str,
+    algo: &str,
+    width: usize,
+    decisions: &[AdaptDecision],
+) -> Vec<DecisionRow> {
+    decisions
+        .iter()
+        .map(|d| DecisionRow {
+            graph: graph.to_string(),
+            algo: algo.to_string(),
+            width,
+            iteration: d.iteration,
+            from: d.from.to_string(),
+            to: d.to.to_string(),
+            reason: d.reason.to_string(),
+        })
+        .collect()
+}
+
+/// Everything one kernel-suite run produces: the timed rows plus the
+/// adaptive controller's decision log from the `Auto` configurations.
+pub struct KernelOutput {
+    /// Timed rows (graph × mode × algo × width).
+    pub rows: Vec<KernelRow>,
+    /// Controller decisions taken during the `Auto` rows' last trials.
+    pub decisions: Vec<DecisionRow>,
+}
+
+/// Runs every kernel configuration and returns rows + decision log.
+pub fn run_kernels(cfg: &KernelConfig) -> KernelOutput {
     let dense = gen::Kronecker::graph500(cfg.scale)
         .seed(cfg.seed)
         .generate();
@@ -173,19 +226,25 @@ pub fn run_kernels(cfg: &KernelConfig) -> Vec<KernelRow> {
     let sparse = gen::uniform_connected(sparse_n, sparse_n, cfg.seed + 1);
     let pool = WorkerPool::new(cfg.workers);
     let mut rows = Vec::new();
+    let mut all_decisions = Vec::new();
 
     for (gname, g) in [("kron-dense", &dense), ("uniform-sparse", &sparse)] {
-        for mode in [FrontierMode::Flat, FrontierMode::Summary] {
+        for mode in [
+            FrontierMode::Flat,
+            FrontierMode::Summary,
+            FrontierMode::Auto,
+        ] {
             let opts = opts_for(mode);
             for width in WIDTHS {
                 let sources = pick_sources(g, width, cfg.seed + width as u64);
-                let (med, min, skip) = match width {
+                let (med, min, skip, decisions) = match width {
                     64 => bench_ms::<1>(g, &pool, &sources, &opts, cfg.trials),
                     128 => bench_ms::<2>(g, &pool, &sources, &opts, cfg.trials),
                     256 => bench_ms::<4>(g, &pool, &sources, &opts, cfg.trials),
                     512 => bench_ms::<8>(g, &pool, &sources, &opts, cfg.trials),
                     other => unreachable!("unsupported width {other}"),
                 };
+                all_decisions.extend(decision_rows(gname, "ms-pbfs", width, &decisions));
                 rows.push(KernelRow {
                     graph: gname.to_string(),
                     algo: "ms-pbfs".to_string(),
@@ -199,7 +258,9 @@ pub fn run_kernels(cfg: &KernelConfig) -> Vec<KernelRow> {
             }
             let source = pick_sources(g, 1, cfg.seed)[0];
             for (algo, byte_repr) in [("sms-bit", false), ("sms-byte", true)] {
-                let (med, min, skip) = bench_sms(g, &pool, source, &opts, cfg.trials, byte_repr);
+                let (med, min, skip, decisions) =
+                    bench_sms(g, &pool, source, &opts, cfg.trials, byte_repr);
+                all_decisions.extend(decision_rows(gname, algo, 1, &decisions));
                 rows.push(KernelRow {
                     graph: gname.to_string(),
                     algo: algo.to_string(),
@@ -213,7 +274,10 @@ pub fn run_kernels(cfg: &KernelConfig) -> Vec<KernelRow> {
             }
         }
     }
-    rows
+    KernelOutput {
+        rows,
+        decisions: all_decisions,
+    }
 }
 
 /// The satellite microbenchmark: `StateArray::fetch_or` (one `lock or`)
@@ -286,6 +350,69 @@ pub fn check_summary_regression(rows: &[KernelRow]) -> Result<String, String> {
     }
 }
 
+/// The auto-tuning CI gate: on every graph, the summed `Auto` medians must
+/// not exceed the sum of the per-configuration best static mode
+/// (`min(Flat, Summary)` for each algo × width) by more than 10 %.
+/// Aggregating over all configurations of a graph keeps the gate robust
+/// against single-configuration timer noise on shared runners.
+pub fn check_auto_regression(rows: &[KernelRow]) -> Result<String, String> {
+    let mut msgs = Vec::new();
+    for graph in ["kron-dense", "uniform-sparse"] {
+        let mut keys: Vec<(&str, usize)> = rows
+            .iter()
+            .filter(|r| r.graph == graph)
+            .map(|r| (r.algo.as_str(), r.width))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let (mut best_sum, mut auto_sum, mut configs) = (0.0f64, 0.0f64, 0usize);
+        for (algo, width) in keys {
+            let med = |mode: &str| {
+                rows.iter()
+                    .find(|r| {
+                        r.graph == graph && r.algo == algo && r.width == width && r.mode == mode
+                    })
+                    .map(|r| r.median_ns_per_edge)
+            };
+            let (Some(flat), Some(summary), Some(auto)) =
+                (med("Flat"), med("Summary"), med("Auto"))
+            else {
+                continue;
+            };
+            best_sum += flat.min(summary);
+            auto_sum += auto;
+            configs += 1;
+        }
+        if configs == 0 || best_sum <= 0.0 {
+            return Err(format!("no complete Flat/Summary/Auto triples for {graph}"));
+        }
+        let ratio = auto_sum / best_sum;
+        let msg = format!(
+            "{graph}: Auto/best-static = {ratio:.3} over {configs} configs \
+             ({auto_sum:.2} vs {best_sum:.2} ns/edge)"
+        );
+        if ratio > 1.10 {
+            return Err(format!("{msg} — exceeds the 10% auto-tuning budget"));
+        }
+        msgs.push(msg);
+    }
+    Ok(msgs.join("; "))
+}
+
+/// Assembles the decision-log artifact document.
+pub fn decisions_json(cfg: &KernelConfig, decisions: &[DecisionRow]) -> pbfs_json::Json {
+    pbfs_json::json!({
+        "bench": "kernels-adapt-decisions",
+        "config": {
+            "scale": cfg.scale,
+            "workers": cfg.workers,
+            "seed": cfg.seed,
+            "trials": cfg.trials,
+        },
+        "decisions": decisions,
+    })
+}
+
 /// Renders kernel rows as a [`Report`] (id `kernels`).
 pub fn kernels_report(cfg: &KernelConfig, rows: &[KernelRow]) -> Report {
     let table = rows
@@ -305,7 +432,7 @@ pub fn kernels_report(cfg: &KernelConfig, rows: &[KernelRow]) -> Report {
     Report::new(
         "kernels",
         &format!(
-            "Flat vs Summary frontier kernels (scale {}, {} workers, {} trials)",
+            "Flat vs Summary vs Auto frontier kernels (scale {}, {} workers, {} trials)",
             cfg.scale, cfg.workers, cfg.trials
         ),
         &[
@@ -367,3 +494,12 @@ pbfs_json::to_json_struct!(KernelRow {
     trials
 });
 pbfs_json::to_json_struct!(AtomicRow { kind, ns_per_op });
+pbfs_json::to_json_struct!(DecisionRow {
+    graph,
+    algo,
+    width,
+    iteration,
+    from,
+    to,
+    reason
+});

@@ -22,6 +22,9 @@
 //!   maintained by `fetch_or` on first activation, that lets sparse
 //!   frontier scans skip inactive chunks in O(active / 4096) instead of
 //!   O(V / 64) word loads; see [`summary`].
+//! * [`convert`] — summary-guided conversion kernels between the sparse
+//!   queue, bit, byte and state-array representations, used by the online
+//!   adaptive frontier controller (`pbfs-core::adapt`).
 //! * [`prefetch`] — a safe software-prefetch shim (no-op off x86-64) used
 //!   by the traversal kernels to hide the CSR offset → adjacency →
 //!   destination-state pointer-chase latency.
@@ -48,6 +51,7 @@ pub(crate) use fail_point;
 pub mod bits;
 pub mod bitvec;
 pub mod bytevec;
+pub mod convert;
 pub mod prefetch;
 pub mod state;
 pub mod summary;

@@ -1,0 +1,107 @@
+//! Property tests: every conversion path between the sparse queue, bit,
+//! byte and state-array frontier representations preserves membership
+//! exactly, and destination summaries stay conservative (scanning via the
+//! summary after a migration finds every entry).
+
+use proptest::prelude::*;
+
+use pbfs_bitset::{convert, AtomicBitVec, AtomicByteVec, Bits, StateArray};
+
+/// Reads a bit container's membership through its summary — the way the
+/// traversal kernels read it, so a lost summary mark fails the test.
+fn bits_via_summary(v: &AtomicBitVec) -> Vec<usize> {
+    let mut out = Vec::new();
+    v.for_each_active_chunk(0, v.len(), |cs, ce| {
+        v.for_each_set(cs, ce, true, |i| out.push(i));
+    });
+    out
+}
+
+fn bytes_via_summary(v: &AtomicByteVec) -> Vec<usize> {
+    let mut out = Vec::new();
+    v.for_each_active_chunk(0, v.len(), |cs, ce| {
+        v.for_each_set(cs, ce, true, |i| out.push(i));
+    });
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sparse_dense_byte_cycle_preserves_membership(
+        len in 1usize..12_000,
+        raw in proptest::collection::vec(0usize..12_000, 0..160),
+    ) {
+        let bits = AtomicBitVec::new(len);
+        for &i in &raw {
+            bits.set(i % len);
+        }
+        let expected = bits_via_summary(&bits);
+
+        // dense bits → sparse queue → byte array → dense bits.
+        let queue = convert::gather_bits(&bits, len).unwrap();
+        prop_assert_eq!(
+            queue.iter().map(|&v| v as usize).collect::<Vec<_>>(),
+            expected.clone()
+        );
+        let bytes = AtomicByteVec::new(len);
+        convert::scatter_bytes(&queue, &bytes);
+        prop_assert_eq!(bytes_via_summary(&bytes), expected.clone());
+        let back = AtomicBitVec::new(len);
+        convert::bytes_to_bits(&bytes, &back);
+        prop_assert_eq!(bits_via_summary(&back), expected.clone());
+
+        // And the direct bit → byte migration agrees with the staged one.
+        let direct = AtomicByteVec::new(len);
+        convert::bits_to_bytes(&bits, &direct);
+        prop_assert_eq!(bytes_via_summary(&direct), expected);
+    }
+
+    #[test]
+    fn state_array_roundtrip_preserves_bit_patterns(
+        len in 1usize..6_000,
+        raw in proptest::collection::vec((0usize..6_000, 1u64..u64::MAX), 0..120),
+    ) {
+        let src: StateArray<1> = StateArray::new(len);
+        for &(i, bits) in &raw {
+            src.set(i % len, Bits::from_words([bits]));
+        }
+        let entries = convert::gather_state(&src, len).unwrap();
+        // Sorted, unique, and exactly the non-empty entries.
+        prop_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        let dst: StateArray<1> = StateArray::new(len);
+        convert::scatter_state(&entries, &dst);
+        for v in 0..len {
+            prop_assert_eq!(dst.get(v), src.get(v), "entry {}", v);
+        }
+        // Summary stays conservative: a summary-guided scan of the
+        // destination sees every non-empty entry.
+        let mut seen = Vec::new();
+        dst.for_each_active_chunk(0, len, |cs, ce| {
+            for v in cs..ce {
+                if !dst.get(v).is_empty() {
+                    seen.push(v as u32);
+                }
+            }
+        });
+        prop_assert_eq!(seen, entries.iter().map(|e| e.0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gather_cap_is_exact(
+        len in 64usize..4_000,
+        count in 0usize..64,
+    ) {
+        let bits = AtomicBitVec::new(len);
+        for i in 0..count {
+            bits.set(i * (len / 64));
+        }
+        let active = bits_via_summary(&bits).len();
+        // cap == population succeeds; one less overflows to None.
+        prop_assert!(convert::gather_bits(&bits, active).is_some());
+        if active > 0 {
+            prop_assert!(convert::gather_bits(&bits, active - 1).is_none());
+        }
+    }
+}

@@ -9,19 +9,24 @@ usage:
         kinds: kronecker kg0 social web collab hub uniform watts-strogatz
   pbfs stats FILE [--text]
   pbfs bfs FILE --source N [--algo sms-bit|sms-byte|ms|beamer|textbook]
-        [--workers N] [--frontier flat|summary] [--prefetch-distance N]
+        [--workers N] [--frontier flat|summary|auto] [--prefetch-distance N]
+        [--adapt-hysteresis N] [--adapt-sample-interval N]
         [--validate] [--text]
         --frontier selects the frontier iteration strategy (default
-        summary: skip inactive 64-vertex chunks via a summary bitmap);
-        --prefetch-distance sets the software-prefetch lookahead
-        (0 disables prefetching)
+        auto: an online controller picks sparse-queue, flat-scan or
+        summary chunk skipping per iteration from the sampled frontier
+        density); --adapt-hysteresis dwells N iterations after a switch
+        and --adapt-sample-interval re-judges every N-th iteration
+        (auto mode only); --prefetch-distance sets the software-prefetch
+        lookahead (0 disables prefetching)
   pbfs centrality FILE --measure closeness|harmonic|betweenness [--top K]
         [--workers N] [--text]
   pbfs relabel FILE --scheme striped|ordered|random [--workers N] [--seed N] [--text] -o FILE
   pbfs queries [FILE] [--scale N] [--queries N] [--threads N] [--max-batch N]
         [--max-latency-us N] [--rate QPS] [--seed N] [--text]
         [--max-queue N] [--query-timeout MS] [--drain-timeout MS]
-        [--frontier flat|summary] [--prefetch-distance N]
+        [--frontier flat|summary|auto] [--prefetch-distance N]
+        [--adapt-hysteresis N] [--adapt-sample-interval N]
         [--trace-out FILE]
         replays a query trace through the batched engine; without FILE a
         Kronecker graph of --scale is generated; --trace-out records a

@@ -73,16 +73,22 @@ fn save(args: &Args, g: &CsrGraph) -> Result<(), String> {
 }
 
 /// Builds [`BfsOptions`] from the shared traversal knobs: `--frontier
-/// flat|summary` and `--prefetch-distance N`.
+/// flat|summary|auto`, `--prefetch-distance N`, and the adaptive
+/// controller's `--adapt-hysteresis` / `--adapt-sample-interval` (only
+/// consulted when the frontier mode is `auto`, the default).
 fn bfs_options(args: &Args) -> Result<BfsOptions, String> {
     let mut opts = BfsOptions::default();
     if let Some(s) = args.get("frontier") {
         let mode = FrontierMode::parse(s)
-            .ok_or_else(|| format!("invalid value for --frontier: {s} (flat or summary)"))?;
+            .ok_or_else(|| format!("invalid value for --frontier: {s} (flat, summary or auto)"))?;
         opts = opts.with_frontier_mode(mode);
     }
+    let adapt = opts
+        .adapt
+        .with_hysteresis(args.num("adapt-hysteresis", opts.adapt.hysteresis)?)
+        .with_sample_interval(args.num("adapt-sample-interval", opts.adapt.sample_interval)?);
     let pd: usize = args.num("prefetch-distance", DEFAULT_PREFETCH_DISTANCE)?;
-    Ok(opts.with_prefetch_distance(pd))
+    Ok(opts.with_adapt(adapt).with_prefetch_distance(pd))
 }
 
 fn workers(args: &Args) -> Result<usize, String> {

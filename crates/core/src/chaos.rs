@@ -46,6 +46,8 @@ pub const CHAOS_SITES: &[&str] = &[
     "core.engine.expire",
     "core.mspbfs.phase",
     "core.smspbfs.phase",
+    "core.adapt.sample",
+    "core.adapt.switch",
     "bitset.summary.mark",
     "bitset.summary.clear",
 ];

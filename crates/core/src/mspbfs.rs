@@ -19,6 +19,7 @@ use pbfs_graph::{CsrGraph, VertexId};
 use pbfs_sched::WorkerPool;
 use pbfs_telemetry::{EventKind, PerWorkerU64};
 
+use crate::adapt::{AdaptController, FrontierSample, ScanStrategy};
 use crate::options::{AtomicKind, BfsOptions};
 use crate::policy::{Direction, FrontierMode, FrontierState};
 use crate::stats::{IterationStats, TraversalStats, WorkerIterStats};
@@ -84,12 +85,21 @@ impl<const W: usize> MsPbfs<W> {
         // range clears then cover whole chunks, so summary bits are cleared
         // exactly instead of conservatively.
         let split = match opts.frontier_mode {
-            FrontierMode::Summary => {
+            FrontierMode::Summary | FrontierMode::Auto => {
                 pbfs_sched::aligned_split(opts.split_size.max(1), SUMMARY_CHUNK)
             }
             FrontierMode::Flat => opts.split_size.max(1),
         };
         let mode = opts.frontier_mode;
+        // Online controller: under `Auto` it samples the frontier each
+        // iteration and picks the scan strategy; the static modes map to a
+        // fixed strategy. Strategy only changes *how* the frontier arrays
+        // are walked, never what they contain, so any decision is correct.
+        let mut ctl = (mode == FrontierMode::Auto).then(|| AdaptController::new(opts.adapt));
+        let mut cur_scan = match mode {
+            FrontierMode::Flat => ScanStrategy::Flat,
+            FrontierMode::Summary | FrontierMode::Auto => ScanStrategy::Summary,
+        };
         let pd = opts.prefetch_distance;
         let rec = pbfs_telemetry::recorder();
 
@@ -149,16 +159,36 @@ impl<const W: usize> MsPbfs<W> {
                     break;
                 }
             }
+            depth += 1;
             let prev_direction = direction;
-            direction = opts.policy.decide(&FrontierState {
+            let wanted = opts.policy.decide(&FrontierState {
                 frontier_vertices,
                 frontier_degree,
                 unexplored_degree,
                 total_vertices: n as u64,
                 current: direction,
             });
-            depth += 1;
+            direction = match ctl.as_mut() {
+                Some(c) => c.decide_direction(depth, direction, wanted),
+                None => wanted,
+            };
             crate::obs::note_iteration(depth, direction, depth > 1 && direction != prev_direction);
+            let scan = match mode {
+                FrontierMode::Flat => ScanStrategy::Flat,
+                FrontierMode::Summary => ScanStrategy::Summary,
+                FrontierMode::Auto => ctl.as_mut().unwrap().decide_scan(&FrontierSample {
+                    iteration: depth,
+                    frontier_vertices,
+                    frontier_degree,
+                    total_vertices: n as u64,
+                }),
+            };
+            if scan != cur_scan {
+                // Representation-switch boundary — a chaos site: a panic
+                // injected here must fail only this batch.
+                crate::fail_point!("core.adapt.switch");
+                cur_scan = scan;
+            }
             let iter_start = std::time::Instant::now();
 
             let discovered = AtomicU64::new(0);
@@ -174,6 +204,25 @@ impl<const W: usize> MsPbfs<W> {
             let mut per_worker: Vec<WorkerIterStats> = Vec::new();
             match direction {
                 Direction::TopDown => {
+                    // Sparse strategy: gather the frontier into a vertex
+                    // queue once so phase 1 is O(frontier) work instead of
+                    // a vertex-range scan. The cap equals the tracked
+                    // frontier size, so overflow (None) cannot happen;
+                    // fall back to the summary scan defensively if it does.
+                    let mut scan = scan;
+                    let list = if scan == ScanStrategy::Sparse {
+                        let l = pbfs_bitset::convert::gather_state(
+                            frontier,
+                            frontier_vertices as usize,
+                        );
+                        if l.is_none() {
+                            scan = ScanStrategy::Summary;
+                        }
+                        l
+                    } else {
+                        None
+                    };
+                    let p1_len = list.as_ref().map_or(n, |l| l.len());
                     // Phase 1: frontier → next, synchronized by atomic OR.
                     let phase1 = |_worker: usize, r: std::ops::Range<usize>| {
                         let owner = (r.start / split) % workers;
@@ -208,8 +257,24 @@ impl<const W: usize> MsPbfs<W> {
                             }
                             visited += nbrs.len() as u64;
                         };
-                        match mode {
-                            FrontierMode::Flat => {
+                        match scan {
+                            ScanStrategy::Sparse => {
+                                // `r` indexes the gathered queue here, not
+                                // the vertex range.
+                                let entries = &list.as_deref().unwrap()[r];
+                                if pd > 0 {
+                                    for &(v, _) in entries.iter().take(pd) {
+                                        g.prefetch_offsets(v);
+                                    }
+                                }
+                                for (i, &(v, f)) in entries.iter().enumerate() {
+                                    if pd > 0 && i + pd < entries.len() {
+                                        g.prefetch_neighbors(entries[i + pd].0);
+                                    }
+                                    expand(v as usize, f);
+                                }
+                            }
+                            ScanStrategy::Flat => {
                                 for v in r {
                                     let f = frontier.get(v);
                                     if !f.is_empty() {
@@ -217,7 +282,7 @@ impl<const W: usize> MsPbfs<W> {
                                     }
                                 }
                             }
-                            FrontierMode::Summary => {
+                            ScanStrategy::Summary => {
                                 note_scan(frontier.for_each_active_chunk(
                                     r.start,
                                     r.end,
@@ -282,14 +347,24 @@ impl<const W: usize> MsPbfs<W> {
                                 }
                             }
                         };
-                        match mode {
-                            FrontierMode::Flat => {
+                        match scan {
+                            ScanStrategy::Sparse => {
+                                // The gathered frontier entries were already
+                                // cleared after phase 1; only `next` needs
+                                // settling, guided by its summary.
+                                note_scan(next.for_each_active_chunk(r.start, r.end, |cs, ce| {
+                                    for v in cs..ce {
+                                        settle(v);
+                                    }
+                                }));
+                            }
+                            ScanStrategy::Flat => {
                                 for v in r {
                                     frontier.clear_entry(v);
                                     settle(v);
                                 }
                             }
-                            FrontierMode::Summary => {
+                            ScanStrategy::Summary => {
                                 // Nothing reads `frontier` this phase: clear
                                 // only its active chunks (ranges are chunk-
                                 // aligned, so summary bits clear exactly).
@@ -311,10 +386,24 @@ impl<const W: usize> MsPbfs<W> {
                         fully_seen_deg.fetch_add(full_deg, Ordering::Relaxed);
                         updated_pw.add(owner, upd);
                     };
+                    // After a sparse phase 1 the frontier is cleared by
+                    // replaying the gathered queue — O(frontier) entry
+                    // clears on the coordinating thread. Entry clears leave
+                    // summary marks set, which is the conservative
+                    // direction for any later summary-guided scan.
+                    let clear_gathered = || {
+                        if let Some(entries) = &list {
+                            for &(v, _) in entries {
+                                frontier.clear_entry(v as usize);
+                            }
+                        }
+                    };
                     if opts.instrument {
                         let t1 = rec.start();
-                        let s1 = pool.parallel_for_instrumented(n, split, |w, r, _| phase1(w, r));
+                        let s1 =
+                            pool.parallel_for_instrumented(p1_len, split, |w, r, _| phase1(w, r));
                         rec.span(0, EventKind::TopDownPhase1, t1, frontier_vertices, 0);
+                        clear_gathered();
                         let t2 = rec.start();
                         let s2 = pool.parallel_for_instrumented(n, split, |w, r, _| phase2(w, r));
                         rec.span(0, EventKind::TopDownPhase2, t2, frontier_vertices, 0);
@@ -325,8 +414,9 @@ impl<const W: usize> MsPbfs<W> {
                         );
                     } else {
                         let t1 = rec.start();
-                        pool.parallel_for(n, split, phase1);
+                        pool.parallel_for(p1_len, split, phase1);
                         rec.span(0, EventKind::TopDownPhase1, t1, frontier_vertices, 0);
+                        clear_gathered();
                         let t2 = rec.start();
                         pool.parallel_for(n, split, phase2);
                         rec.span(0, EventKind::TopDownPhase2, t2, frontier_vertices, 0);
@@ -405,11 +495,11 @@ impl<const W: usize> MsPbfs<W> {
             std::mem::swap(&mut self.frontier, &mut self.next);
             if direction == Direction::BottomUp {
                 let next = &self.next;
-                match mode {
-                    FrontierMode::Flat => {
+                match scan {
+                    ScanStrategy::Flat => {
                         pool.parallel_for(n, split, |_, r| next.clear_range(r.start, r.end));
                     }
-                    FrontierMode::Summary => {
+                    ScanStrategy::Summary | ScanStrategy::Sparse => {
                         // Only active chunks can hold stale bits.
                         pool.parallel_for(n, split, |_, r| {
                             note_scan(next.for_each_active_chunk(r.start, r.end, |cs, ce| {
@@ -445,6 +535,9 @@ impl<const W: usize> MsPbfs<W> {
             });
         }
 
+        if let Some(c) = ctl {
+            stats.adapt_decisions = c.into_log();
+        }
         stats.summary_chunks_skipped = sum_skipped.load(Ordering::Relaxed);
         stats.summary_chunks_scanned = sum_scanned.load(Ordering::Relaxed);
         crate::obs::note_summary_scan(stats.summary_chunks_skipped, stats.summary_chunks_scanned);
@@ -563,6 +656,7 @@ mod tests {
         for mode in [
             crate::policy::FrontierMode::Flat,
             crate::policy::FrontierMode::Summary,
+            crate::policy::FrontierMode::Auto,
         ] {
             for pd in [0usize, 4, 16] {
                 let opts = BfsOptions::default()
@@ -571,6 +665,56 @@ mod tests {
                 check_batch::<1>(&g, &sources, 4, &opts);
             }
         }
+    }
+
+    #[test]
+    fn forced_representation_switching_matches_oracle() {
+        // The adversarial controller config: switch representation every
+        // single iteration, cycling sparse → flat → summary. Results must
+        // stay bit-identical to the static modes.
+        let g = gen::Kronecker::graph500(9).seed(33).generate();
+        let sources: Vec<u32> = (0..32).map(|i| i * 13 % 512).collect();
+        let opts = BfsOptions::default()
+            .with_frontier_mode(crate::policy::FrontierMode::Auto)
+            .with_adapt(crate::adapt::AdaptConfig::default().forced());
+        check_batch::<1>(&g, &sources, 4, &opts);
+        check_batch::<2>(&g, &sources, 2, &opts);
+    }
+
+    #[test]
+    fn auto_mode_records_decisions() {
+        // A path graph pins the frontier at one vertex: the controller must
+        // leave its starting summary strategy for the sparse queue, and the
+        // decision must land in the stats log.
+        let g = gen::path(8_000);
+        let pool = WorkerPool::new(2);
+        let mut bfs: MsPbfs<1> = MsPbfs::new(g.num_vertices());
+        let stats = bfs.run(
+            &g,
+            &pool,
+            &[0],
+            &BfsOptions::default().with_policy(DirectionPolicy::AlwaysTopDown),
+            &crate::visitor::NoopMsVisitor,
+        );
+        assert!(
+            stats
+                .adapt_decisions
+                .iter()
+                .any(|d| d.to == "sparse" && d.reason == "sparse_frontier"),
+            "decisions: {:?}",
+            stats.adapt_decisions
+        );
+
+        let static_run = bfs.run(
+            &g,
+            &pool,
+            &[0],
+            &BfsOptions::default()
+                .with_policy(DirectionPolicy::AlwaysTopDown)
+                .with_frontier_mode(crate::policy::FrontierMode::Summary),
+            &crate::visitor::NoopMsVisitor,
+        );
+        assert!(static_run.adapt_decisions.is_empty());
     }
 
     #[test]
@@ -584,7 +728,9 @@ mod tests {
             &g,
             &pool,
             &[0],
-            &BfsOptions::default().with_policy(DirectionPolicy::AlwaysTopDown),
+            &BfsOptions::default()
+                .with_policy(DirectionPolicy::AlwaysTopDown)
+                .with_frontier_mode(crate::policy::FrontierMode::Summary),
             &crate::visitor::NoopMsVisitor,
         );
         assert!(stats.summary_chunks_skipped > 0, "no skips recorded");

@@ -1,5 +1,6 @@
 //! Tuning knobs shared by all BFS implementations.
 
+use crate::adapt::{AdaptConfig, ObservedProfile};
 use crate::policy::{DirectionPolicy, FrontierMode};
 
 /// How the first top-down phase merges frontiers into `next`.
@@ -37,9 +38,12 @@ pub struct BfsOptions {
     /// Bottom-up early exit once no further bits can be gained
     /// (Section 3.1.2). Disable only for the ablation bench.
     pub early_exit: bool,
-    /// How the kernels iterate the frontier arrays: linear scan or
-    /// summary-guided chunk skipping.
+    /// How the kernels iterate the frontier arrays: linear scan,
+    /// summary-guided chunk skipping, or per-iteration online selection.
     pub frontier_mode: FrontierMode,
+    /// Thresholds and damping for the online controller; consulted only
+    /// when `frontier_mode` is [`FrontierMode::Auto`].
+    pub adapt: AdaptConfig,
     /// Software-prefetch lookahead in the traversal hot loops: while
     /// processing frontier vertex (or neighbor) `i`, prefetch the CSR /
     /// state data of `i + prefetch_distance`. `0` disables prefetching;
@@ -63,6 +67,7 @@ impl Default for BfsOptions {
             chunk_skip: true,
             early_exit: true,
             frontier_mode: FrontierMode::default(),
+            adapt: AdaptConfig::default(),
             prefetch_distance: DEFAULT_PREFETCH_DISTANCE,
             instrument: false,
             max_iterations: None,
@@ -101,6 +106,12 @@ impl BfsOptions {
         self
     }
 
+    /// Returns a copy with the given adaptive-controller configuration.
+    pub fn with_adapt(mut self, adapt: AdaptConfig) -> Self {
+        self.adapt = adapt;
+        self
+    }
+
     /// Returns a copy with the prefetch distance tuned from per-chunk
     /// degree statistics: short adjacency lists leave the pointer chase
     /// latency-bound (deepen the lookahead), long ones stream well under
@@ -109,6 +120,27 @@ impl BfsOptions {
         self.prefetch_distance = if stats.avg_degree < 4.0 {
             2 * DEFAULT_PREFETCH_DISTANCE
         } else if stats.avg_degree > 64.0 {
+            DEFAULT_PREFETCH_DISTANCE / 2
+        } else {
+            DEFAULT_PREFETCH_DISTANCE
+        };
+        self
+    }
+
+    /// Feeds observed telemetry back into the options: once enough summary
+    /// chunks have been scanned to trust the skip ratio, adjust the
+    /// prefetch lookahead to match the *observed* frontier shape rather
+    /// than the static degree histogram. A high skip ratio means the scans
+    /// jump between distant active chunks (pointer-chase bound — deepen
+    /// the lookahead); a low one means the scans stream (shallow
+    /// suffices). With insufficient evidence the options are unchanged.
+    pub fn retuned(mut self, observed: &ObservedProfile) -> Self {
+        if observed.chunks_observed < ObservedProfile::MIN_EVIDENCE {
+            return self;
+        }
+        self.prefetch_distance = if observed.summary_skip_ratio > 0.9 {
+            2 * DEFAULT_PREFETCH_DISTANCE
+        } else if observed.summary_skip_ratio < 0.1 {
             DEFAULT_PREFETCH_DISTANCE / 2
         } else {
             DEFAULT_PREFETCH_DISTANCE
@@ -128,7 +160,10 @@ mod tests {
         assert_eq!(o.atomic, AtomicKind::FetchOr);
         assert!(o.chunk_skip);
         assert!(o.early_exit);
-        assert_eq!(o.frontier_mode, FrontierMode::Summary);
+        assert_eq!(o.frontier_mode, FrontierMode::Auto);
+        assert_eq!(o.adapt, AdaptConfig::default());
+        assert_eq!(o.adapt.hysteresis, 2);
+        assert!(!o.adapt.force_switch);
         assert_eq!(o.prefetch_distance, 4);
         assert!(!o.instrument);
         assert!(o.max_iterations.is_none());
@@ -156,5 +191,33 @@ mod tests {
             8
         );
         assert_eq!(BfsOptions::default().tuned_for(&dense).prefetch_distance, 2);
+    }
+
+    #[test]
+    fn retuning_follows_observed_skip_ratio() {
+        let hollow = ObservedProfile {
+            summary_skip_ratio: 0.99,
+            chunks_observed: ObservedProfile::MIN_EVIDENCE,
+            traversals: 10,
+        };
+        assert_eq!(BfsOptions::default().retuned(&hollow).prefetch_distance, 8);
+        let streaming = ObservedProfile {
+            summary_skip_ratio: 0.01,
+            ..hollow
+        };
+        assert_eq!(
+            BfsOptions::default().retuned(&streaming).prefetch_distance,
+            2
+        );
+        let thin_evidence = ObservedProfile {
+            chunks_observed: ObservedProfile::MIN_EVIDENCE - 1,
+            ..hollow
+        };
+        assert_eq!(
+            BfsOptions::default()
+                .retuned(&thin_evidence)
+                .prefetch_distance,
+            DEFAULT_PREFETCH_DISTANCE
+        );
     }
 }

@@ -35,17 +35,24 @@ pub enum FrontierMode {
     Flat,
     /// Skip inactive [`pbfs_bitset::SUMMARY_CHUNK`]-vertex chunks via the
     /// second-level frontier summary — O(active/4096) word loads instead
-    /// of O(V/64) on sparse frontiers (default).
-    #[default]
+    /// of O(V/64) on sparse frontiers.
     Summary,
+    /// Pick the scan strategy (sparse queue / flat scan / summary scan)
+    /// per iteration at runtime via the [`crate::adapt`] controller, which
+    /// samples the frontier each iteration and switches representation
+    /// with hysteresis (default).
+    #[default]
+    Auto,
 }
 
 impl FrontierMode {
-    /// Parses the CLI spelling (`flat` / `summary`, case-insensitive).
+    /// Parses the CLI spelling (`flat` / `summary` / `auto`,
+    /// case-insensitive).
     pub fn parse(s: &str) -> Option<Self> {
         match s.to_ascii_lowercase().as_str() {
             "flat" => Some(FrontierMode::Flat),
             "summary" => Some(FrontierMode::Summary),
+            "auto" => Some(FrontierMode::Auto),
             _ => None,
         }
     }
@@ -57,6 +64,7 @@ impl pbfs_json::ToJson for FrontierMode {
             match self {
                 FrontierMode::Flat => "Flat",
                 FrontierMode::Summary => "Summary",
+                FrontierMode::Auto => "Auto",
             }
             .to_string(),
         )
@@ -149,8 +157,9 @@ mod tests {
     fn frontier_mode_parse() {
         assert_eq!(FrontierMode::parse("flat"), Some(FrontierMode::Flat));
         assert_eq!(FrontierMode::parse("Summary"), Some(FrontierMode::Summary));
+        assert_eq!(FrontierMode::parse("AUTO"), Some(FrontierMode::Auto));
         assert_eq!(FrontierMode::parse("bogus"), None);
-        assert_eq!(FrontierMode::default(), FrontierMode::Summary);
+        assert_eq!(FrontierMode::default(), FrontierMode::Auto);
     }
 
     #[test]

@@ -22,6 +22,7 @@ use pbfs_graph::{CsrGraph, VertexId};
 use pbfs_sched::WorkerPool;
 use pbfs_telemetry::{EventKind, PerWorkerU64};
 
+use crate::adapt::{AdaptController, FrontierSample, ScanStrategy};
 use crate::options::BfsOptions;
 use crate::policy::{Direction, FrontierMode, FrontierState};
 use crate::stats::{IterationStats, TraversalStats, WorkerIterStats};
@@ -259,12 +260,20 @@ impl<S: SsState> SmsPbfs<S> {
         // summary mode they additionally align to summary chunks so range
         // clears cover whole chunks and clear summary bits exactly.
         let align = match opts.frontier_mode {
-            FrontierMode::Summary => S::OWNERSHIP_ALIGN.max(SUMMARY_CHUNK),
+            FrontierMode::Summary | FrontierMode::Auto => S::OWNERSHIP_ALIGN.max(SUMMARY_CHUNK),
             FrontierMode::Flat => S::OWNERSHIP_ALIGN,
         };
         let split = pbfs_sched::aligned_split(opts.split_size.max(1), align);
         let chunk = opts.chunk_skip;
         let mode = opts.frontier_mode;
+        // Online controller: under `Auto` it samples the frontier each
+        // iteration and picks the scan strategy; the static modes map to a
+        // fixed strategy.
+        let mut ctl = (mode == FrontierMode::Auto).then(|| AdaptController::new(opts.adapt));
+        let mut cur_scan = match mode {
+            FrontierMode::Flat => ScanStrategy::Flat,
+            FrontierMode::Summary | FrontierMode::Auto => ScanStrategy::Summary,
+        };
         let pd = opts.prefetch_distance;
         let rec = pbfs_telemetry::recorder();
 
@@ -307,16 +316,36 @@ impl<S: SsState> SmsPbfs<S> {
                     break;
                 }
             }
+            depth += 1;
             let prev_direction = direction;
-            direction = opts.policy.decide(&FrontierState {
+            let wanted = opts.policy.decide(&FrontierState {
                 frontier_vertices,
                 frontier_degree,
                 unexplored_degree,
                 total_vertices: n as u64,
                 current: direction,
             });
-            depth += 1;
+            direction = match ctl.as_mut() {
+                Some(c) => c.decide_direction(depth, direction, wanted),
+                None => wanted,
+            };
             crate::obs::note_iteration(depth, direction, depth > 1 && direction != prev_direction);
+            let scan = match mode {
+                FrontierMode::Flat => ScanStrategy::Flat,
+                FrontierMode::Summary => ScanStrategy::Summary,
+                FrontierMode::Auto => ctl.as_mut().unwrap().decide_scan(&FrontierSample {
+                    iteration: depth,
+                    frontier_vertices,
+                    frontier_degree,
+                    total_vertices: n as u64,
+                }),
+            };
+            if scan != cur_scan {
+                // Representation-switch boundary — a chaos site: a panic
+                // injected here must fail only this batch.
+                crate::fail_point!("core.adapt.switch");
+                cur_scan = scan;
+            }
             let iter_start = std::time::Instant::now();
 
             let discovered = AtomicU64::new(0);
@@ -329,6 +358,22 @@ impl<S: SsState> SmsPbfs<S> {
             let mut per_worker: Vec<WorkerIterStats> = Vec::new();
             match direction {
                 Direction::TopDown => {
+                    // Sparse strategy: gather the frontier into a vertex
+                    // queue once so phase 1 is O(frontier) work instead of
+                    // a vertex-range scan. The cap equals the tracked
+                    // frontier size, so overflow (None) cannot happen; fall
+                    // back to the summary scan defensively if it does.
+                    let mut scan = scan;
+                    let list = if scan == ScanStrategy::Sparse {
+                        let l = gather_sparse(frontier, frontier_vertices as usize);
+                        if l.is_none() {
+                            scan = ScanStrategy::Summary;
+                        }
+                        l
+                    } else {
+                        None
+                    };
+                    let p1_len = list.as_ref().map_or(n, |l| l.len());
                     // Listing 3 lines 1–5: push to next, then clear the
                     // owned frontier range for buffer reuse.
                     let phase1 = |_worker: usize, r: std::ops::Range<usize>| {
@@ -354,12 +399,29 @@ impl<S: SsState> SmsPbfs<S> {
                                 }
                             }
                         };
-                        match mode {
-                            FrontierMode::Flat => {
+                        match scan {
+                            ScanStrategy::Sparse => {
+                                // `r` indexes the gathered queue here, not
+                                // the vertex range; the gathered entries are
+                                // cleared after the phase barrier.
+                                let entries = &list.as_deref().unwrap()[r];
+                                if pd > 0 {
+                                    for &v in entries.iter().take(pd) {
+                                        g.prefetch_offsets(v);
+                                    }
+                                }
+                                for (i, &v) in entries.iter().enumerate() {
+                                    if pd > 0 && i + pd < entries.len() {
+                                        g.prefetch_neighbors(entries[i + pd]);
+                                    }
+                                    expand(v as usize);
+                                }
+                            }
+                            ScanStrategy::Flat => {
                                 frontier.for_each_set(r.start, r.end, chunk, &mut expand);
                                 frontier.clear_range(r.start, r.end);
                             }
-                            FrontierMode::Summary => {
+                            ScanStrategy::Summary => {
                                 note_scan(frontier.for_each_active_chunk(
                                     r.start,
                                     r.end,
@@ -408,11 +470,11 @@ impl<S: SsState> SmsPbfs<S> {
                                 fd += g.degree(v as VertexId) as u64;
                             }
                         };
-                        match mode {
-                            FrontierMode::Flat => {
+                        match scan {
+                            ScanStrategy::Flat => {
                                 next.for_each_set(r.start, r.end, chunk, &mut settle);
                             }
-                            FrontierMode::Summary => {
+                            ScanStrategy::Summary | ScanStrategy::Sparse => {
                                 note_scan(next.for_each_active_chunk(r.start, r.end, |cs, ce| {
                                     next.for_each_set(cs, ce, chunk, &mut settle);
                                 }));
@@ -422,10 +484,24 @@ impl<S: SsState> SmsPbfs<S> {
                         new_fd.fetch_add(fd, Ordering::Relaxed);
                         updated_pw.add(owner, disc);
                     };
+                    // After a sparse phase 1 the frontier is cleared by
+                    // replaying the gathered queue on the coordinating
+                    // thread — no worker owns the entries then, so the
+                    // unsynchronized clears cannot share a word with a
+                    // concurrent writer.
+                    let clear_gathered = || {
+                        if let Some(entries) = &list {
+                            for &v in entries {
+                                frontier.clear_owned(v as usize);
+                            }
+                        }
+                    };
                     if opts.instrument {
                         let t1 = rec.start();
-                        let s1 = pool.parallel_for_instrumented(n, split, |w, r, _| phase1(w, r));
+                        let s1 =
+                            pool.parallel_for_instrumented(p1_len, split, |w, r, _| phase1(w, r));
                         rec.span(0, EventKind::TopDownPhase1, t1, frontier_vertices, 0);
+                        clear_gathered();
                         let t2 = rec.start();
                         let s2 = pool.parallel_for_instrumented(n, split, |w, r, _| phase2(w, r));
                         rec.span(0, EventKind::TopDownPhase2, t2, frontier_vertices, 0);
@@ -436,8 +512,9 @@ impl<S: SsState> SmsPbfs<S> {
                         );
                     } else {
                         let t1 = rec.start();
-                        pool.parallel_for(n, split, phase1);
+                        pool.parallel_for(p1_len, split, phase1);
                         rec.span(0, EventKind::TopDownPhase1, t1, frontier_vertices, 0);
+                        clear_gathered();
                         let t2 = rec.start();
                         pool.parallel_for(n, split, phase2);
                         rec.span(0, EventKind::TopDownPhase2, t2, frontier_vertices, 0);
@@ -498,11 +575,11 @@ impl<S: SsState> SmsPbfs<S> {
                 // The old frontier was read throughout the bottom-up loop
                 // and must be cleared before it can serve as `next`.
                 let next = &self.next;
-                match mode {
-                    FrontierMode::Flat => {
+                match scan {
+                    ScanStrategy::Flat => {
                         pool.parallel_for(n, split, |_, r| next.clear_range(r.start, r.end));
                     }
-                    FrontierMode::Summary => {
+                    ScanStrategy::Summary | ScanStrategy::Sparse => {
                         // Only active chunks can hold stale bits.
                         pool.parallel_for(n, split, |_, r| {
                             note_scan(next.for_each_active_chunk(r.start, r.end, |cs, ce| {
@@ -537,6 +614,9 @@ impl<S: SsState> SmsPbfs<S> {
             });
         }
 
+        if let Some(c) = ctl {
+            stats.adapt_decisions = c.into_log();
+        }
         stats.summary_chunks_skipped = sum_skipped.load(Ordering::Relaxed);
         stats.summary_chunks_scanned = sum_scanned.load(Ordering::Relaxed);
         crate::obs::note_summary_scan(stats.summary_chunks_skipped, stats.summary_chunks_scanned);
@@ -544,6 +624,25 @@ impl<S: SsState> SmsPbfs<S> {
         stats.total_wall_ns = start.elapsed().as_nanos() as u64;
         stats
     }
+}
+
+/// Gathers the set entries of a state into a sorted vertex queue, walking
+/// only summary-active chunks. Returns `None` if more than `cap` entries
+/// are set (the caller's frontier count was stale — fall back to a range
+/// scan).
+fn gather_sparse<S: SsState>(s: &S, cap: usize) -> Option<Vec<u32>> {
+    let mut out = Vec::with_capacity(cap);
+    let mut overflow = false;
+    s.for_each_active_chunk(0, s.len(), |cs, ce| {
+        s.for_each_set(cs, ce, true, |v| {
+            if out.len() < cap {
+                out.push(v as u32);
+            } else {
+                overflow = true;
+            }
+        });
+    });
+    (!overflow).then_some(out)
 }
 
 #[cfg(test)]
@@ -617,7 +716,11 @@ mod tests {
     #[test]
     fn frontier_modes_and_prefetch_distances_match() {
         let g = gen::Kronecker::graph500(10).seed(22).generate();
-        for mode in [FrontierMode::Flat, FrontierMode::Summary] {
+        for mode in [
+            FrontierMode::Flat,
+            FrontierMode::Summary,
+            FrontierMode::Auto,
+        ] {
             for pd in [0usize, 4, 16] {
                 let opts = BfsOptions::default()
                     .with_frontier_mode(mode)
@@ -629,10 +732,27 @@ mod tests {
     }
 
     #[test]
+    fn forced_representation_switching_matches_oracle() {
+        // Adversarial controller config: switch representation every single
+        // iteration (sparse → flat → summary cycle). Distances must stay
+        // identical to the oracle for both state representations.
+        let g = gen::Kronecker::graph500(9).seed(44).generate();
+        let opts = BfsOptions::default()
+            .with_frontier_mode(FrontierMode::Auto)
+            .with_adapt(crate::adapt::AdaptConfig::default().forced());
+        for workers in [1usize, 4] {
+            check_bit(&g, 3, workers, &opts);
+            check_byte(&g, 3, workers, &opts);
+        }
+    }
+
+    #[test]
     fn summary_mode_reports_skips_on_sparse_frontiers() {
         let g = gen::path(10_000);
         let pool = WorkerPool::new(2);
-        let opts = BfsOptions::default().with_policy(DirectionPolicy::AlwaysTopDown);
+        let opts = BfsOptions::default()
+            .with_policy(DirectionPolicy::AlwaysTopDown)
+            .with_frontier_mode(FrontierMode::Summary);
         let mut bit = SmsPbfsBit::new(g.num_vertices());
         let stats = bit.run(&g, &pool, 0, &opts, &NoopVisitor);
         assert!(stats.summary_chunks_skipped > 0);

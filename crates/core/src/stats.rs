@@ -1,5 +1,6 @@
 //! Per-traversal statistics: the measurement substrate for Figures 6–9.
 
+use crate::adapt::AdaptDecision;
 use crate::policy::Direction;
 
 /// What one worker did during one BFS iteration.
@@ -86,6 +87,9 @@ pub struct TraversalStats {
     pub summary_chunks_skipped: u64,
     /// Summary chunks scanned because their summary bit was set.
     pub summary_chunks_scanned: u64,
+    /// Decisions taken by the adaptive controller, in order (empty for the
+    /// static frontier modes).
+    pub adapt_decisions: Vec<AdaptDecision>,
 }
 
 impl TraversalStats {

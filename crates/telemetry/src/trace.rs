@@ -73,6 +73,9 @@ pub enum EventKind {
     /// A pool worker panicked inside a parallel loop body (`a` = worker,
     /// `b` = dispatch epoch). Mark.
     WorkerPanic,
+    /// The adaptive frontier controller switched scan strategy or
+    /// direction (`a` = depth, `b` = encoded from/to strategy pair). Mark.
+    AdaptSwitch,
 }
 
 impl EventKind {
@@ -92,6 +95,7 @@ impl EventKind {
             EventKind::BatchComplete => "batch_complete",
             EventKind::BatchFailed => "batch_failed",
             EventKind::WorkerPanic => "worker_panic",
+            EventKind::AdaptSwitch => "adapt_switch",
         }
     }
 
@@ -103,7 +107,8 @@ impl EventKind {
             | EventKind::TopDownPhase1
             | EventKind::TopDownPhase2
             | EventKind::BottomUp
-            | EventKind::DirectionSwitch => "bfs",
+            | EventKind::DirectionSwitch
+            | EventKind::AdaptSwitch => "bfs",
             EventKind::BatchSubmit
             | EventKind::BatchCoalesce
             | EventKind::BatchFlush
@@ -122,6 +127,7 @@ impl EventKind {
                 | EventKind::BatchComplete
                 | EventKind::BatchFailed
                 | EventKind::WorkerPanic
+                | EventKind::AdaptSwitch
         )
     }
 
@@ -141,6 +147,7 @@ impl EventKind {
             EventKind::BatchComplete => ("width", "batch"),
             EventKind::BatchFailed => ("width", "batch"),
             EventKind::WorkerPanic => ("worker", "epoch"),
+            EventKind::AdaptSwitch => ("depth", "strategy"),
         }
     }
 }

@@ -51,6 +51,9 @@ REQUIRED_PROM_FAMILIES = [
     "pbfs_engine_expired_total",
     "pbfs_engine_failed_queries_total",
     "pbfs_sched_worker_panics_total",
+    "pbfs_adapt_samples_total",
+    "pbfs_adapt_switches_total",
+    "pbfs_adapt_retunes_total",
     "pbfs_telemetry_dropped_events_total",
 ]
 

@@ -1,0 +1,173 @@
+//! Differential-testing oracle harness for the adaptive frontier
+//! controller: `FrontierMode::Auto` must be *bit-identical* to every
+//! static mode on every graph, batch width, worker count and adapt
+//! configuration — including the forced-switch stress mode that cycles
+//! through every representation (sparse → flat → summary) on every
+//! judged iteration, exercising every conversion path mid-traversal.
+
+use proptest::prelude::*;
+
+use pbfs::core::adapt::AdaptConfig;
+use pbfs::core::mspbfs::MsPbfs;
+use pbfs::core::prelude::*;
+use pbfs::sched::WorkerPool;
+
+/// All distances of one MS-PBFS run at compile-time width `W`.
+fn run_ms<const W: usize>(
+    g: &pbfs::graph::CsrGraph,
+    pool: &WorkerPool,
+    sources: &[u32],
+    opts: &BfsOptions,
+) -> Vec<Vec<u32>> {
+    let mut bfs: MsPbfs<W> = MsPbfs::new(g.num_vertices());
+    let v: MsDistanceVisitor<W> = MsDistanceVisitor::new(g.num_vertices(), sources.len());
+    bfs.run(g, pool, sources, opts, &v);
+    (0..sources.len()).map(|i| v.distances_of(i)).collect()
+}
+
+/// The option sets Auto must agree with: the two static modes are the
+/// oracle, the two Auto variants are under test.
+fn static_modes() -> [BfsOptions; 2] {
+    [
+        BfsOptions::default().with_frontier_mode(FrontierMode::Flat),
+        BfsOptions::default().with_frontier_mode(FrontierMode::Summary),
+    ]
+}
+
+/// Deterministic source batch: `count` spread-out vertices of `g`.
+fn spread_sources(n: usize, count: usize) -> Vec<u32> {
+    (0..count)
+        .map(|i| ((i as u64 * 2654435761) % n as u64) as u32)
+        .collect()
+}
+
+/// Exhaustive width × worker matrix under forced switching: every
+/// supported batch width (64/128/256/512 concurrent BFSs), the full
+/// worker range, and > 1000 queries total — the acceptance bar for the
+/// oracle harness. Auto in forced-switch mode changes representation
+/// every iteration; each run must still match the Flat oracle exactly.
+#[test]
+fn forced_switch_matrix_matches_flat_oracle_over_1000_queries() {
+    let g = pbfs::graph::gen::Kronecker::graph500(9).seed(13).generate();
+    let n = g.num_vertices();
+    let flat = BfsOptions::default().with_frontier_mode(FrontierMode::Flat);
+    let auto_forced = BfsOptions::default()
+        .with_frontier_mode(FrontierMode::Auto)
+        .with_adapt(AdaptConfig::default().forced());
+    let mut queries = 0usize;
+    for workers in [1usize, 4, 8] {
+        let pool = WorkerPool::new(workers);
+        // W × 64 sources saturates every lane of each width.
+        let s64 = spread_sources(n, 64);
+        let s128 = spread_sources(n, 128);
+        let s256 = spread_sources(n, 256);
+        let s512 = spread_sources(n, 512);
+        assert_eq!(
+            run_ms::<1>(&g, &pool, &s64, &auto_forced),
+            run_ms::<1>(&g, &pool, &s64, &flat),
+            "W=1 workers={workers}"
+        );
+        assert_eq!(
+            run_ms::<2>(&g, &pool, &s128, &auto_forced),
+            run_ms::<2>(&g, &pool, &s128, &flat),
+            "W=2 workers={workers}"
+        );
+        assert_eq!(
+            run_ms::<4>(&g, &pool, &s256, &auto_forced),
+            run_ms::<4>(&g, &pool, &s256, &flat),
+            "W=4 workers={workers}"
+        );
+        assert_eq!(
+            run_ms::<8>(&g, &pool, &s512, &auto_forced),
+            run_ms::<8>(&g, &pool, &s512, &flat),
+            "W=8 workers={workers}"
+        );
+        queries += 64 + 128 + 256 + 512;
+    }
+    assert!(
+        queries >= 1000,
+        "matrix must cover 1000+ queries: {queries}"
+    );
+}
+
+/// Single-source kernels under forced switching, both vertex-state
+/// representations, across the worker range.
+#[test]
+fn forced_switch_sms_kernels_match_oracle() {
+    let g = pbfs::graph::gen::Kronecker::graph500(9).seed(29).generate();
+    let n = g.num_vertices();
+    let auto_forced = BfsOptions::default()
+        .with_frontier_mode(FrontierMode::Auto)
+        .with_adapt(AdaptConfig::default().forced());
+    for workers in [1usize, 2, 8] {
+        let pool = WorkerPool::new(workers);
+        for src in [0u32, (n / 2) as u32, (n - 1) as u32] {
+            let oracle = pbfs::core::textbook::bfs(&g, src).distances;
+            let vb = DistanceVisitor::new(n);
+            SmsPbfsBit::new(n).run(&g, &pool, src, &auto_forced, &vb);
+            assert_eq!(vb.distances(), oracle, "bit src={src} workers={workers}");
+            let vy = DistanceVisitor::new(n);
+            SmsPbfsByte::new(n).run(&g, &pool, src, &auto_forced, &vy);
+            assert_eq!(vy.distances(), oracle, "byte src={src} workers={workers}");
+        }
+    }
+}
+
+/// Strategy: an arbitrary undirected graph with 1..=80 vertices and up
+/// to 300 raw edges (self loops and duplicates included).
+fn arb_graph() -> impl Strategy<Value = pbfs::graph::CsrGraph> {
+    (1usize..=80).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(edge, 0..=300)
+            .prop_map(move |edges| pbfs::graph::CsrGraph::from_edges(n, &edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Auto — under a random adapt configuration *and* under forced
+    /// switching — returns exactly the distances of both static modes,
+    /// on random graphs, random multi-source batches and random worker
+    /// counts. Each case runs a fresh controller, so every decision the
+    /// policy can take is a correctness no-op by construction.
+    #[test]
+    fn auto_is_bit_identical_to_static_modes(
+        g in arb_graph(),
+        sources_raw in proptest::collection::vec(0u32..80, 1..=64),
+        workers in 1usize..=8,
+        hysteresis in 0u32..4,
+        interval in 1u32..4,
+    ) {
+        let n = g.num_vertices() as u32;
+        let sources: Vec<u32> = sources_raw.iter().map(|&s| s % n).collect();
+        let pool = WorkerPool::new(workers);
+        let adapt = AdaptConfig::default()
+            .with_hysteresis(hysteresis)
+            .with_sample_interval(interval);
+        let auto_tuned = BfsOptions::default()
+            .with_frontier_mode(FrontierMode::Auto)
+            .with_adapt(adapt);
+        let auto_forced = BfsOptions::default()
+            .with_frontier_mode(FrontierMode::Auto)
+            .with_adapt(adapt.forced());
+
+        let want = run_ms::<1>(&g, &pool, &sources, &static_modes()[0]);
+        prop_assert_eq!(
+            &run_ms::<1>(&g, &pool, &sources, &static_modes()[1]),
+            &want,
+            "static modes disagree"
+        );
+        prop_assert_eq!(&run_ms::<1>(&g, &pool, &sources, &auto_tuned), &want, "auto");
+        prop_assert_eq!(&run_ms::<1>(&g, &pool, &sources, &auto_forced), &want, "forced");
+
+        // Single-source path with the same configurations.
+        let src = sources[0];
+        let oracle = pbfs::core::textbook::distances(&g, src);
+        for opts in [&auto_tuned, &auto_forced] {
+            let v = DistanceVisitor::new(g.num_vertices());
+            SmsPbfsBit::new(g.num_vertices()).run(&g, &pool, src, opts, &v);
+            prop_assert_eq!(v.distances(), oracle.clone(), "sms src {}", src);
+        }
+    }
+}

@@ -75,6 +75,9 @@ fn engine_replay_produces_full_trace_and_metrics() {
         "pbfs_sched_steals_total",
         "pbfs_bfs_iterations_total",
         "pbfs_bfs_traversals_total",
+        "pbfs_adapt_samples_total",
+        "pbfs_adapt_switches_total",
+        "pbfs_adapt_retunes_total",
         "pbfs_telemetry_dropped_events_total",
     ] {
         assert!(text.contains(family), "missing {family} in:\n{text}");
@@ -85,4 +88,78 @@ fn engine_replay_produces_full_trace_and_metrics() {
 
     let parsed = pbfs_json::parse(&snap.to_json().to_string_pretty()).unwrap();
     assert!(parsed["metrics"].as_array().unwrap().len() >= 10);
+}
+
+/// The adaptive controller is a pure function of its sample stream: the
+/// same stream replayed through a fresh controller yields the identical
+/// decision log, and that log matches this golden trace exactly. A policy
+/// change that alters any switch point must update the golden — the
+/// decisions are auditable, not incidental.
+#[test]
+fn adapt_decision_log_replays_against_golden() {
+    use pbfs::core::adapt::{AdaptConfig, AdaptController, AdaptDecision, FrontierSample};
+
+    let n = 1u64 << 16;
+    let s = |iteration: u32, fv: u64| FrontierSample {
+        iteration,
+        frontier_vertices: fv,
+        frontier_degree: fv * 16,
+        total_vertices: n,
+    };
+    // A full regime sweep: sparse start, explosive middle, draining tail.
+    let stream = [
+        s(1, 1),
+        s(2, 30_000),
+        s(3, 30_000),
+        s(4, 30_000),
+        s(5, 500),
+        s(6, 500),
+        s(7, 500),
+        s(8, 3),
+        s(9, 3),
+        s(10, 3),
+    ];
+    let run = || {
+        let mut c = AdaptController::new(AdaptConfig::default());
+        for sample in &stream {
+            c.decide_scan(sample);
+        }
+        c.into_log()
+    };
+    let golden = vec![
+        AdaptDecision {
+            iteration: 1,
+            from: "summary",
+            to: "sparse",
+            reason: "sparse_frontier",
+        },
+        AdaptDecision {
+            iteration: 4,
+            from: "sparse",
+            to: "flat",
+            reason: "dense_frontier",
+        },
+        AdaptDecision {
+            iteration: 7,
+            from: "flat",
+            to: "summary",
+            reason: "mixed_frontier",
+        },
+        AdaptDecision {
+            iteration: 10,
+            from: "summary",
+            to: "sparse",
+            reason: "sparse_frontier",
+        },
+    ];
+    let first = run();
+    assert_eq!(first, golden, "decision log diverged from the golden trace");
+    assert_eq!(first, run(), "replay must be deterministic");
+
+    // The log serializes losslessly for the decision-log artifact.
+    let j = first[0].to_json();
+    assert_eq!(j["iteration"].as_u64(), Some(1));
+    assert_eq!(j["from"].as_str(), Some("summary"));
+    assert_eq!(j["to"].as_str(), Some("sparse"));
+    assert_eq!(j["reason"].as_str(), Some("sparse_frontier"));
 }
