@@ -39,6 +39,23 @@ usage:
         runs a small replay and prints the telemetry registry as
         Prometheus text exposition (default) or JSON (--json); a tiny
         --max-queue forces Overloaded rejections into the export
+  pbfs profile [FILE] [--scale N] [--seed N] [--source N] [--algo ms|sms-bit|sms-byte]
+        [--batch N] [--workers N] [--frontier flat|summary|auto]
+        [--prefetch-distance N] [-o FILE] [--folded-out FILE] [--text]
+        runs one instrumented traversal and prints a phase-attributed
+        profile (per-iteration expand/settle/bottom-up wall time, edges
+        relaxed, summary-scan activity, modeled bytes touched); without
+        FILE a Kronecker graph of --scale is generated; --algo ms runs a
+        multi-source batch of --batch sources (default 64), the sms
+        variants run single-source from --source; -o writes the profile
+        as JSON and --folded-out writes flamegraph-compatible folded
+        stacks
+  pbfs top [FILE] [--scale N] [--queries N] [--threads N] [--seed N]
+        [--interval-ms N] [--ticks N] [--text]
+        drives a background query replay through the batched engine and
+        prints a live dashboard line per tick (query/batch rates, queue
+        depth, in-flight count, p50/p99 latency, trace-ring drops) read
+        from the telemetry registry; exits after --ticks ticks
   pbfs chaos [--schedules N] [--seed N] [--scale N] [--queries N]
         [--workers N] [--schedule-timeout SECS] [--metrics-out FILE]
         runs seeded randomized failpoint schedules against the batched

@@ -24,6 +24,17 @@ use crate::args::{Args, USAGE};
 
 /// Routes `argv` to a subcommand.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    // Every scrape or trace any subcommand produces is attributable to
+    // this binary.
+    pbfs_telemetry::register_build_info(
+        env!("CARGO_PKG_VERSION"),
+        option_env!("PBFS_GIT_SHA").unwrap_or("unknown"),
+        if pbfs_fault::enabled() {
+            "failpoints"
+        } else {
+            "default"
+        },
+    );
     let args = Args::parse(argv)?;
     if args.has("help") || args.positional.is_empty() {
         println!("{USAGE}");
@@ -36,6 +47,8 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "centrality" => centrality(&args),
         "queries" => queries(&args),
         "metrics" => metrics(&args),
+        "profile" => profile(&args),
+        "top" => top(&args),
         "chaos" => chaos(&args),
         "relabel" => relabel(&args),
         other => Err(format!("unknown command: {other}")),
@@ -379,6 +392,14 @@ fn queries(args: &Args) -> Result<(), String> {
             dump.lanes.len(),
             dump.total_dropped()
         );
+        if dump.total_dropped() > 0 {
+            eprintln!(
+                "warning: {} trace events were overwritten because a lane's \
+                 ring filled (pbfs_trace_dropped_events_total); the trace has \
+                 gaps — replay fewer queries or trace a shorter window",
+                dump.total_dropped()
+            );
+        }
     }
 
     let us = |ns: u64| ns as f64 / 1e3;
@@ -520,6 +541,216 @@ fn metrics(args: &Args) -> Result<(), String> {
     } else {
         print!("{}", pbfs_telemetry::export::prometheus_text(&snapshot));
     }
+    Ok(())
+}
+
+/// Runs one instrumented traversal and prints its phase-attributed
+/// profile: per-iteration expand/settle/bottom-up wall time, edges
+/// relaxed, summary-scan activity, and modeled bytes touched. `-o` writes
+/// the profile as JSON; `--folded-out` writes flamegraph-compatible
+/// folded stacks.
+fn profile(args: &Args) -> Result<(), String> {
+    use pbfs_core::memory::MemoryModel;
+    use pbfs_core::profile::build_profile;
+    use pbfs_json::ToJson;
+
+    let scale: u32 = args.num("scale", 12)?;
+    let seed: u64 = args.num("seed", 42)?;
+    let g = if args.positional.get(1).is_some() {
+        load(args, 1)?
+    } else {
+        gen::Kronecker::graph500(scale).seed(seed).generate()
+    };
+    let n = g.num_vertices();
+    if n == 0 {
+        return Err("graph has no vertices".into());
+    }
+    pbfs_telemetry::set_graph_info(n as u64, g.num_edges() as u64);
+    let algo = args.get("algo").unwrap_or("ms");
+    let source: u32 = args.num("source", 0)?;
+    if source as usize >= n {
+        return Err(format!("source {source} out of range"));
+    }
+    let w = workers(args)?;
+    let pool = WorkerPool::new(w);
+    let opts = bfs_options(args)?.instrumented();
+    // Byte-volume estimates use the graph's real edge factor, not the
+    // Graph500 default, so `bytes_est` tracks the loaded dataset.
+    let model = MemoryModel {
+        vertices: n,
+        edge_factor: (g.num_edges() / n).max(1),
+        width_words: 1,
+    };
+    let (name, width, stats) = match algo {
+        "ms" => {
+            let batch: usize = args.num("batch", 64)?;
+            if batch == 0 || batch > 64 {
+                return Err("--batch must be in 1..=64".into());
+            }
+            // Deterministic source spread across the vertex range.
+            let stride = (n / batch).max(1);
+            let sources: Vec<u32> = (0..batch)
+                .map(|i| ((source as usize + i * stride) % n) as u32)
+                .collect();
+            let mut bfs: pbfs_core::mspbfs::MsPbfs<1> = pbfs_core::mspbfs::MsPbfs::new(n);
+            let visitor: MsDistanceVisitor<1> = MsDistanceVisitor::new(n, sources.len());
+            let stats = bfs.run(&g, &pool, &sources, &opts, &visitor);
+            ("mspbfs", batch, stats)
+        }
+        "sms-bit" => {
+            let visitor = DistanceVisitor::new(n);
+            let stats = SmsPbfsBit::new(n).run(&g, &pool, source, &opts, &visitor);
+            ("smspbfs-bit", 1, stats)
+        }
+        "sms-byte" => {
+            let visitor = DistanceVisitor::new(n);
+            let stats = SmsPbfsByte::new(n).run(&g, &pool, source, &opts, &visitor);
+            ("smspbfs-byte", 1, stats)
+        }
+        other => {
+            return Err(format!(
+                "unknown algorithm: {other} (ms, sms-bit or sms-byte)"
+            ))
+        }
+    };
+    let p = build_profile(name, width, &stats, &model);
+    print!("{}", p.table());
+    println!(
+        "reconciliation: profile {} ns vs traversal wall {} ns ({:+.2}%)",
+        p.total_ns,
+        stats.total_wall_ns,
+        100.0 * (p.total_ns as f64 - stats.total_wall_ns as f64)
+            / stats.total_wall_ns.max(1) as f64
+    );
+    if let Some(path) = args.get("output") {
+        std::fs::write(path, p.to_json().to_string_pretty()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = args.get("folded-out") {
+        std::fs::write(path, p.folded()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// Reads a quantile off a histogram snapshot's cumulative bucket counts
+/// (the bucket upper bound containing the q-th sample; 0 when empty).
+fn snapshot_quantile(h: &pbfs_telemetry::HistogramSnapshot, q: f64) -> u64 {
+    if h.count == 0 {
+        return 0;
+    }
+    let rank = ((q * h.count as f64).ceil() as u64).clamp(1, h.count);
+    for (i, &c) in h.cumulative.iter().enumerate() {
+        if c >= rank {
+            return h.bounds.get(i).copied().unwrap_or(h.sum / h.count.max(1));
+        }
+    }
+    h.sum / h.count
+}
+
+/// Live engine dashboard: drives a background replay and prints one line
+/// per tick with query/batch rates, queue depth, latency quantiles and
+/// trace drops read from the telemetry registry — the scrape-side view of
+/// the engine under load. Bounded by `--ticks` so it terminates in CI.
+fn top(args: &Args) -> Result<(), String> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let scale: u32 = args.num("scale", 10)?;
+    let seed: u64 = args.num("seed", 42)?;
+    let num_queries: usize = args.num("queries", 5000)?;
+    let interval_ms: u64 = args.num("interval-ms", 500)?;
+    let ticks: u64 = args.num("ticks", 5)?;
+    if ticks == 0 || interval_ms == 0 {
+        return Err("--ticks and --interval-ms must be positive".into());
+    }
+    let threads: usize = match args.get("threads") {
+        Some(_) => args.num("threads", 0)?,
+        None => workers(args)?,
+    };
+    if threads == 0 {
+        return Err("--threads must be positive".into());
+    }
+    let g = if args.positional.get(1).is_some() {
+        load(args, 1)?
+    } else {
+        gen::Kronecker::graph500(scale).seed(seed).generate()
+    };
+    let n = g.num_vertices();
+    if n == 0 {
+        return Err("graph has no vertices".into());
+    }
+    let cfg = EngineConfig::default()
+        .with_workers(threads)
+        .with_bfs(bfs_options(args)?);
+    let engine = Arc::new(QueryEngine::from_graph(g, cfg));
+    let stop = Arc::new(AtomicBool::new(false));
+    let submitter = {
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..num_queries {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                // Results are discarded (dropped handles are harmless);
+                // the dashboard only needs the load, and backpressure
+                // waits rather than erroring.
+                let _ =
+                    engine.submit_timeout(rng.random_range(0..n as u32), Duration::from_secs(1));
+            }
+        })
+    };
+
+    let counter = |s: &pbfs_telemetry::Snapshot, name: &str| -> u64 {
+        match s.find(name, "").map(|m| &m.value) {
+            Some(pbfs_telemetry::SampleValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    };
+    let gauge = |s: &pbfs_telemetry::Snapshot, name: &str| -> i64 {
+        match s.find(name, "").map(|m| &m.value) {
+            Some(pbfs_telemetry::SampleValue::Gauge(v)) => *v,
+            _ => 0,
+        }
+    };
+    println!(
+        "{:>4}  {:>9} {:>8} {:>8} {:>6} {:>9} {:>10} {:>10} {:>6}",
+        "tick", "queries", "rate/s", "batches", "queue", "in-flight", "p50(µs)", "p99(µs)", "drops"
+    );
+    let mut prev_queries = 0u64;
+    for tick in 1..=ticks {
+        std::thread::sleep(Duration::from_millis(interval_ms));
+        let s = pbfs_telemetry::registry().snapshot();
+        let queries = counter(&s, "pbfs_engine_queries_total");
+        let rate = (queries - prev_queries) as f64 / (interval_ms as f64 / 1e3);
+        prev_queries = queries;
+        let (p50, p99) = match s.find("pbfs_engine_query_latency_ns", "").map(|m| &m.value) {
+            Some(pbfs_telemetry::SampleValue::Histogram(h)) => {
+                (snapshot_quantile(h, 0.50), snapshot_quantile(h, 0.99))
+            }
+            _ => (0, 0),
+        };
+        println!(
+            "{:>4}  {:>9} {:>8.0} {:>8} {:>6} {:>9} {:>10.1} {:>10.1} {:>6}",
+            tick,
+            queries,
+            rate,
+            counter(&s, "pbfs_engine_batches_total"),
+            gauge(&s, "pbfs_engine_queue_depth"),
+            gauge(&s, "pbfs_engine_in_flight_queries"),
+            p50 as f64 / 1e3,
+            p99 as f64 / 1e3,
+            counter(&s, "pbfs_trace_dropped_events_total"),
+        );
+    }
+    stop.store(true, Ordering::Relaxed);
+    let _ = submitter.join();
+    // Last Arc owner: drop shuts the engine down and drains the backlog.
+    drop(engine);
     Ok(())
 }
 

@@ -12,6 +12,10 @@
 //! pbfs queries [FILE] [--scale N] [--queries N] [--threads N] [--max-batch N]
 //!       [--max-latency-us N] [--rate QPS] [--seed N] [--trace-out FILE]
 //! pbfs metrics [FILE] [--scale N] [--queries N] [--threads N] [--json]
+//! pbfs profile [FILE] [--scale N] [--source N] [--algo ms|sms-bit|sms-byte]
+//!       [--batch N] [--workers N] [-o FILE] [--folded-out FILE]
+//! pbfs top [FILE] [--scale N] [--queries N] [--threads N] [--interval-ms N]
+//!       [--ticks N]
 //! pbfs chaos [--schedules N] [--seed N] [--scale N] [--queries N]
 //!       [--workers N] [--schedule-timeout SECS] [--metrics-out FILE]
 //! ```

@@ -254,8 +254,12 @@ impl DirectionOptBfs {
                 iteration: depth,
                 direction,
                 wall_ns: iter_start.elapsed().as_nanos() as u64,
+                expand_ns: 0,
+                settle_ns: 0,
                 frontier_vertices,
                 discovered,
+                chunks_scanned: 0,
+                chunks_skipped: 0,
                 per_worker: vec![crate::stats::WorkerIterStats {
                     busy_ns: iter_start.elapsed().as_nanos() as u64,
                     visited_neighbors,

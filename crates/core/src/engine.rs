@@ -59,6 +59,7 @@
 //! ```
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
@@ -338,8 +339,24 @@ impl std::error::Error for EngineError {}
 /// What the dispatcher delivers for one query.
 type QueryResult = Result<Vec<u32>, EngineError>;
 
+/// Process-wide query-id allocator. Ids start at 1 so `0` stays the
+/// documented "unattributed" sentinel in traces and exemplars.
+fn next_query_id() -> u64 {
+    static IDS: AtomicU64 = AtomicU64::new(1);
+    IDS.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Process-wide query-set (batch) id allocator, same sentinel convention.
+fn next_query_set() -> u64 {
+    static SETS: AtomicU64 = AtomicU64::new(1);
+    SETS.fetch_add(1, Ordering::Relaxed)
+}
+
 /// The pending side of one submitted query.
 struct Pending {
+    /// Process-unique query id, allocated at submission; stamps the
+    /// query's trace spans and latency exemplars.
+    id: u64,
     source: VertexId,
     submitted: Instant,
     tx: mpsc::Sender<QueryResult>,
@@ -395,9 +412,12 @@ pub struct EngineStats {
     /// [`SmsPbfsBit`] path; the remaining keys
     /// are the chosen [`BATCH_WIDTHS`].
     pub width_histogram: BTreeMap<usize, u64>,
-    /// Median submit→result latency in nanoseconds.
+    /// Median submit→result latency in nanoseconds; 0 until the first
+    /// query completes (the underlying histogram reports no quantiles
+    /// while empty — see [`BoundedHistogram::try_quantile`]).
     pub p50_latency_ns: u64,
-    /// 99th-percentile submit→result latency in nanoseconds.
+    /// 99th-percentile submit→result latency in nanoseconds; 0 until the
+    /// first query completes, like [`Self::p50_latency_ns`].
     pub p99_latency_ns: u64,
     /// Mean submit→result latency in nanoseconds.
     pub mean_latency_ns: u64,
@@ -502,8 +522,11 @@ impl StatsAccum {
             queries,
             batches: self.batches,
             width_histogram: self.width_histogram.clone(),
-            p50_latency_ns: self.latencies.quantile(0.50),
-            p99_latency_ns: self.latencies.quantile(0.99),
+            // `try_quantile` distinguishes "no queries yet" from a real
+            // sub-microsecond latency; EngineStats renders the former as
+            // the documented 0.
+            p50_latency_ns: self.latencies.try_quantile(0.50).unwrap_or(0),
+            p99_latency_ns: self.latencies.try_quantile(0.99).unwrap_or(0),
             mean_latency_ns: self.latencies.mean() as u64,
             queries_per_sec,
             bfs_wall_ns: self.bfs_wall_ns,
@@ -550,6 +573,8 @@ impl QueryEngine {
         // Adapt counter families exist (at 0) from engine construction, so
         // a metrics scrape never races their first increment.
         let _ = crate::adapt::metrics();
+        // Scrapes of this process are attributable to the dataset served.
+        pbfs_telemetry::set_graph_info(graph.num_vertices() as u64, graph.num_edges() as u64);
         let shared = Arc::new(Shared {
             graph,
             config,
@@ -617,7 +642,7 @@ impl QueryEngine {
         let max_queue = self.shared.config.max_queue;
         let room_deadline = wait_for_room.map(|d| Instant::now() + d);
         let (tx, rx) = mpsc::channel();
-        let (submitted, depth) = {
+        let submitted = {
             let mut q = lock(&self.shared.queue);
             loop {
                 // Decided under the queue lock: a submission either beats
@@ -645,27 +670,24 @@ impl QueryEngine {
             }
             let now = Instant::now();
             q.items.push(Pending {
+                id: next_query_id(),
                 source,
                 submitted: now,
                 tx,
             });
-            let depth = q.items.len();
             // Gauge written under the lock, so it can never report a stale
             // larger value after the dispatcher drains.
-            m.queue_depth.set(depth as i64);
-            (now, depth)
+            m.queue_depth.set(q.items.len() as i64);
+            now
         };
         self.shared.queue_cv.notify_all();
         lock(&self.shared.stats)
             .first_submit
             .get_or_insert(submitted);
         m.in_flight.add(1);
-        pbfs_telemetry::recorder().mark(
-            CLIENT_LANE,
-            EventKind::BatchSubmit,
-            source as u64,
-            depth as u64,
-        );
+        // The query's `batch_submit` span (submit → coalesce) is emitted by
+        // the dispatcher at coalesce time, once the covering batch — and
+        // therefore the query-set id linking the lanes — is known.
         Ok(QueryHandle { source, rx })
     }
 
@@ -890,17 +912,39 @@ fn dispatcher_loop(shared: &Shared) {
         let rec = pbfs_telemetry::recorder();
         let sources: Vec<VertexId> = batch.iter().map(|p| p.source).collect();
         let width = width_for(sources.len(), cap);
+        // The query-set id causally links every span this batch produces:
+        // the per-query submit waits below, the engine-lane lifecycle
+        // spans, and (via `BfsOptions::query_set`) the kernel's iteration
+        // and phase spans.
+        let qset = next_query_set();
         // Coalesce span: how long the oldest query waited for co-batched
         // company before the dispatcher drained the batch.
         let drained = Instant::now();
-        rec.span_at(
+        // One submit→coalesce span per query, emitted now that the
+        // covering batch is known: the span starts at the query's true
+        // submission instant and ends here, so its length is the
+        // coalescing wait the flush deadline bounds.
+        for p in &batch {
+            rec.span_at_ctx(
+                CLIENT_LANE,
+                EventKind::BatchSubmit,
+                p.submitted,
+                drained.saturating_duration_since(p.submitted),
+                p.source as u64,
+                p.id,
+                qset,
+            );
+        }
+        rec.span_at_ctx(
             ENGINE_LANE,
             EventKind::BatchCoalesce,
             batch[0].submitted,
             drained.saturating_duration_since(batch[0].submitted),
             batch.len() as u64,
             width as u64,
+            qset,
         );
+        let opts = config.bfs.with_query_set(qset);
         // Panic isolation: a panic anywhere in the traversal or a user
         // visitor (surfaced by the pool from any worker) fails only this
         // batch. Pool poisoning and partially-updated algorithm state are
@@ -915,14 +959,14 @@ fn dispatcher_loop(shared: &Shared) {
             if width == 1 {
                 let bfs = sms.get_or_insert_with(|| SmsPbfsBit::new(n));
                 let visitor = DistanceVisitor::new(n);
-                let stats = bfs.run(&shared.graph, &pool, sources[0], &config.bfs, &visitor);
+                let stats = bfs.run(&shared.graph, &pool, sources[0], &opts, &visitor);
                 (stats, vec![visitor.into_distances()])
             } else {
                 match width {
-                    64 => run_ms(&mut ms1, shared, &pool, &sources, &config.bfs),
-                    128 => run_ms(&mut ms2, shared, &pool, &sources, &config.bfs),
-                    256 => run_ms(&mut ms4, shared, &pool, &sources, &config.bfs),
-                    _ => run_ms(&mut ms8, shared, &pool, &sources, &config.bfs),
+                    64 => run_ms(&mut ms1, shared, &pool, &sources, &opts),
+                    128 => run_ms(&mut ms2, shared, &pool, &sources, &opts),
+                    256 => run_ms(&mut ms4, shared, &pool, &sources, &opts),
+                    _ => run_ms(&mut ms8, shared, &pool, &sources, &opts),
                 }
             }
         }));
@@ -944,11 +988,12 @@ fn dispatcher_loop(shared: &Shared) {
                 let m = engine_metrics();
                 m.failed.add(batch.len() as u64);
                 m.in_flight.sub(batch.len() as i64);
-                rec.mark(
+                rec.mark_ctx(
                     ENGINE_LANE,
                     EventKind::BatchFailed,
                     width as u64,
                     batch.len() as u64,
+                    qset,
                 );
                 {
                     let mut acc = lock(&shared.stats);
@@ -964,13 +1009,14 @@ fn dispatcher_loop(shared: &Shared) {
         };
 
         let done = Instant::now();
-        rec.span_at(
+        rec.span_at_ctx(
             ENGINE_LANE,
             EventKind::BatchFlush,
             drained,
             done.saturating_duration_since(drained),
             width as u64,
             batch.len() as u64,
+            qset,
         );
         let m = engine_metrics();
         m.batches.inc();
@@ -986,7 +1032,11 @@ fn dispatcher_loop(shared: &Shared) {
             acc.total_discovered += stats.total_discovered;
             for p in &batch {
                 let latency = done.saturating_duration_since(p.submitted).as_nanos() as u64;
-                m.latency.observe(latency);
+                // The registry histogram carries an exemplar per bucket:
+                // the last query id (and its query-set trace ref) to land
+                // there, so a scraped tail bucket points straight at a
+                // traceable query.
+                m.latency.observe_exemplar(latency, p.id, qset);
                 acc.latencies.observe(latency);
             }
             acc.last_done = Some(done);
@@ -1015,11 +1065,12 @@ fn dispatcher_loop(shared: &Shared) {
             // A dropped handle means nobody wants this result; fine.
             let _ = p.tx.send(Ok(distances));
         }
-        rec.mark(
+        rec.mark_ctx(
             ENGINE_LANE,
             EventKind::BatchComplete,
             width as u64,
             batch_len as u64,
+            qset,
         );
     }
 }

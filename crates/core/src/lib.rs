@@ -68,6 +68,7 @@ pub mod mspbfs;
 pub(crate) mod obs;
 pub mod options;
 pub mod policy;
+pub mod profile;
 pub mod smspbfs;
 pub mod stats;
 pub mod textbook;

@@ -204,8 +204,12 @@ impl<const W: usize> MsBfs<W> {
                 iteration: depth,
                 direction,
                 wall_ns: iter_start.elapsed().as_nanos() as u64,
+                expand_ns: 0,
+                settle_ns: 0,
                 frontier_vertices,
                 discovered: discovered_bits,
+                chunks_scanned: 0,
+                chunks_skipped: 0,
                 per_worker: vec![WorkerIterStats {
                     busy_ns: iter_start.elapsed().as_nanos() as u64,
                     visited_neighbors: visited,

@@ -101,6 +101,7 @@ impl<const W: usize> MsPbfs<W> {
             FrontierMode::Summary | FrontierMode::Auto => ScanStrategy::Summary,
         };
         let pd = opts.prefetch_distance;
+        let qset = opts.query_set;
         let rec = pbfs_telemetry::recorder();
 
         // Parallel init: each worker first-touches (and later processes)
@@ -142,9 +143,11 @@ impl<const W: usize> MsPbfs<W> {
         };
         let mut direction = Direction::TopDown;
         let mut depth = 0u32;
-        // Whole-traversal summary-scan totals, fed from every phase.
+        // Whole-traversal summary-scan totals, fed from every phase;
+        // per-iteration deltas are carved out at each iteration's end.
         let sum_skipped = AtomicU64::new(0);
         let sum_scanned = AtomicU64::new(0);
+        let (mut prev_skipped, mut prev_scanned) = (0u64, 0u64);
         let note_scan = |s: ScanStats| {
             sum_skipped.fetch_add(s.chunks_skipped, Ordering::Relaxed);
             sum_scanned.fetch_add(s.chunks_scanned, Ordering::Relaxed);
@@ -202,6 +205,7 @@ impl<const W: usize> MsPbfs<W> {
             let (seen, frontier, next) = (&self.seen, &self.frontier, &self.next);
 
             let mut per_worker: Vec<WorkerIterStats> = Vec::new();
+            let (mut expand_ns, mut settle_ns) = (0u64, 0u64);
             match direction {
                 Direction::TopDown => {
                     // Sparse strategy: gather the frontier into a vertex
@@ -399,14 +403,37 @@ impl<const W: usize> MsPbfs<W> {
                         }
                     };
                     if opts.instrument {
-                        let t1 = rec.start();
+                        // Phase walls measured directly (not via the
+                        // recorder, which yields no timestamps while trace
+                        // recording is off) so profiles work untraced.
+                        let t1 = std::time::Instant::now();
                         let s1 =
                             pool.parallel_for_instrumented(p1_len, split, |w, r, _| phase1(w, r));
-                        rec.span(0, EventKind::TopDownPhase1, t1, frontier_vertices, 0);
+                        let d1 = t1.elapsed();
+                        rec.span_at_ctx(
+                            0,
+                            EventKind::TopDownPhase1,
+                            t1,
+                            d1,
+                            frontier_vertices,
+                            0,
+                            qset,
+                        );
                         clear_gathered();
-                        let t2 = rec.start();
+                        let t2 = std::time::Instant::now();
                         let s2 = pool.parallel_for_instrumented(n, split, |w, r, _| phase2(w, r));
-                        rec.span(0, EventKind::TopDownPhase2, t2, frontier_vertices, 0);
+                        let d2 = t2.elapsed();
+                        rec.span_at_ctx(
+                            0,
+                            EventKind::TopDownPhase2,
+                            t2,
+                            d2,
+                            frontier_vertices,
+                            0,
+                            qset,
+                        );
+                        expand_ns = d1.as_nanos() as u64;
+                        settle_ns = d2.as_nanos() as u64;
                         per_worker = merge_worker_stats_pub(
                             &[s1, s2],
                             &visited_pw.snapshot(),
@@ -415,11 +442,11 @@ impl<const W: usize> MsPbfs<W> {
                     } else {
                         let t1 = rec.start();
                         pool.parallel_for(p1_len, split, phase1);
-                        rec.span(0, EventKind::TopDownPhase1, t1, frontier_vertices, 0);
+                        rec.span_ctx(0, EventKind::TopDownPhase1, t1, frontier_vertices, 0, qset);
                         clear_gathered();
                         let t2 = rec.start();
                         pool.parallel_for(n, split, phase2);
-                        rec.span(0, EventKind::TopDownPhase2, t2, frontier_vertices, 0);
+                        rec.span_ctx(0, EventKind::TopDownPhase2, t2, frontier_vertices, 0, qset);
                     }
                 }
                 Direction::BottomUp => {
@@ -473,9 +500,11 @@ impl<const W: usize> MsPbfs<W> {
                         visited_pw.add(owner, visited);
                     };
                     if opts.instrument {
-                        let t = rec.start();
+                        let t = std::time::Instant::now();
                         let s = pool.parallel_for_instrumented(n, split, |w, r, _| body(w, r));
-                        rec.span(0, EventKind::BottomUp, t, frontier_vertices, 0);
+                        let d = t.elapsed();
+                        rec.span_at_ctx(0, EventKind::BottomUp, t, d, frontier_vertices, 0, qset);
+                        expand_ns = d.as_nanos() as u64;
                         per_worker = merge_worker_stats_pub(
                             &[s],
                             &visited_pw.snapshot(),
@@ -484,7 +513,7 @@ impl<const W: usize> MsPbfs<W> {
                     } else {
                         let t = rec.start();
                         pool.parallel_for(n, split, body);
-                        rec.span(0, EventKind::BottomUp, t, frontier_vertices, 0);
+                        rec.span_ctx(0, EventKind::BottomUp, t, frontier_vertices, 0, qset);
                     }
                 }
             }
@@ -517,22 +546,31 @@ impl<const W: usize> MsPbfs<W> {
             let discovered = discovered.load(Ordering::Relaxed);
             stats.total_discovered += discovered;
             let iter_wall = iter_start.elapsed();
-            rec.span_at(
+            rec.span_at_ctx(
                 0,
                 EventKind::Iteration,
                 iter_start,
                 iter_wall,
                 depth as u64,
                 discovered,
+                qset,
             );
+            let total_skipped = sum_skipped.load(Ordering::Relaxed);
+            let total_scanned = sum_scanned.load(Ordering::Relaxed);
             stats.iterations.push(IterationStats {
                 iteration: depth,
                 direction,
                 wall_ns: iter_wall.as_nanos() as u64,
+                expand_ns,
+                settle_ns,
                 frontier_vertices,
                 discovered,
+                chunks_scanned: total_scanned - prev_scanned,
+                chunks_skipped: total_skipped - prev_skipped,
                 per_worker,
             });
+            prev_scanned = total_scanned;
+            prev_skipped = total_skipped;
         }
 
         if let Some(c) = ctl {

@@ -53,6 +53,10 @@ pub struct BfsOptions {
     /// Collect per-iteration, per-worker statistics. Costs one `Instant`
     /// read per task; leave off in throughput measurements.
     pub instrument: bool,
+    /// Query-set id stamping the traversal's trace spans, causally linking
+    /// them to the engine batch being served. `0` = unattributed (direct
+    /// kernel invocations outside the engine).
+    pub query_set: u64,
     /// Stop after this many iterations (for k-hop queries); `None` runs to
     /// exhaustion.
     pub max_iterations: Option<u32>,
@@ -70,6 +74,7 @@ impl Default for BfsOptions {
             adapt: AdaptConfig::default(),
             prefetch_distance: DEFAULT_PREFETCH_DISTANCE,
             instrument: false,
+            query_set: 0,
             max_iterations: None,
         }
     }
@@ -109,6 +114,12 @@ impl BfsOptions {
     /// Returns a copy with the given adaptive-controller configuration.
     pub fn with_adapt(mut self, adapt: AdaptConfig) -> Self {
         self.adapt = adapt;
+        self
+    }
+
+    /// Returns a copy attributed to the given query-set id (0 clears).
+    pub fn with_query_set(mut self, query_set: u64) -> Self {
+        self.query_set = query_set;
         self
     }
 
@@ -166,6 +177,7 @@ mod tests {
         assert!(!o.adapt.force_switch);
         assert_eq!(o.prefetch_distance, 4);
         assert!(!o.instrument);
+        assert_eq!(o.query_set, 0);
         assert!(o.max_iterations.is_none());
     }
 

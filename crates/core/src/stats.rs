@@ -30,15 +30,31 @@ pub struct IterationStats {
     pub direction: Direction,
     /// Wall-clock nanoseconds of the iteration.
     pub wall_ns: u64,
+    /// Wall nanoseconds of the expansion phase: top-down phase 1 or the
+    /// bottom-up pull loop (0 when instrumentation is off).
+    pub expand_ns: u64,
+    /// Wall nanoseconds of the top-down settle/filter phase 2 (0 for
+    /// bottom-up iterations or when instrumentation is off).
+    pub settle_ns: u64,
     /// Vertices in the frontier at the start of the iteration.
     pub frontier_vertices: u64,
     /// States newly discovered in this iteration (bits for multi-source).
     pub discovered: u64,
+    /// Summary chunks scanned by this iteration's frontier scans.
+    pub chunks_scanned: u64,
+    /// Summary chunks skipped by this iteration's frontier scans.
+    pub chunks_skipped: u64,
     /// Per-worker breakdown (empty when instrumentation is off).
     pub per_worker: Vec<WorkerIterStats>,
 }
 
 impl IterationStats {
+    /// Adjacency entries relaxed this iteration, summed over workers
+    /// (0 when instrumentation is off — per-worker rows are absent then).
+    pub fn edges_relaxed(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.visited_neighbors).sum()
+    }
+
     /// Ratio of the longest to the shortest per-worker busy time
     /// (Figure 9, via [`pbfs_telemetry::max_min_ratio`]). Idle workers are
     /// clamped to 1 ns.
@@ -144,8 +160,12 @@ mod tests {
             iteration: 1,
             direction: Direction::TopDown,
             wall_ns: 100,
+            expand_ns: 0,
+            settle_ns: 0,
             frontier_vertices: 1,
             discovered: 10,
+            chunks_scanned: 0,
+            chunks_skipped: 0,
             per_worker: busy
                 .iter()
                 .zip(updated)

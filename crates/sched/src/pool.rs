@@ -92,6 +92,12 @@ impl WorkerPool {
     /// Creates a pool whose workers follow `topology`.
     pub fn with_topology(topology: Topology) -> Self {
         let num_workers = topology.num_workers();
+        // Sizes dashboard rates (`pbfs top` divides per-worker counters by
+        // this). Last-constructed pool wins, which matches the one-pool
+        // lifecycle of the CLI and engine.
+        pbfs_telemetry::registry()
+            .gauge("pbfs_pool_workers", "Workers in the most recent pool")
+            .set(num_workers as i64);
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 epoch: 0,

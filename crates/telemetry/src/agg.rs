@@ -157,11 +157,15 @@ impl BoundedHistogram {
 
     /// The `p`-quantile (`0.0..=1.0`): the upper bound of the bucket the
     /// nearest-rank sample falls in, clamped to the observed maximum so
-    /// quantiles never exceed real data. 0 for an empty histogram.
-    /// Monotone in `p` by construction.
-    pub fn quantile(&self, p: f64) -> u64 {
+    /// quantiles never exceed real data. Monotone in `p` by construction.
+    ///
+    /// Returns `None` when the histogram is empty — zero samples have no
+    /// quantiles, and reporting layers must render that as absence (`-`,
+    /// `null`) rather than a fake 0 ns latency. [`Self::quantile`] is the
+    /// convenience wrapper that maps absence to 0 for arithmetic contexts.
+    pub fn try_quantile(&self, p: f64) -> Option<u64> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
         let rank = (p.clamp(0.0, 1.0) * (self.count - 1) as f64).round() as u64;
         let mut seen = 0u64;
@@ -169,10 +173,15 @@ impl BoundedHistogram {
             seen += c;
             if seen > rank {
                 let bound = self.bounds.get(idx).copied().unwrap_or(u64::MAX);
-                return bound.min(self.max);
+                return Some(bound.min(self.max));
             }
         }
-        self.max
+        Some(self.max)
+    }
+
+    /// [`Self::try_quantile`] with empty mapped to the documented 0.
+    pub fn quantile(&self, p: f64) -> u64 {
+        self.try_quantile(p).unwrap_or(0)
     }
 }
 
@@ -291,6 +300,19 @@ mod tests {
         assert_eq!(h.quantile(1.0), 977_000); // clamped to observed max
         let mean = h.mean();
         assert!((mean - 500.5 * 977.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = BoundedHistogram::exponential(1_000, 1.5, 45);
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.try_quantile(p), None, "p={p}");
+            assert_eq!(h.quantile(p), 0, "p={p}");
+        }
+        let mut h = h;
+        h.observe(42);
+        assert_eq!(h.try_quantile(0.5), Some(42));
+        assert_eq!(h.try_quantile(1.0), Some(42));
     }
 
     #[test]

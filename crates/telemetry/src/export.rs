@@ -36,7 +36,21 @@ pub fn prometheus_text(snap: &Snapshot) -> String {
                         None => "+Inf".to_string(),
                     };
                     let labels = join_labels(&m.labels, &format!("le=\"{le}\""));
-                    let _ = writeln!(out, "{}_bucket{{{labels}}} {cum}", m.name);
+                    // OpenMetrics-style exemplar suffix: a comment from the
+                    // 0.0.4 text parser's point of view, so plain scrapers
+                    // still parse the line, while humans (and our
+                    // validator) can jump from a bucket to a query id and
+                    // its trace's query-set id.
+                    let ex = match h.exemplars.get(i).copied().flatten() {
+                        Some(e) => {
+                            format!(
+                                " # {{query=\"{}\",trace_ref=\"{}\"}} 1",
+                                e.query, e.trace_ref
+                            )
+                        }
+                        None => String::new(),
+                    };
+                    let _ = writeln!(out, "{}_bucket{{{labels}}} {cum}{ex}", m.name);
                 }
                 let _ = writeln!(out, "{}_sum{} {}", m.name, brace(&m.labels), h.sum);
                 let _ = writeln!(out, "{}_count{} {}", m.name, brace(&m.labels), h.count);
@@ -90,13 +104,26 @@ impl ToJson for Snapshot {
                                     .iter()
                                     .enumerate()
                                     .map(|(i, cum)| {
-                                        pbfs_json::json!({
-                                            "le": (match h.bounds.get(i) {
-                                                Some(b) => Json::Num(*b as f64),
-                                                None => Json::Str("+Inf".to_string()),
-                                            }),
-                                            "count": (*cum)
-                                        })
+                                        let mut bucket = vec![
+                                            (
+                                                "le".to_string(),
+                                                match h.bounds.get(i) {
+                                                    Some(b) => Json::Num(*b as f64),
+                                                    None => Json::Str("+Inf".to_string()),
+                                                },
+                                            ),
+                                            ("count".to_string(), Json::Num(*cum as f64)),
+                                        ];
+                                        if let Some(e) = h.exemplars.get(i).copied().flatten() {
+                                            bucket.push((
+                                                "exemplar".to_string(),
+                                                pbfs_json::json!({
+                                                    "query": (e.query),
+                                                    "trace_ref": (e.trace_ref)
+                                                }),
+                                            ));
+                                        }
+                                        Json::Obj(bucket)
                                     })
                                     .collect();
                                 fields.push(("buckets".to_string(), Json::Arr(buckets)));
@@ -116,7 +143,9 @@ impl ToJson for Snapshot {
 /// (loadable in `chrome://tracing` and Perfetto): one `X` (complete)
 /// event per span, one `i` (instant) event per mark, plus `thread_name`
 /// metadata per lane. Timestamps are microseconds with nanosecond
-/// fractions.
+/// fractions, and each lane's events are emitted in start-timestamp
+/// order (the ring stores events in *completion* order, which inverts
+/// nested or cross-thread spans on shared lanes).
 pub fn chrome_trace(dump: &TraceDump) -> Json {
     let mut events = Vec::with_capacity(dump.total_events() + dump.lanes.len() + 1);
     events.push(pbfs_json::json!({
@@ -128,7 +157,9 @@ pub fn chrome_trace(dump: &TraceDump) -> Json {
             "ph": "M", "pid": 1, "tid": (lane.lane), "name": "thread_name",
             "args": {"name": (TraceDump::lane_name(lane.lane))}
         }));
-        for e in &lane.events {
+        let mut ordered: Vec<&TraceEvent> = lane.events.iter().collect();
+        ordered.sort_by_key(|e| e.start_ns);
+        for e in ordered {
             events.push(chrome_event(lane.lane, e));
         }
     }
@@ -140,10 +171,14 @@ pub fn chrome_trace(dump: &TraceDump) -> Json {
 
 fn chrome_event(lane: usize, e: &TraceEvent) -> Json {
     let (an, bn) = e.kind.arg_names();
-    let args = Json::Obj(vec![
+    let mut arg_fields = vec![
         (an.to_string(), Json::Num(e.a as f64)),
         (bn.to_string(), Json::Num(e.b as f64)),
-    ]);
+    ];
+    if e.qset != 0 {
+        arg_fields.push(("qset".to_string(), Json::Num(e.qset as f64)));
+    }
+    let args = Json::Obj(arg_fields);
     let ts = e.start_ns as f64 / 1e3;
     if e.kind.is_span() {
         pbfs_json::json!({
@@ -232,7 +267,7 @@ mod tests {
         let t = rec.start();
         std::thread::sleep(std::time::Duration::from_millis(1));
         rec.span(2, EventKind::Task, t, 64, 0);
-        rec.mark(CLIENT_LANE, EventKind::BatchSubmit, 9, 1);
+        rec.mark_ctx(CLIENT_LANE, EventKind::BatchComplete, 64, 9, 12);
         let json = chrome_trace(&rec.drain());
         let parsed = pbfs_json::parse(&json.to_string()).unwrap();
         let events = parsed["traceEvents"].as_array().unwrap();
@@ -246,11 +281,28 @@ mod tests {
         assert_eq!(span["tid"].as_u64(), Some(2));
         assert!(span["dur"].as_f64().unwrap() >= 1000.0);
         assert_eq!(span["args"]["items"].as_u64(), Some(64));
+        // qset 0 (unattributed) is omitted from args.
+        assert!(span["args"]["qset"].as_u64().is_none());
         let mark = events
             .iter()
             .find(|e| e["ph"].as_str() == Some("i"))
             .unwrap();
-        assert_eq!(mark["name"].as_str(), Some("batch_submit"));
+        assert_eq!(mark["name"].as_str(), Some("batch_complete"));
         assert_eq!(mark["s"].as_str(), Some("t"));
+        assert_eq!(mark["args"]["qset"].as_u64(), Some(12));
+    }
+
+    #[test]
+    fn prometheus_renders_exemplars_on_bucket_lines() {
+        let r = Registry::new();
+        let h = r.histogram("lat_ns", "latency", &[10, 100]);
+        h.observe_exemplar(5, 17, 3);
+        let text = prometheus_text(&r.snapshot());
+        assert!(
+            text.contains("lat_ns_bucket{le=\"10\"} 1 # {query=\"17\",trace_ref=\"3\"} 1"),
+            "missing exemplar: {text}"
+        );
+        // Buckets without an exemplar render the plain 0.0.4 form.
+        assert!(text.contains("lat_ns_bucket{le=\"100\"} 1\n"));
     }
 }

@@ -39,15 +39,17 @@
 pub mod agg;
 pub mod export;
 pub mod metrics;
+pub mod profile;
 pub mod trace;
 
 pub use agg::{
     fold_per_worker, max_mean_ratio, max_min_ratio, percentile, BoundedHistogram, PerWorkerU64,
 };
 pub use metrics::{
-    exponential_buckets, Counter, Gauge, Histogram, HistogramSnapshot, MetricSample, Registry,
-    SampleValue, Snapshot,
+    exponential_buckets, Counter, Exemplar, Gauge, Histogram, HistogramSnapshot, MetricSample,
+    Registry, SampleValue, Snapshot,
 };
+pub use profile::{PhaseRow, TraversalProfile};
 pub use trace::{
     EventKind, LaneDump, TraceDump, TraceEvent, TraceRecorder, CLIENT_LANE, DEFAULT_RING_CAPACITY,
     ENGINE_LANE, LANES,
@@ -64,14 +66,44 @@ pub fn registry() -> &'static Registry {
 /// The process-wide trace recorder all pbfs crates record into. Disabled
 /// until something calls `recorder().set_enabled(true)`. Overwritten
 /// (dropped) events are counted in the registry's
-/// `pbfs_telemetry_dropped_events_total`.
+/// `pbfs_trace_dropped_events_total` (also scraped under the legacy
+/// `pbfs_telemetry_dropped_events_total` name).
 pub fn recorder() -> &'static TraceRecorder {
     static RECORDER: OnceLock<TraceRecorder> = OnceLock::new();
     RECORDER.get_or_init(|| {
         let dropped = registry().counter(
-            "pbfs_telemetry_dropped_events_total",
+            "pbfs_trace_dropped_events_total",
             "Trace events overwritten because a lane's ring buffer was full",
+        );
+        registry().counter_alias(
+            "pbfs_telemetry_dropped_events_total",
+            "Legacy alias of pbfs_trace_dropped_events_total",
+            &dropped,
         );
         TraceRecorder::new(DEFAULT_RING_CAPACITY, Some(dropped))
     })
+}
+
+/// Registers the `pbfs_build_info` gauge: constant 1 with the build's
+/// identity as labels, so every scrape is attributable to a binary.
+pub fn register_build_info(version: &str, git_sha: &str, features: &str) {
+    let labels = format!("version=\"{version}\",git_sha=\"{git_sha}\",features=\"{features}\"");
+    registry()
+        .gauge_with(
+            "pbfs_build_info",
+            &labels,
+            "Build identity (constant 1; see labels)",
+        )
+        .set(1);
+}
+
+/// Sets the per-graph `pbfs_graph_vertices` / `pbfs_graph_edges` gauges so
+/// metric scrapes are attributable to the dataset being served.
+pub fn set_graph_info(vertices: u64, edges: u64) {
+    registry()
+        .gauge("pbfs_graph_vertices", "Vertices in the loaded graph")
+        .set(vertices as i64);
+    registry()
+        .gauge("pbfs_graph_edges", "Undirected edges in the loaded graph")
+        .set(edges as i64);
 }

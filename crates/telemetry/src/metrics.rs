@@ -124,11 +124,36 @@ struct HistShard {
     count: AtomicU64,
 }
 
+/// Best-effort per-bucket exemplar: the last sample routed to the bucket,
+/// identified by the query that produced it and a trace reference (the
+/// query-set id of the batch that served it), so a latency outlier in a
+/// scrape points at a concrete replayable query.
+struct ExemplarSlot {
+    /// Query id of the last sample (0 = no exemplar recorded yet).
+    query: AtomicU64,
+    /// Trace reference (query-set id) of the last sample.
+    trace_ref: AtomicU64,
+}
+
+/// A bucket exemplar as read in a snapshot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Query id that produced the exemplar sample.
+    pub query: u64,
+    /// Trace reference (query-set id) linking the sample to its trace.
+    pub trace_ref: u64,
+}
+
 /// A histogram over fixed, inclusive upper-bound buckets (the Prometheus
 /// `le` convention) plus an implicit `+Inf` bucket.
 pub struct Histogram {
     bounds: Vec<u64>,
     shards: Vec<CachePadded<HistShard>>,
+    /// One slot per bucket (incl. `+Inf`). Written with relaxed stores:
+    /// concurrent writers race and the reader may pair a query with a
+    /// neighboring writer's trace ref — acceptable for a debugging hint,
+    /// and free on the observe path that doesn't use exemplars.
+    exemplars: Vec<ExemplarSlot>,
 }
 
 impl Histogram {
@@ -153,9 +178,15 @@ impl Histogram {
                 count: AtomicU64::new(0),
             })
         });
+        let mut exemplars = Vec::with_capacity(bounds.len() + 1);
+        exemplars.resize_with(bounds.len() + 1, || ExemplarSlot {
+            query: AtomicU64::new(0),
+            trace_ref: AtomicU64::new(0),
+        });
         Self {
             bounds: bounds.to_vec(),
             shards,
+            exemplars,
         }
     }
 
@@ -172,6 +203,20 @@ impl Histogram {
         shard.buckets[idx].fetch_add(1, Ordering::Relaxed);
         shard.sum.fetch_add(v, Ordering::Relaxed);
         shard.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one sample and stamps its bucket's exemplar with the query
+    /// id and trace reference that produced it (last writer wins). Query
+    /// id 0 is reserved for "no exemplar" and leaves the slot untouched.
+    #[inline]
+    pub fn observe_exemplar(&self, v: u64, query: u64, trace_ref: u64) {
+        self.observe(v);
+        if query != 0 {
+            let idx = self.bounds.partition_point(|&b| b < v);
+            let slot = &self.exemplars[idx];
+            slot.query.store(query, Ordering::Relaxed);
+            slot.trace_ref.store(trace_ref, Ordering::Relaxed);
+        }
     }
 
     /// Aggregated state across all shards.
@@ -195,11 +240,23 @@ impl Histogram {
                 running
             })
             .collect();
+        let exemplars = self
+            .exemplars
+            .iter()
+            .map(|slot| {
+                let query = slot.query.load(Ordering::Relaxed);
+                (query != 0).then(|| Exemplar {
+                    query,
+                    trace_ref: slot.trace_ref.load(Ordering::Relaxed),
+                })
+            })
+            .collect();
         HistogramSnapshot {
             bounds: self.bounds.clone(),
             cumulative,
             sum,
             count,
+            exemplars,
         }
     }
 }
@@ -216,6 +273,9 @@ pub struct HistogramSnapshot {
     pub sum: u64,
     /// Number of observations.
     pub count: u64,
+    /// Per-bucket exemplars (one entry per bound plus `+Inf`); `None`
+    /// where no exemplar-carrying sample ever landed.
+    pub exemplars: Vec<Option<Exemplar>>,
 }
 
 /// A registered metric handle.
@@ -279,6 +339,17 @@ impl Registry {
                 "{name}{{{labels}}} already registered as a {}",
                 other.kind()
             ),
+        }
+    }
+
+    /// Registers an *existing* counter under an additional family name, so
+    /// one underlying counter can be scraped under two names (e.g. a
+    /// canonical family plus its legacy alias). Idempotent like the other
+    /// registrations; returns the counter that is now behind `name`.
+    pub fn counter_alias(&self, name: &str, help: &str, counter: &Arc<Counter>) -> Arc<Counter> {
+        match self.register(name, "", help, || Metric::Counter(Arc::clone(counter))) {
+            Metric::Counter(c) => c,
+            other => panic!("{name} already registered as a {}", other.kind()),
         }
     }
 
@@ -458,6 +529,36 @@ mod tests {
         assert_eq!(s.cumulative, vec![2, 4, 4, 5]);
         assert_eq!(s.count, 5);
         assert_eq!(s.sum, 1 + 10 + 11 + 100 + 5000);
+    }
+
+    #[test]
+    fn exemplars_track_last_query_per_bucket() {
+        let h = Histogram::new(&[10, 100]);
+        // Plain observes leave no exemplars.
+        h.observe(5);
+        assert!(h.snapshot().exemplars.iter().all(|e| e.is_none()));
+        h.observe_exemplar(7, 41, 900);
+        h.observe_exemplar(9, 42, 901); // same bucket: last writer wins
+        h.observe_exemplar(5000, 43, 902); // +Inf bucket
+        h.observe_exemplar(50, 0, 903); // query 0 = no exemplar
+        let s = h.snapshot();
+        assert_eq!(
+            s.exemplars[0],
+            Some(Exemplar {
+                query: 42,
+                trace_ref: 901
+            })
+        );
+        assert_eq!(s.exemplars[1], None);
+        assert_eq!(
+            s.exemplars[2],
+            Some(Exemplar {
+                query: 43,
+                trace_ref: 902
+            })
+        );
+        // The exemplar-carrying observes still count as samples.
+        assert_eq!(s.count, 5);
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! Phase-attributed traversal profiles.
+//!
+//! A [`TraversalProfile`] is the plain-data result of attributing one
+//! traversal's wall time to its phases: for every iteration, how many
+//! nanoseconds went to frontier expansion vs. settling vs. the bottom-up
+//! pull, how many edges were relaxed, how many frontier entries the
+//! summary scans examined or skipped, and an estimated byte volume touched
+//! (derived from the caller's memory model). The producer lives next to
+//! the kernels (`pbfs-core` builds profiles from `TraversalStats`); this
+//! module owns only the representation and its renderings — a
+//! human-readable table, JSON, and flamegraph-compatible folded stacks —
+//! so any layer that holds per-phase numbers can export them identically.
+//!
+//! Rows are constructed so their `ns` column partitions the traversal
+//! wall time exactly: unattributed time inside an iteration becomes an
+//! `other` row and time outside all iterations (setup, final clears)
+//! becomes an `overhead` row. `total_ns()` therefore reconciles with the
+//! producer's wall clock by construction.
+
+use std::fmt::Write as _;
+
+use pbfs_json::{Json, ToJson};
+
+/// One row of a phase-attributed profile: what one phase of one iteration
+/// did and what it cost.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseRow {
+    /// 1-based iteration (BFS depth) the row belongs to; 0 for
+    /// whole-traversal rows such as `overhead`.
+    pub iteration: u32,
+    /// Phase name: `expand`, `settle`, `bottom_up`, `other`, `overhead`.
+    pub phase: &'static str,
+    /// Wall nanoseconds attributed to this phase.
+    pub ns: u64,
+    /// Edges relaxed (neighbor visits) during the phase.
+    pub edges: u64,
+    /// Frontier entries / summary chunks examined by the phase's scans.
+    pub scanned: u64,
+    /// Frontier entries / summary chunks skipped via the summary.
+    pub skipped: u64,
+    /// Estimated bytes touched (graph + state traffic under the model).
+    pub bytes_est: u64,
+}
+
+/// A whole traversal's profile: identity plus the partitioned phase rows.
+#[derive(Clone, Debug, Default)]
+pub struct TraversalProfile {
+    /// Kernel name (`mspbfs`, `smspbfs-bit`, ...).
+    pub algo: String,
+    /// Concurrent sources served by the traversal (1 for single-source).
+    pub width: usize,
+    /// Total traversal wall time; equals the sum of all row `ns`.
+    pub total_ns: u64,
+    /// Vertices discovered.
+    pub discovered: u64,
+    /// Phase rows in iteration order.
+    pub rows: Vec<PhaseRow>,
+}
+
+impl TraversalProfile {
+    /// Sum of the `ns` column — by construction equal to [`Self::total_ns`].
+    pub fn rows_total_ns(&self) -> u64 {
+        self.rows.iter().map(|r| r.ns).sum()
+    }
+
+    /// Aggregates the rows by phase name, preserving first-seen order.
+    pub fn by_phase(&self) -> Vec<PhaseRow> {
+        let mut out: Vec<PhaseRow> = Vec::new();
+        for r in &self.rows {
+            match out.iter_mut().find(|o| o.phase == r.phase) {
+                Some(o) => {
+                    o.ns += r.ns;
+                    o.edges += r.edges;
+                    o.scanned += r.scanned;
+                    o.skipped += r.skipped;
+                    o.bytes_est += r.bytes_est;
+                }
+                None => out.push(PhaseRow {
+                    iteration: 0,
+                    ..r.clone()
+                }),
+            }
+        }
+        out
+    }
+
+    /// Renders the per-iteration table: one line per row plus a per-phase
+    /// summary and the reconciliation total.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "profile: {} width={}", self.algo, self.width);
+        let _ = writeln!(
+            out,
+            "{:>4}  {:<9} {:>12} {:>6} {:>12} {:>10} {:>10} {:>12}",
+            "iter", "phase", "ns", "%", "edges", "scanned", "skipped", "bytes_est"
+        );
+        let total = self.total_ns.max(1);
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:>4}  {:<9} {:>12} {:>5.1}% {:>12} {:>10} {:>10} {:>12}",
+                r.iteration,
+                r.phase,
+                r.ns,
+                100.0 * r.ns as f64 / total as f64,
+                r.edges,
+                r.scanned,
+                r.skipped,
+                r.bytes_est
+            );
+        }
+        let _ = writeln!(out, "-- by phase --");
+        for r in self.by_phase() {
+            let _ = writeln!(
+                out,
+                "      {:<9} {:>12} {:>5.1}% {:>12} {:>10} {:>10} {:>12}",
+                r.phase,
+                r.ns,
+                100.0 * r.ns as f64 / total as f64,
+                r.edges,
+                r.scanned,
+                r.skipped,
+                r.bytes_est
+            );
+        }
+        let _ = writeln!(
+            out,
+            "total {} ns ({} rows, {} discovered)",
+            self.total_ns,
+            self.rows.len(),
+            self.discovered
+        );
+        out
+    }
+
+    /// Renders flamegraph-compatible folded stacks, one line per row:
+    /// `engine;batch;<algo>;iter_<k>;<phase> <ns>`. Feed the output to
+    /// `flamegraph.pl` / `inferno-flamegraph` to visualize where traversal
+    /// time goes.
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        for r in &self.rows {
+            if r.ns == 0 {
+                continue;
+            }
+            if r.iteration == 0 {
+                let _ = writeln!(out, "engine;batch;{};{} {}", self.algo, r.phase, r.ns);
+            } else {
+                let _ = writeln!(
+                    out,
+                    "engine;batch;{};iter_{};{} {}",
+                    self.algo, r.iteration, r.phase, r.ns
+                );
+            }
+        }
+        out
+    }
+}
+
+impl ToJson for PhaseRow {
+    fn to_json(&self) -> Json {
+        pbfs_json::json!({
+            "iteration": (self.iteration as u64),
+            "phase": (self.phase),
+            "ns": (self.ns),
+            "edges": (self.edges),
+            "scanned": (self.scanned),
+            "skipped": (self.skipped),
+            "bytes_est": (self.bytes_est)
+        })
+    }
+}
+
+impl ToJson for TraversalProfile {
+    fn to_json(&self) -> Json {
+        pbfs_json::json!({
+            "algo": (self.algo.clone()),
+            "width": (self.width as u64),
+            "total_ns": (self.total_ns),
+            "discovered": (self.discovered),
+            "rows": (Json::Arr(self.rows.iter().map(ToJson::to_json).collect()))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraversalProfile {
+        TraversalProfile {
+            algo: "mspbfs".into(),
+            width: 64,
+            total_ns: 1000,
+            discovered: 12,
+            rows: vec![
+                PhaseRow {
+                    iteration: 1,
+                    phase: "expand",
+                    ns: 400,
+                    edges: 90,
+                    scanned: 8,
+                    skipped: 2,
+                    bytes_est: 720,
+                },
+                PhaseRow {
+                    iteration: 1,
+                    phase: "settle",
+                    ns: 300,
+                    edges: 0,
+                    scanned: 4,
+                    skipped: 6,
+                    bytes_est: 96,
+                },
+                PhaseRow {
+                    iteration: 1,
+                    phase: "other",
+                    ns: 100,
+                    edges: 0,
+                    scanned: 0,
+                    skipped: 0,
+                    bytes_est: 0,
+                },
+                PhaseRow {
+                    iteration: 0,
+                    phase: "overhead",
+                    ns: 200,
+                    edges: 0,
+                    scanned: 0,
+                    skipped: 0,
+                    bytes_est: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn rows_partition_total() {
+        let p = sample();
+        assert_eq!(p.rows_total_ns(), p.total_ns);
+    }
+
+    #[test]
+    fn by_phase_merges_and_keeps_order() {
+        let p = sample();
+        let phases: Vec<&str> = p.by_phase().iter().map(|r| r.phase).collect();
+        assert_eq!(phases, vec!["expand", "settle", "other", "overhead"]);
+        assert_eq!(p.by_phase()[0].edges, 90);
+    }
+
+    #[test]
+    fn folded_stacks_have_the_documented_shape() {
+        let folded = sample().folded();
+        assert!(folded.contains("engine;batch;mspbfs;iter_1;expand 400"));
+        assert!(folded.contains("engine;batch;mspbfs;overhead 200"));
+        // Every line is `stack ns` with a numeric weight.
+        for line in folded.lines() {
+            let (stack, ns) = line.rsplit_once(' ').unwrap();
+            assert!(stack.starts_with("engine;batch;"));
+            assert!(ns.parse::<u64>().is_ok(), "bad line: {line}");
+        }
+    }
+
+    #[test]
+    fn table_and_json_render() {
+        let p = sample();
+        let table = p.table();
+        assert!(table.contains("expand"));
+        assert!(table.contains("-- by phase --"));
+        assert!(table.contains("total 1000 ns"));
+        let parsed = pbfs_json::parse(&p.to_json().to_string()).unwrap();
+        assert_eq!(parsed["total_ns"].as_u64(), Some(1000));
+        assert_eq!(parsed["rows"].as_array().unwrap().len(), 4);
+        assert_eq!(parsed["rows"][0]["phase"].as_str(), Some("expand"));
+    }
+}

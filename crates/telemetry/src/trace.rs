@@ -55,8 +55,9 @@ pub enum EventKind {
     /// The direction policy switched direction (`a` = depth, `b` = 1 for
     /// bottom-up, 0 for top-down). Mark.
     DirectionSwitch,
-    /// A query entered the engine queue (`a` = source, `b` = queue depth
-    /// after the push). Mark.
+    /// One query's submit→coalesce wait: starts when the query entered the
+    /// engine queue, ends when the dispatcher drained it into a batch
+    /// (`a` = source, `b` = query id).
     BatchSubmit,
     /// Oldest-submit → batch-drain interval: how long queries waited for
     /// co-batched company (`a` = batch size, `b` = chosen width).
@@ -123,7 +124,6 @@ impl EventKind {
             self,
             EventKind::Steal
                 | EventKind::DirectionSwitch
-                | EventKind::BatchSubmit
                 | EventKind::BatchComplete
                 | EventKind::BatchFailed
                 | EventKind::WorkerPanic
@@ -141,7 +141,7 @@ impl EventKind {
                 ("frontier_vertices", "unused")
             }
             EventKind::DirectionSwitch => ("depth", "bottom_up"),
-            EventKind::BatchSubmit => ("source", "queue_depth"),
+            EventKind::BatchSubmit => ("source", "query"),
             EventKind::BatchCoalesce => ("batch", "width"),
             EventKind::BatchFlush => ("width", "batch"),
             EventKind::BatchComplete => ("width", "batch"),
@@ -165,6 +165,9 @@ pub struct TraceEvent {
     pub a: u64,
     /// Second payload field.
     pub b: u64,
+    /// Query-set id causally linking this event to the batch that produced
+    /// it (`0` = unattributed — the event happened outside any batch).
+    pub qset: u64,
 }
 
 /// Bounded event ring: oldest events are overwritten once full.
@@ -264,12 +267,29 @@ impl TraceRecorder {
     #[inline]
     pub fn span(&self, lane: usize, kind: EventKind, started: Option<Instant>, a: u64, b: u64) {
         if let Some(t0) = started {
-            self.span_at(lane, kind, t0, t0.elapsed(), a, b);
+            self.span_at_ctx(lane, kind, t0, t0.elapsed(), a, b, 0);
+        }
+    }
+
+    /// Like [`Self::span`] but attributes the span to query-set `qset`.
+    #[inline]
+    pub fn span_ctx(
+        &self,
+        lane: usize,
+        kind: EventKind,
+        started: Option<Instant>,
+        a: u64,
+        b: u64,
+        qset: u64,
+    ) {
+        if let Some(t0) = started {
+            self.span_at_ctx(lane, kind, t0, t0.elapsed(), a, b, qset);
         }
     }
 
     /// Records a span from an externally measured `(start, duration)`
     /// pair; no-op while recording is off.
+    #[inline]
     pub fn span_at(
         &self,
         lane: usize,
@@ -278,6 +298,21 @@ impl TraceRecorder {
         dur: Duration,
         a: u64,
         b: u64,
+    ) {
+        self.span_at_ctx(lane, kind, start, dur, a, b, 0);
+    }
+
+    /// Like [`Self::span_at`] but attributes the span to query-set `qset`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span_at_ctx(
+        &self,
+        lane: usize,
+        kind: EventKind,
+        start: Instant,
+        dur: Duration,
+        a: u64,
+        b: u64,
+        qset: u64,
     ) {
         if !self.is_enabled() {
             return;
@@ -290,6 +325,7 @@ impl TraceRecorder {
                 dur_ns: dur.as_nanos() as u64,
                 a,
                 b,
+                qset,
             },
         );
     }
@@ -297,6 +333,12 @@ impl TraceRecorder {
     /// Records an instantaneous mark; no-op while recording is off.
     #[inline]
     pub fn mark(&self, lane: usize, kind: EventKind, a: u64, b: u64) {
+        self.mark_ctx(lane, kind, a, b, 0);
+    }
+
+    /// Like [`Self::mark`] but attributes the mark to query-set `qset`.
+    #[inline]
+    pub fn mark_ctx(&self, lane: usize, kind: EventKind, a: u64, b: u64, qset: u64) {
         if !self.is_enabled() {
             return;
         }
@@ -308,6 +350,7 @@ impl TraceRecorder {
                 dur_ns: 0,
                 a,
                 b,
+                qset,
             },
         );
     }
@@ -448,6 +491,27 @@ mod tests {
         rec.span(0, EventKind::Task, t, 0, 0);
         rec.set_enabled(true);
         assert_eq!(rec.drain().total_events(), 0);
+    }
+
+    #[test]
+    fn qset_round_trips_and_defaults_to_zero() {
+        let rec = TraceRecorder::new(8, None);
+        rec.set_enabled(true);
+        let t = rec.start();
+        rec.span_ctx(0, EventKind::BatchFlush, t, 64, 3, 7);
+        rec.mark_ctx(0, EventKind::BatchComplete, 64, 3, 7);
+        rec.mark(0, EventKind::Steal, 1, 2);
+        let dump = rec.drain();
+        let events = &dump.lanes[0].events;
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].qset, 7);
+        assert_eq!(events[1].qset, 7);
+        assert_eq!(events[2].qset, 0);
+    }
+
+    #[test]
+    fn batch_submit_is_a_span() {
+        assert!(EventKind::BatchSubmit.is_span());
     }
 
     #[test]

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Bench-history regression tracker for the kernels benchmark.
+
+Diffs a current ``kernels`` bench run against a committed baseline
+(``BENCH_*.json``), printing a per-graph / per-algo / per-width delta
+table. With ``--check`` it exits nonzero when any kernel regresses by
+more than the threshold (default 10%).
+
+Two robustness measures keep the gate meaningful on shared hardware:
+
+* **Normalization.** When the two runs used different benchmark
+  configurations (scale, workers, trials) — or when ``--normalize`` is
+  passed — each row's ns/edge is divided by its own run's geometric
+  mean before comparison. That cancels the run-wide machine-speed
+  factor (containers and CI runners drift by tens of percent between
+  runs) and compares each kernel's *relative* standing within its run:
+  a kernel that slows down relative to its peers is flagged even when
+  the whole run sped up or slowed down.
+
+* **Joint median+min rule.** A row only counts as a regression when
+  *both* its median and its minimum ns/edge exceed the threshold. A
+  genuine regression shifts the entire trial distribution; transient
+  scheduler noise usually inflates only some trials, moving the median
+  but not the min (or vice versa).
+
+The default 10% threshold suits a quiet machine doing a deliberate A/B
+comparison. CI on shared runners should pass a threshold above its
+measured run-to-run noise floor (see .github/workflows/ci.yml).
+
+Usage:
+    compare_bench.py BASELINE.json CURRENT.json [--check]
+                     [--threshold PCT] [--normalize]
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def key(row):
+    """Identity of a kernel row: what we join baseline and current on."""
+    return (row["graph"], row["algo"], row["width"], row["mode"])
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    if doc.get("bench") != "kernels" or "kernels" not in doc:
+        sys.exit(f"error: {path} is not a kernels bench document")
+    return doc
+
+
+def configs_match(a, b):
+    """Same benchmark shape → absolute ns/edge is directly comparable."""
+    ca, cb = a.get("config", {}), b.get("config", {})
+    return all(ca.get(k) == cb.get(k) for k in ("scale", "workers", "trials"))
+
+
+def geomean(values):
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 1.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="committed baseline BENCH_*.json")
+    ap.add_argument("current", help="freshly produced kernels bench JSON")
+    ap.add_argument("--check", action="store_true",
+                    help="exit 1 on any regression beyond the threshold")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="regression tolerance in percent (default 10)")
+    ap.add_argument("--normalize", action="store_true",
+                    help="normalize by each run's geomean ns/edge even when "
+                         "configs match (cancels machine-speed drift)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    base_rows = {key(r): r for r in base["kernels"]}
+    cur_rows = {key(r): r for r in cur["kernels"]}
+
+    normalize = args.normalize or not configs_match(base, cur)
+    print(f"comparing {args.current} against {args.baseline}")
+    if normalize:
+        base_med = geomean(r["median_ns_per_edge"] for r in base["kernels"])
+        cur_med = geomean(r["median_ns_per_edge"] for r in cur["kernels"])
+        base_min = geomean(r["min_ns_per_edge"] for r in base["kernels"])
+        cur_min = geomean(r["min_ns_per_edge"] for r in cur["kernels"])
+        if not configs_match(base, cur):
+            bc, cc = base.get("config", {}), cur.get("config", {})
+            print(f"note: configs differ (baseline {bc} vs current {cc})")
+        print(f"normalized comparison: run-wide geomean ns/edge factor "
+              f"{cur_med / base_med:+.1%} (deltas below are relative "
+              "standing within each run, not absolute time)")
+    else:
+        base_med = cur_med = base_min = cur_min = 1.0
+        print("matching configs: direct ns/edge comparison")
+
+    header = (f"{'graph':<15} {'algo':<9} {'width':>5} {'mode':<8} "
+              f"{'base ns/e':>10} {'cur ns/e':>10} {'median':>8} {'min':>8}"
+              "  verdict")
+    print()
+    print(header)
+    print("-" * len(header))
+
+    regressions = []
+    improvements = 0
+    for k in sorted(base_rows):
+        graph, algo, width, mode = k
+        b = base_rows[k]
+        c = cur_rows.get(k)
+        if c is None:
+            print(f"{graph:<15} {algo:<9} {width:>5} {mode:<8} "
+                  f"{b['median_ns_per_edge']:>10.3f} {'—':>10} {'—':>8} "
+                  f"{'—':>8}  MISSING in current run")
+            regressions.append(f"{graph}/{algo}/w{width}/{mode}: "
+                               "missing from current run")
+            continue
+        d_med = ((c["median_ns_per_edge"] / cur_med)
+                 / (b["median_ns_per_edge"] / base_med) - 1.0) * 100.0
+        d_min = ((c["min_ns_per_edge"] / cur_min)
+                 / (b["min_ns_per_edge"] / base_min) - 1.0) * 100.0
+        # Joint rule: a real regression moves the whole distribution.
+        joint = min(d_med, d_min)
+        if joint > args.threshold:
+            verdict = f"REGRESSION (> {args.threshold:.0f}%)"
+            regressions.append(f"{graph}/{algo}/w{width}/{mode}: "
+                               f"median {d_med:+.1f}%, min {d_min:+.1f}%")
+        elif max(d_med, d_min) < -args.threshold:
+            verdict = "improved"
+            improvements += 1
+        else:
+            verdict = "ok"
+        print(f"{graph:<15} {algo:<9} {width:>5} {mode:<8} "
+              f"{b['median_ns_per_edge']:>10.3f} "
+              f"{c['median_ns_per_edge']:>10.3f} {d_med:>+7.1f}% "
+              f"{d_min:>+7.1f}%  {verdict}")
+
+    new = sorted(set(cur_rows) - set(base_rows))
+    for graph, algo, width, mode in new:
+        c = cur_rows[(graph, algo, width, mode)]
+        print(f"{graph:<15} {algo:<9} {width:>5} {mode:<8} {'—':>10} "
+              f"{c['median_ns_per_edge']:>10.3f} {'—':>8} {'—':>8}  "
+              "new (no baseline)")
+
+    # Atomics are machine-sensitive microbenches: report, never gate.
+    base_atomics = {r["kind"]: r["ns_per_op"] for r in base.get("atomics", [])}
+    for r in cur.get("atomics", []):
+        b = base_atomics.get(r["kind"])
+        if b:
+            print(f"{'atomics':<15} {r['kind']:<9} {'':>5} {'':<8} "
+                  f"{b:>10.3f} {r['ns_per_op']:>10.3f} "
+                  f"{(r['ns_per_op'] / b - 1) * 100:>+7.1f}% {'':>8}  "
+                  "informational")
+
+    print()
+    print(f"{len(base_rows)} baseline kernels, {len(regressions)} "
+          f"regression(s), {improvements} improvement(s), {len(new)} new")
+    if regressions:
+        for r in regressions:
+            print(f"  regression: {r}")
+        if args.check:
+            sys.exit(1)
+    elif args.check:
+        print("check ok: no kernel regressed beyond the threshold")
+
+
+if __name__ == "__main__":
+    main()

@@ -29,7 +29,9 @@ import sys
 REQUIRED_CHROME_EVENTS = {
     "task": "X",
     "iteration": "X",
-    "batch_submit": "i",
+    # batch_submit is a span (submit → coalesce), emitted by the
+    # dispatcher once the covering batch's query-set id is known.
+    "batch_submit": "X",
     "batch_coalesce": "X",
     "batch_flush": "X",
     "batch_complete": "i",
@@ -55,6 +57,10 @@ REQUIRED_PROM_FAMILIES = [
     "pbfs_adapt_switches_total",
     "pbfs_adapt_retunes_total",
     "pbfs_telemetry_dropped_events_total",
+    "pbfs_trace_dropped_events_total",
+    "pbfs_build_info",
+    "pbfs_graph_vertices",
+    "pbfs_graph_edges",
 ]
 
 # Additionally required when the export came from a failpoints build
@@ -113,8 +119,11 @@ def validate_chrome(path):
     print(f"validate_telemetry: chrome trace OK ({n} events, {len(seen)} kinds)")
 
 
+# Histogram bucket lines may carry an OpenMetrics-style exemplar suffix:
+#   ..._bucket{le="1024"} 3 # {query="17",trace_ref="2"} 1
 SAMPLE_RE = re.compile(
-    r"^(?P<name>[A-Za-z_:][A-Za-z0-9_:]*)(?P<labels>\{[^}]*\})? (?P<value>\S+)$"
+    r"^(?P<name>[A-Za-z_:][A-Za-z0-9_:]*)(?P<labels>\{[^}]*\})? (?P<value>\S+)"
+    r"(?P<exemplar> # \{[^}]*\} \S+)?$"
 )
 
 

@@ -3,14 +3,19 @@
 //! iteration/phase spans and the batch lifecycle, and a metrics snapshot
 //! that exports as well-formed Prometheus text and JSON.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use pbfs::telemetry::{self, EventKind};
 use pbfs::{EngineConfig, QueryEngine};
 use pbfs_json::ToJson;
 
+/// The trace recorder is process-global; tests that enable/drain it must
+/// not overlap or they steal each other's events.
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
 #[test]
 fn engine_replay_produces_full_trace_and_metrics() {
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let g = Arc::new(pbfs::graph::gen::Kronecker::graph500(9).seed(3).generate());
     let n = g.num_vertices() as u32;
     let rec = telemetry::recorder();
@@ -57,9 +62,11 @@ fn engine_replay_produces_full_trace_and_metrics() {
     assert!(events
         .iter()
         .any(|e| e["name"].as_str() == Some("task") && e["ph"].as_str() == Some("X")));
+    // batch_submit is a span (submit → coalesce) emitted by the
+    // dispatcher once the covering batch's query-set id is known.
     assert!(events
         .iter()
-        .any(|e| e["name"].as_str() == Some("batch_submit") && e["ph"].as_str() == Some("i")));
+        .any(|e| e["name"].as_str() == Some("batch_submit") && e["ph"].as_str() == Some("X")));
 
     // Metrics snapshot: every layer registered its families, and both
     // exporters accept the result.
@@ -79,6 +86,9 @@ fn engine_replay_produces_full_trace_and_metrics() {
         "pbfs_adapt_switches_total",
         "pbfs_adapt_retunes_total",
         "pbfs_telemetry_dropped_events_total",
+        "pbfs_trace_dropped_events_total",
+        "pbfs_graph_vertices",
+        "pbfs_graph_edges",
     ] {
         assert!(text.contains(family), "missing {family} in:\n{text}");
     }
@@ -88,6 +98,97 @@ fn engine_replay_produces_full_trace_and_metrics() {
 
     let parsed = pbfs_json::parse(&snap.to_json().to_string_pretty()).unwrap();
     assert!(parsed["metrics"].as_array().unwrap().len() >= 10);
+}
+
+/// Satellite of the causal-tracing work: under *concurrent* submitters
+/// the Chrome trace must still be structurally sound — valid JSON,
+/// timestamps monotone within every lane, and each batch lifecycle span
+/// (submit → coalesce → flush → iteration → complete) stamped with the
+/// nonzero query-set id that links the client, engine and kernel lanes.
+#[test]
+fn concurrent_replay_trace_is_causally_linked() {
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let g = Arc::new(pbfs::graph::gen::Kronecker::graph500(9).seed(7).generate());
+    let n = g.num_vertices() as u32;
+    let rec = telemetry::recorder();
+    rec.drain();
+    rec.set_enabled(true);
+
+    let mut engine = QueryEngine::new(Arc::clone(&g), EngineConfig::default().with_workers(2));
+    std::thread::scope(|s| {
+        // 800 queries exceed the widest coalesce width, so the replay is
+        // guaranteed to split into multiple batches (= query sets).
+        for t in 0..4u32 {
+            let engine = &engine;
+            s.spawn(move || {
+                let handles: Vec<_> = (0..200)
+                    .map(|i| engine.submit((t * 200 + i) % n).unwrap())
+                    .collect();
+                for h in handles {
+                    h.wait().unwrap();
+                }
+            });
+        }
+    });
+    engine.shutdown();
+    rec.set_enabled(false);
+    let dump = rec.drain();
+
+    let chrome = telemetry::export::chrome_trace(&dump);
+    let parsed = pbfs_json::parse(&chrome.to_string_pretty()).unwrap();
+    let events = parsed["traceEvents"].as_array().unwrap();
+
+    // Timestamps are monotone within each lane (export orders them).
+    let mut last_ts = std::collections::HashMap::new();
+    for e in events {
+        if e["ph"].as_str() == Some("M") {
+            continue;
+        }
+        let tid = e["tid"].as_u64().unwrap();
+        let ts = e["ts"].as_f64().unwrap();
+        let prev = last_ts.insert(tid, ts).unwrap_or(0.0);
+        assert!(ts >= prev, "lane {tid} ts went backwards: {prev} -> {ts}");
+    }
+
+    // Every batch lifecycle span carries a nonzero query-set id, and
+    // each query set observed at submission shows up in the coalesce,
+    // flush and complete stages — the causal chain is closed.
+    use std::collections::HashSet;
+    let lifecycle = [
+        "batch_submit",
+        "batch_coalesce",
+        "batch_flush",
+        "batch_complete",
+    ];
+    let mut qsets: Vec<HashSet<u64>> = vec![HashSet::new(); lifecycle.len()];
+    for e in events {
+        let Some(name) = e["name"].as_str() else {
+            continue;
+        };
+        if let Some(i) = lifecycle.iter().position(|l| *l == name) {
+            let qset = e["args"]["qset"].as_u64().unwrap_or(0);
+            assert!(qset > 0, "{name} span without a query-set id: {e:?}");
+            qsets[i].insert(qset);
+        }
+    }
+    assert!(qsets[0].len() >= 2, "expected multiple query sets");
+    for (stage, seen) in lifecycle.iter().zip(&qsets).skip(1) {
+        assert_eq!(
+            seen, &qsets[0],
+            "{stage} query sets diverge from batch_submit"
+        );
+    }
+    // Kernel iteration spans are attributed to those same query sets.
+    let iter_qsets: HashSet<u64> = events
+        .iter()
+        .filter(|e| e["name"].as_str() == Some("iteration"))
+        .filter_map(|e| e["args"]["qset"].as_u64())
+        .collect();
+    assert!(!iter_qsets.is_empty(), "no attributed iteration spans");
+    assert!(
+        iter_qsets.is_subset(&qsets[0]),
+        "iteration spans carry unknown query sets"
+    );
 }
 
 /// The adaptive controller is a pure function of its sample stream: the
