@@ -77,6 +77,90 @@ proptest! {
     }
 
     #[test]
+    fn recycled_bitvec_summary_does_not_accumulate_stale_chunks(
+        len in 256usize..8_192,
+        gens in proptest::collection::vec(
+            proptest::collection::vec(0usize..8_192, 1..40),
+            2..10,
+        ),
+    ) {
+        // Frontier recycling: every BFS iteration sets a sparse frontier,
+        // scans it through the summary, then returns the storage with
+        // chunk-aligned range clears. A clear that forgot to unmark the
+        // summary would leave stale bits behind, so each generation's scan
+        // would touch every chunk any *earlier* generation used and the
+        // skip ratio would drift toward zero. Assert the scan stays exact:
+        // generation g scans precisely g's own chunks, no matter how many
+        // generations came before.
+        let v = AtomicBitVec::new(len);
+        let total_chunks = len.div_ceil(64) as u64;
+        for entries in &gens {
+            let mut chunks: Vec<usize> = entries.iter().map(|&e| e % len / 64).collect();
+            chunks.sort_unstable();
+            chunks.dedup();
+            for &e in entries {
+                v.set(e % len);
+            }
+            let stats = v.for_each_active_chunk(0, len, |_, _| {});
+            prop_assert_eq!(
+                stats.chunks_scanned,
+                chunks.len() as u64,
+                "scan touched stale chunks left by an earlier generation"
+            );
+            prop_assert_eq!(stats.chunks_skipped, total_chunks - chunks.len() as u64);
+            prop_assert!(
+                stats.skip_ratio() >= 1.0 - chunks.len() as f64 / total_chunks as f64 - 1e-9
+            );
+            // Recycle: chunk-aligned clears of exactly the touched chunks.
+            for &c in &chunks {
+                v.clear_range_words(c * 64, ((c + 1) * 64).min(len));
+            }
+        }
+        // After the final recycle nothing is marked at all.
+        let stats = v.for_each_active_chunk(0, len, |_, _| panic!("stale chunk"));
+        prop_assert_eq!(stats.chunks_scanned, 0);
+    }
+
+    #[test]
+    fn recycled_state_array_summary_does_not_accumulate_stale_chunks(
+        len in 256usize..6_000,
+        gens in proptest::collection::vec(
+            proptest::collection::vec((0usize..6_000, 0usize..64), 1..30),
+            2..10,
+        ),
+    ) {
+        // Same recycling property on StateArray, the engine's frontier and
+        // scatter/gather contribution type: repeated fetch_or → summary
+        // scan → chunk-aligned clear_range cycles (the sharded engine's
+        // per-batch contribution reuse) must not accumulate stale summary
+        // bits across batches.
+        let s: StateArray<1> = StateArray::new(len);
+        let total_chunks = len.div_ceil(64) as u64;
+        for entries in &gens {
+            let mut chunks: Vec<usize> = entries.iter().map(|&(e, _)| e % len / 64).collect();
+            chunks.sort_unstable();
+            chunks.dedup();
+            for &(e, bit) in entries {
+                s.fetch_or(e % len, Bits::single(bit));
+            }
+            let stats = s.for_each_active_chunk(0, len, |_, _| {});
+            prop_assert_eq!(
+                stats.chunks_scanned,
+                chunks.len() as u64,
+                "scan touched stale chunks left by an earlier generation"
+            );
+            prop_assert!(
+                stats.skip_ratio() >= 1.0 - chunks.len() as f64 / total_chunks as f64 - 1e-9
+            );
+            for &c in &chunks {
+                s.clear_range(c * 64, ((c + 1) * 64).min(len));
+            }
+        }
+        let stats = s.for_each_active_chunk(0, len, |_, _| panic!("stale chunk"));
+        prop_assert_eq!(stats.chunks_scanned, 0);
+    }
+
+    #[test]
     fn range_clears_never_hide_entries_outside_the_range(
         len in 128usize..8_192,
         raw in proptest::collection::vec(0usize..8_192, 1..100),

@@ -22,8 +22,8 @@ usage:
   pbfs centrality FILE --measure closeness|harmonic|betweenness [--top K]
         [--workers N] [--text]
   pbfs relabel FILE --scheme striped|ordered|random [--workers N] [--seed N] [--text] -o FILE
-  pbfs queries [FILE] [--scale N] [--queries N] [--threads N] [--max-batch N]
-        [--max-latency-us N] [--rate QPS] [--seed N] [--text]
+  pbfs queries [FILE] [--scale N] [--queries N] [--threads N] [--shards N]
+        [--max-batch N] [--max-latency-us N] [--rate QPS] [--seed N] [--text]
         [--max-queue N] [--query-timeout MS] [--drain-timeout MS]
         [--frontier flat|summary|auto] [--prefetch-distance N]
         [--adapt-hysteresis N] [--adapt-sample-interval N]
@@ -33,9 +33,12 @@ usage:
         per-worker timeline and writes Chrome trace-event JSON;
         --max-queue bounds the submit queue (full = backpressure),
         --query-timeout expires queries stuck in the queue, and
-        --drain-timeout bounds the shutdown drain (0 = unbounded)
-  pbfs metrics [FILE] [--scale N] [--queries N] [--threads N] [--seed N]
-        [--max-queue N] [--json] [--text]
+        --drain-timeout bounds the shutdown drain (0 = unbounded);
+        --shards runs one dispatcher + queue + pool stack per simulated
+        socket over a partitioned CSR (results are bit-identical to
+        --shards 1)
+  pbfs metrics [FILE] [--scale N] [--queries N] [--threads N] [--shards N]
+        [--seed N] [--max-queue N] [--json] [--text]
         runs a small replay and prints the telemetry registry as
         Prometheus text exposition (default) or JSON (--json); a tiny
         --max-queue forces Overloaded rejections into the export
@@ -57,7 +60,8 @@ usage:
         depth, in-flight count, p50/p99 latency, trace-ring drops) read
         from the telemetry registry; exits after --ticks ticks
   pbfs chaos [--schedules N] [--seed N] [--scale N] [--queries N]
-        [--workers N] [--schedule-timeout SECS] [--metrics-out FILE]
+        [--workers N] [--shards N] [--schedule-timeout SECS]
+        [--metrics-out FILE]
         runs seeded randomized failpoint schedules against the batched
         query engine with a textbook-BFS oracle and checks the engine's
         failure-model invariants (exactly-once resolution, oracle-exact

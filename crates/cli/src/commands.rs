@@ -321,9 +321,11 @@ fn queries(args: &Args) -> Result<(), String> {
         pbfs_telemetry::recorder().set_enabled(true);
     }
 
+    let shards: usize = args.num("shards", 1)?;
     let nonzero_ms = |ms: u64| (ms > 0).then(|| Duration::from_millis(ms));
     let cfg = EngineConfig::default()
         .with_workers(threads)
+        .with_shards(shards)
         .with_max_batch(max_batch)
         .with_max_latency(Duration::from_micros(max_latency_us))
         .with_max_queue(max_queue)
@@ -504,8 +506,10 @@ fn metrics(args: &Args) -> Result<(), String> {
     }
 
     let max_queue: usize = args.num("max-queue", 8192)?;
+    let shards: usize = args.num("shards", 1)?;
     let cfg = EngineConfig::default()
         .with_workers(threads)
+        .with_shards(shards)
         .with_max_queue(max_queue)
         .with_bfs(bfs_options(args)?);
     let mut engine = QueryEngine::from_graph(g, cfg);
@@ -769,6 +773,7 @@ fn chaos(args: &Args) -> Result<(), String> {
         scale: args.num("scale", defaults.scale)?,
         queries: args.num("queries", defaults.queries)?,
         workers: args.num("workers", defaults.workers)?,
+        shards: args.num("shards", defaults.shards)?,
         schedule_timeout: Duration::from_secs(
             args.num("schedule-timeout", defaults.schedule_timeout.as_secs())?,
         ),

@@ -18,6 +18,7 @@
 use pbfs_bitset::BitVec;
 use pbfs_graph::{CsrGraph, VertexId};
 
+use crate::options::BfsOptions;
 use crate::policy::{Direction, DirectionPolicy, FrontierState};
 use crate::stats::{IterationStats, TraversalStats};
 use crate::visitor::SsVisitor;
@@ -69,9 +70,26 @@ impl DirectionOptBfs {
         source: VertexId,
         visitor: &impl SsVisitor,
     ) -> (Vec<u32>, TraversalStats) {
+        self.run_with_opts(g, source, &BfsOptions::default(), visitor)
+    }
+
+    /// Like [`Self::run_with`], but carrying [`BfsOptions`] the way every
+    /// other kernel does. The variant's own knobs (queue kind, policy,
+    /// chunk skipping) stay on the struct; from `opts` this baseline
+    /// honors `query_set` — so engine-driven runs emit Iteration trace
+    /// spans causally linked to their batch — and `max_iterations`.
+    pub fn run_with_opts(
+        &self,
+        g: &CsrGraph,
+        source: VertexId,
+        opts: &BfsOptions,
+        visitor: &impl SsVisitor,
+    ) -> (Vec<u32>, TraversalStats) {
         let n = g.num_vertices();
         assert!((source as usize) < n, "source out of range");
         let start = std::time::Instant::now();
+        let qset = opts.query_set;
+        let rec = pbfs_telemetry::recorder();
         let policy = match self.kind {
             QueueKind::Gapbs => DirectionPolicy::Heuristic {
                 alpha: 15.0,
@@ -106,6 +124,11 @@ impl DirectionOptBfs {
         let mut depth = 0u32;
 
         while frontier_vertices > 0 {
+            if let Some(max) = opts.max_iterations {
+                if depth >= max {
+                    break;
+                }
+            }
             let next_dir = policy.decide(&FrontierState {
                 frontier_vertices,
                 frontier_degree,
@@ -250,10 +273,20 @@ impl DirectionOptBfs {
             discovered_total += discovered;
             unexplored_degree = unexplored_degree.saturating_sub(new_frontier_degree);
             frontier_degree = new_frontier_degree;
+            let iter_wall = iter_start.elapsed();
+            rec.span_at_ctx(
+                0,
+                pbfs_telemetry::EventKind::Iteration,
+                iter_start,
+                iter_wall,
+                depth as u64,
+                discovered,
+                qset,
+            );
             stats.iterations.push(IterationStats {
                 iteration: depth,
                 direction,
-                wall_ns: iter_start.elapsed().as_nanos() as u64,
+                wall_ns: iter_wall.as_nanos() as u64,
                 expand_ns: 0,
                 settle_ns: 0,
                 frontier_vertices,

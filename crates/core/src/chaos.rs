@@ -46,6 +46,9 @@ pub const CHAOS_SITES: &[&str] = &[
     "core.engine.expire",
     "core.mspbfs.phase",
     "core.smspbfs.phase",
+    // Reached only by sharded schedules (`ChaosConfig::shards` > 1);
+    // arming it in an unsharded schedule is a harmless no-op.
+    "core.sharded.phase",
     "core.adapt.sample",
     "core.adapt.switch",
     "bitset.summary.mark",
@@ -65,6 +68,10 @@ pub struct ChaosConfig {
     pub queries: usize,
     /// Engine worker threads.
     pub workers: usize,
+    /// Engine shards ([`EngineConfig::shards`]): above 1, every schedule
+    /// soaks the sharded scatter/gather engine, including the
+    /// `core.sharded.phase` failpoint site.
+    pub shards: usize,
     /// Watchdog bound for one whole schedule (traffic + drain + shutdown).
     pub schedule_timeout: Duration,
 }
@@ -77,6 +84,7 @@ impl Default for ChaosConfig {
             scale: 8,
             queries: 48,
             workers: 4,
+            shards: 1,
             schedule_timeout: Duration::from_secs(30),
         }
     }
@@ -205,6 +213,7 @@ fn run_schedule(cfg: &ChaosConfig, schedule: usize) -> ScheduleOutcome {
         Arc::clone(&graph),
         EngineConfig::default()
             .with_workers(cfg.workers)
+            .with_shards(cfg.shards)
             .with_max_latency(Duration::from_millis(1))
             .with_max_queue(256)
             .with_query_timeout(Some(Duration::from_secs(5)))

@@ -21,6 +21,20 @@
 //! Results are delivered through the handle; dropping a handle mid-flight
 //! simply discards that query's distances.
 //!
+//! # Sharding
+//!
+//! With [`EngineConfig::shards`] > 1 the engine runs one complete
+//! dispatcher + queue + worker-pool stack per simulated socket:
+//! submissions are scattered round-robin over the shard queues, each shard
+//! coalesces and flushes its own batches, and batch traversals run the
+//! scatter/gather kernel ([`ShardedMsBfs`]) over a
+//! [`PartitionedCsr`] whose adjacency segments mirror the shard topology.
+//! Admission ([`EngineConfig::max_queue`]) and panic isolation are
+//! per-shard: a poisoned shard fails only its own batches while the other
+//! shards keep serving. Results are bit-identical across shard counts —
+//! see the [`crate::sharded`] module docs for the determinism argument and
+//! DESIGN.md § Sharding for the protocol.
+//!
 //! # Failure model
 //!
 //! Every submitted query terminates with exactly one `Ok` or typed
@@ -59,21 +73,23 @@
 //! ```
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use pbfs_graph::{CsrGraph, VertexId};
+use pbfs_bitset::SUMMARY_CHUNK;
+use pbfs_graph::{CsrGraph, PartitionedCsr, VertexId};
 use pbfs_sched::WorkerPool;
 use pbfs_telemetry::{
-    BoundedHistogram, Counter, EventKind, Gauge, Histogram, CLIENT_LANE, ENGINE_LANE,
+    engine_lane, BoundedHistogram, Counter, EventKind, Gauge, Histogram, CLIENT_LANE,
 };
 
 use crate::adapt::WidthTuner;
 use crate::mspbfs::MsPbfs;
 use crate::options::BfsOptions;
+use crate::sharded::ShardedMsBfs;
 use crate::smspbfs::SmsPbfsBit;
 use crate::stats::TraversalStats;
 use crate::visitor::{DistanceVisitor, MsDistanceVisitor};
@@ -143,11 +159,52 @@ fn engine_metrics() -> &'static EngineMetrics {
     })
 }
 
+/// Per-shard engine counters, labeled `shard="N"` in the registry. The
+/// shard-0 family exists for every engine (sharded or not), so scrapes can
+/// rely on it unconditionally.
+struct ShardMetrics {
+    queries: Arc<Counter>,
+    batches: Arc<Counter>,
+    failed: Arc<Counter>,
+}
+
+fn shard_metrics(shard: usize) -> ShardMetrics {
+    let r = pbfs_telemetry::registry();
+    let labels = format!("shard=\"{shard}\"");
+    ShardMetrics {
+        queries: r.counter_with(
+            "pbfs_engine_shard_queries_total",
+            &labels,
+            "Queries answered, by engine shard",
+        ),
+        batches: r.counter_with(
+            "pbfs_engine_shard_batches_total",
+            &labels,
+            "Batches flushed, by engine shard",
+        ),
+        failed: r.counter_with(
+            "pbfs_engine_shard_failed_total",
+            &labels,
+            "Queries failed by a batch panic or abandoned drain, by engine shard",
+        ),
+    }
+}
+
 /// Configuration of a [`QueryEngine`].
 #[derive(Clone, Copy, Debug)]
 pub struct EngineConfig {
-    /// Workers in the shared BFS pool.
+    /// Workers in the shared BFS pool. Under sharding
+    /// ([`Self::shards`] > 1) this total is dealt over the shards in the
+    /// contiguous blocks of [`pbfs_sched::Topology`], each shard's
+    /// dispatcher owning its block as a private pool (clamped to ≥ 1
+    /// worker per shard).
     pub workers: usize,
+    /// Engine shards (simulated sockets). 1 — the default — is the classic
+    /// single-dispatcher engine. Above 1, submissions scatter round-robin
+    /// over per-shard dispatcher + queue + pool stacks and batches run the
+    /// scatter/gather kernel over a [`PartitionedCsr`]; see the
+    /// [module docs](self#sharding).
+    pub shards: usize,
     /// Upper bound on the coalesced batch width; clamped to the largest
     /// supported width (512) and rounded up to a supported one.
     pub max_batch: usize,
@@ -189,6 +246,7 @@ impl Default for EngineConfig {
     fn default() -> Self {
         Self {
             workers: 2,
+            shards: 1,
             max_batch: *BATCH_WIDTHS.last().unwrap(),
             max_latency: Duration::from_millis(2),
             max_queue: 8192,
@@ -205,6 +263,12 @@ impl EngineConfig {
     /// Returns a copy with the given worker count.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Returns a copy with the given shard count (clamped to ≥ 1).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
         self
     }
 
@@ -540,16 +604,40 @@ impl StatsAccum {
     }
 }
 
-/// State shared between the submission front-end and the dispatcher.
+/// State shared between the submission front-end and the dispatchers.
 struct Shared {
     graph: Arc<CsrGraph>,
+    /// The partitioned adjacency mirror, built once when `shards > 1`; the
+    /// sharded scatter/gather kernel traverses this instead of `graph`.
+    part: Option<Arc<PartitionedCsr>>,
     config: EngineConfig,
+    /// One queue + dispatcher signaling stack per shard.
+    shards: Vec<ShardQueue>,
+    /// Round-robin scatter cursor for submissions.
+    next_shard: AtomicUsize,
+    stats: Mutex<StatsAccum>,
+}
+
+/// The per-shard admission queue and its signaling.
+struct ShardQueue {
     queue: Mutex<Queue>,
-    /// Signals the dispatcher: work arrived or shutdown began.
+    /// Signals this shard's dispatcher: work arrived or shutdown began.
     queue_cv: Condvar,
     /// Signals blocked submitters: queue room appeared or shutdown began.
     space_cv: Condvar,
-    stats: Mutex<StatsAccum>,
+    /// `shard="N"`-labeled registry counters.
+    metrics: ShardMetrics,
+}
+
+impl ShardQueue {
+    fn new(shard: usize) -> Self {
+        Self {
+            queue: Mutex::new(Queue::default()),
+            queue_cv: Condvar::new(),
+            space_cv: Condvar::new(),
+            metrics: shard_metrics(shard),
+        }
+    }
 }
 
 #[derive(Default)]
@@ -564,35 +652,53 @@ struct Queue {
 /// Online batched BFS query engine. See the [module docs](self).
 pub struct QueryEngine {
     shared: Arc<Shared>,
-    dispatcher: Option<JoinHandle<()>>,
+    dispatchers: Vec<JoinHandle<()>>,
 }
 
 impl QueryEngine {
-    /// Spawns the dispatcher and worker pool for `graph`.
+    /// Spawns one dispatcher (and its worker pool) per configured shard.
     pub fn new(graph: Arc<CsrGraph>, config: EngineConfig) -> Self {
         // Adapt counter families exist (at 0) from engine construction, so
         // a metrics scrape never races their first increment.
         let _ = crate::adapt::metrics();
         // Scrapes of this process are attributable to the dataset served.
         pbfs_telemetry::set_graph_info(graph.num_vertices() as u64, graph.num_edges() as u64);
+        // Clamped to the partition layer's 255-node ceiling (node ids are
+        // u8) so a huge `shards` value degrades instead of panicking.
+        let nshards = config.shards.clamp(1, 255);
+        // The partitioned mirror exists only under sharding; the classic
+        // single-shard engine keeps traversing the plain CSR byte-for-byte
+        // as before. Workers and split size are clamped exactly as the
+        // kernels clamp them, so the partition's task ownership matches
+        // the pools that scan it.
+        let part = (nshards > 1 && graph.num_vertices() > 0).then(|| {
+            Arc::new(PartitionedCsr::partition(
+                &graph,
+                nshards,
+                config.workers.max(1),
+                pbfs_sched::aligned_split(config.bfs.split_size.max(1), SUMMARY_CHUNK),
+            ))
+        });
         let shared = Arc::new(Shared {
             graph,
+            part,
             config,
-            queue: Mutex::new(Queue::default()),
-            queue_cv: Condvar::new(),
-            space_cv: Condvar::new(),
+            shards: (0..nshards).map(ShardQueue::new).collect(),
+            next_shard: AtomicUsize::new(0),
             stats: Mutex::new(StatsAccum::default()),
         });
-        let dispatcher = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("pbfs-dispatcher".into())
-                .spawn(move || dispatcher_loop(&shared))
-                .expect("spawn dispatcher")
-        };
+        let dispatchers = (0..nshards)
+            .map(|shard| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pbfs-dispatcher-{shard}"))
+                    .spawn(move || dispatcher_loop(&shared, shard))
+                    .expect("spawn dispatcher")
+            })
+            .collect();
         Self {
             shared,
-            dispatcher: Some(dispatcher),
+            dispatchers,
         }
     }
 
@@ -642,8 +748,13 @@ impl QueryEngine {
         let max_queue = self.shared.config.max_queue;
         let room_deadline = wait_for_room.map(|d| Instant::now() + d);
         let (tx, rx) = mpsc::channel();
+        // Scatter: round-robin over the shard queues. Admission is
+        // per-shard — each shard's queue is bounded by `max_queue` on its
+        // own, so one wedged shard cannot starve admissions to the others.
+        let sq = &self.shared.shards
+            [self.shared.next_shard.fetch_add(1, Ordering::Relaxed) % self.shared.shards.len()];
         let submitted = {
-            let mut q = lock(&self.shared.queue);
+            let mut q = lock(&sq.queue);
             loop {
                 // Decided under the queue lock: a submission either beats
                 // shutdown (and will be drained) or sees it here.
@@ -661,8 +772,7 @@ impl QueryEngine {
                     lock(&self.shared.stats).rejected += 1;
                     return Err(EngineError::Overloaded { max_queue });
                 };
-                let (guard, _timeout) = self
-                    .shared
+                let (guard, _timeout) = sq
                     .space_cv
                     .wait_timeout(q, wait)
                     .unwrap_or_else(PoisonError::into_inner);
@@ -675,12 +785,14 @@ impl QueryEngine {
                 submitted: now,
                 tx,
             });
-            // Gauge written under the lock, so it can never report a stale
-            // larger value after the dispatcher drains.
-            m.queue_depth.set(q.items.len() as i64);
+            // Gauge moved by deltas under this shard's lock: with one queue
+            // per shard there is no single length to `set`, but every
+            // push/drain adjusts while holding its own lock, so the global
+            // depth is always the sum of consistent per-shard snapshots.
+            m.queue_depth.add(1);
             now
         };
-        self.shared.queue_cv.notify_all();
+        sq.queue_cv.notify_all();
         lock(&self.shared.stats)
             .first_submit
             .get_or_insert(submitted);
@@ -696,23 +808,25 @@ impl QueryEngine {
         lock(&self.shared.stats).snapshot()
     }
 
-    /// Initiates shutdown from any thread: stops admissions (decided under
-    /// the queue lock, so a racing [`Self::submit`] gets a clean
-    /// [`EngineError::ShutDown`]) and starts the dispatcher's drain,
-    /// without joining it. [`Self::shutdown`] or drop completes the join.
+    /// Initiates shutdown from any thread: stops admissions on every shard
+    /// (decided under each queue lock, so a racing [`Self::submit`] gets a
+    /// clean [`EngineError::ShutDown`]) and starts the dispatchers' drains,
+    /// without joining them. [`Self::shutdown`] or drop completes the join.
     pub fn begin_shutdown(&self) {
-        lock(&self.shared.queue).shutting_down = true;
-        self.shared.queue_cv.notify_all();
-        self.shared.space_cv.notify_all();
+        for sq in &self.shared.shards {
+            lock(&sq.queue).shutting_down = true;
+            sq.queue_cv.notify_all();
+            sq.space_cv.notify_all();
+        }
     }
 
     /// Stops accepting queries, drains everything pending (bounded by
-    /// [`EngineConfig::drain_timeout`]), and joins the dispatcher. Called
+    /// [`EngineConfig::drain_timeout`]), and joins every dispatcher. Called
     /// automatically on drop. Queries abandoned by an expired drain
     /// deadline fail with [`EngineError::ShutDown`]; none hang.
     pub fn shutdown(&mut self) {
         self.begin_shutdown();
-        if let Some(handle) = self.dispatcher.take() {
+        for handle in self.dispatchers.drain(..) {
             let _ = handle.join();
         }
     }
@@ -754,9 +868,9 @@ fn width_for(depth: usize, cap: usize) -> usize {
     cap
 }
 
-/// Fails every queued query older than `timeout` with
-/// [`EngineError::Expired`]. Called with the queue lock held.
-fn expire_stale(q: &mut Queue, timeout: Duration, shared: &Shared) {
+/// Fails every query queued on one shard older than `timeout` with
+/// [`EngineError::Expired`]. Called with that shard's queue lock held.
+fn expire_stale(q: &mut Queue, timeout: Duration, shared: &Shared, sq: &ShardQueue) {
     let now = Instant::now();
     let mut expired = 0u64;
     q.items.retain(|p| {
@@ -773,15 +887,15 @@ fn expire_stale(q: &mut Queue, timeout: Duration, shared: &Shared) {
         let m = engine_metrics();
         m.expired.add(expired);
         m.in_flight.sub(expired as i64);
-        m.queue_depth.set(q.items.len() as i64);
+        m.queue_depth.sub(expired as i64);
         lock(&shared.stats).expired += expired;
-        shared.space_cv.notify_all();
+        sq.space_cv.notify_all();
     }
 }
 
-/// Fails everything still queued with `err`. Called with the queue lock
-/// held, on the shutdown-drain-deadline path.
-fn fail_remaining(q: &mut Queue, shared: &Shared, err: &EngineError) {
+/// Fails everything still queued on one shard with `err`. Called with that
+/// shard's queue lock held, on the shutdown-drain-deadline path.
+fn fail_remaining(q: &mut Queue, shared: &Shared, sq: &ShardQueue, err: &EngineError) {
     let abandoned = q.items.len() as u64;
     if abandoned == 0 {
         return;
@@ -792,9 +906,10 @@ fn fail_remaining(q: &mut Queue, shared: &Shared, err: &EngineError) {
     let m = engine_metrics();
     m.failed.add(abandoned);
     m.in_flight.sub(abandoned as i64);
-    m.queue_depth.set(0);
+    m.queue_depth.sub(abandoned as i64);
+    sq.metrics.failed.add(abandoned);
     lock(&shared.stats).failed += abandoned;
-    shared.space_cv.notify_all();
+    sq.space_cv.notify_all();
 }
 
 /// Best-effort extraction of a panic message from a `catch_unwind` payload.
@@ -808,21 +923,34 @@ fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-fn dispatcher_loop(shared: &Shared) {
+fn dispatcher_loop(shared: &Shared, shard: usize) {
     let config = &shared.config;
-    let mut pool = WorkerPool::new(config.workers.max(1));
+    let sq = &shared.shards[shard];
+    // Engine-lane spans for this shard land on its own trace lane, so a
+    // Chrome trace shows the per-shard batch lifecycles side by side.
+    let lane = engine_lane(shard);
+    // The pool is built on the dispatcher thread itself (first-touch
+    // placement) and owns this shard's block of the worker deal; with one
+    // shard this is exactly the classic `WorkerPool::new(workers)`.
+    let mut pool = WorkerPool::for_shard(shared.shards.len(), config.workers.max(1), shard);
     let config_cap = config.width_cap();
     // Effective width cap: starts at the configured cap and is lowered by
     // the tuner when observed ns/query says a wide batch is hurting.
     let mut cap = config_cap;
     let mut tuner = WidthTuner::new();
     let n = shared.graph.num_vertices();
-    // Algorithm states are graph-sized and reused across batches.
+    // Algorithm states are graph-sized and reused across batches. The
+    // plain-CSR states serve the single-shard engine; the scatter/gather
+    // states serve the sharded one. Only one family is ever populated.
     let mut sms: Option<SmsPbfsBit> = None;
     let mut ms1: Option<MsPbfs<1>> = None;
     let mut ms2: Option<MsPbfs<2>> = None;
     let mut ms4: Option<MsPbfs<4>> = None;
     let mut ms8: Option<MsPbfs<8>> = None;
+    let mut sh1: Option<ShardedMsBfs<1>> = None;
+    let mut sh2: Option<ShardedMsBfs<2>> = None;
+    let mut sh4: Option<ShardedMsBfs<4>> = None;
+    let mut sh8: Option<ShardedMsBfs<8>> = None;
     // Fixed when shutdown is first observed with a drain bound configured.
     let mut drain_deadline: Option<Instant> = None;
 
@@ -838,18 +966,18 @@ fn dispatcher_loop(shared: &Shared) {
         // admitted queries stranded.
         let collected =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> Option<Vec<Pending>> {
-                let mut q = lock(&shared.queue);
+                let mut q = lock(&sq.queue);
                 loop {
                     if let Some(timeout) = config.query_timeout {
                         crate::fail_point!("core.engine.expire");
-                        expire_stale(&mut q, timeout, shared);
+                        expire_stale(&mut q, timeout, shared, sq);
                     }
                     if q.shutting_down {
                         if let Some(bound) = config.drain_timeout {
                             let deadline =
                                 *drain_deadline.get_or_insert_with(|| Instant::now() + bound);
                             if Instant::now() >= deadline {
-                                fail_remaining(&mut q, shared, &EngineError::ShutDown);
+                                fail_remaining(&mut q, shared, sq, &EngineError::ShutDown);
                             }
                         }
                         if q.items.is_empty() {
@@ -859,10 +987,7 @@ fn dispatcher_loop(shared: &Shared) {
                         break; // drain mode: flush immediately, no coalescing
                     }
                     if q.items.is_empty() {
-                        q = shared
-                            .queue_cv
-                            .wait(q)
-                            .unwrap_or_else(PoisonError::into_inner);
+                        q = sq.queue_cv.wait(q).unwrap_or_else(PoisonError::into_inner);
                         continue;
                     }
                     if q.items.len() >= cap {
@@ -882,7 +1007,7 @@ fn dispatcher_loop(shared: &Shared) {
                     if now >= wake_at {
                         continue; // a query just expired; re-check from the top
                     }
-                    let (guard, _timeout) = shared
+                    let (guard, _timeout) = sq
                         .queue_cv
                         .wait_timeout(q, wake_at - now)
                         .unwrap_or_else(PoisonError::into_inner);
@@ -894,8 +1019,8 @@ fn dispatcher_loop(shared: &Shared) {
                 let width = width_for(q.items.len().min(cap), cap);
                 let take = q.items.len().min(width.max(1));
                 let batch: Vec<Pending> = q.items.drain(..take).collect();
-                engine_metrics().queue_depth.set(q.items.len() as i64);
-                shared.space_cv.notify_all();
+                engine_metrics().queue_depth.sub(take as i64);
+                sq.space_cv.notify_all();
                 Some(batch)
             }));
         let batch: Vec<Pending> = match collected {
@@ -936,7 +1061,7 @@ fn dispatcher_loop(shared: &Shared) {
             );
         }
         rec.span_at_ctx(
-            ENGINE_LANE,
+            lane,
             EventKind::BatchCoalesce,
             batch[0].submitted,
             drained.saturating_duration_since(batch[0].submitted),
@@ -947,8 +1072,10 @@ fn dispatcher_loop(shared: &Shared) {
         let opts = config.bfs.with_query_set(qset);
         // Panic isolation: a panic anywhere in the traversal or a user
         // visitor (surfaced by the pool from any worker) fails only this
-        // batch. Pool poisoning and partially-updated algorithm state are
-        // repaired before the next batch.
+        // batch — and under sharding only this shard's batch: the other
+        // shards' dispatchers, pools and states are untouched. Pool
+        // poisoning and partially-updated algorithm state are repaired
+        // before the next batch.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             // Inside the batch catch_unwind: an injected panic fails this
             // batch with `BatchFailed`, exercising the repair path.
@@ -956,7 +1083,18 @@ fn dispatcher_loop(shared: &Shared) {
             if let Some(hook) = config.fault_hook {
                 hook(&pool, &sources);
             }
-            if width == 1 {
+            if let Some(part) = shared.part.as_deref() {
+                // Sharded engine: every width — including the singleton —
+                // runs the scatter/gather kernel over the partitioned CSR,
+                // so results are bit-identical across shard counts by one
+                // determinism argument (see `crate::sharded`).
+                match width {
+                    1 | 64 => run_sharded(&mut sh1, shared, part, &pool, &sources, &opts),
+                    128 => run_sharded(&mut sh2, shared, part, &pool, &sources, &opts),
+                    256 => run_sharded(&mut sh4, shared, part, &pool, &sources, &opts),
+                    _ => run_sharded(&mut sh8, shared, part, &pool, &sources, &opts),
+                }
+            } else if width == 1 {
                 let bfs = sms.get_or_insert_with(|| SmsPbfsBit::new(n));
                 let visitor = DistanceVisitor::new(n);
                 let stats = bfs.run(&shared.graph, &pool, sources[0], &opts, &visitor);
@@ -981,6 +1119,10 @@ fn dispatcher_loop(shared: &Shared) {
                 ms2 = None;
                 ms4 = None;
                 ms8 = None;
+                sh1 = None;
+                sh2 = None;
+                sh4 = None;
+                sh8 = None;
                 // `recover` hosts the `sched.pool.respawn` failpoint: a
                 // panic there must not kill the dispatcher — the respawn
                 // sweep simply runs again before the next batch.
@@ -988,8 +1130,9 @@ fn dispatcher_loop(shared: &Shared) {
                 let m = engine_metrics();
                 m.failed.add(batch.len() as u64);
                 m.in_flight.sub(batch.len() as i64);
+                sq.metrics.failed.add(batch.len() as u64);
                 rec.mark_ctx(
-                    ENGINE_LANE,
+                    lane,
                     EventKind::BatchFailed,
                     width as u64,
                     batch.len() as u64,
@@ -1010,7 +1153,7 @@ fn dispatcher_loop(shared: &Shared) {
 
         let done = Instant::now();
         rec.span_at_ctx(
-            ENGINE_LANE,
+            lane,
             EventKind::BatchFlush,
             drained,
             done.saturating_duration_since(drained),
@@ -1023,6 +1166,8 @@ fn dispatcher_loop(shared: &Shared) {
         m.queries.add(batch.len() as u64);
         m.batch_width.observe(width as u64);
         m.in_flight.sub(batch.len() as i64);
+        sq.metrics.batches.inc();
+        sq.metrics.queries.add(batch.len() as u64);
         {
             let mut acc = lock(&shared.stats);
             acc.batches += 1;
@@ -1066,7 +1211,7 @@ fn dispatcher_loop(shared: &Shared) {
             let _ = p.tx.send(Ok(distances));
         }
         rec.mark_ctx(
-            ENGINE_LANE,
+            lane,
             EventKind::BatchComplete,
             width as u64,
             batch_len as u64,
@@ -1087,6 +1232,27 @@ fn run_ms<const W: usize>(
     let bfs = state.get_or_insert_with(|| MsPbfs::new(n));
     let visitor: MsDistanceVisitor<W> = MsDistanceVisitor::new(n, sources.len());
     let stats = bfs.run(&shared.graph, pool, sources, opts, &visitor);
+    let results = (0..sources.len())
+        .map(|i| visitor.distances_of(i))
+        .collect();
+    (stats, results)
+}
+
+/// Runs one batch through the scatter/gather kernel at compile-time width
+/// `W`, reusing `state`. The sharded engine's counterpart of [`run_ms`];
+/// also serves singleton flushes (`W = 1`, one source).
+fn run_sharded<const W: usize>(
+    state: &mut Option<ShardedMsBfs<W>>,
+    shared: &Shared,
+    part: &PartitionedCsr,
+    pool: &WorkerPool,
+    sources: &[VertexId],
+    opts: &BfsOptions,
+) -> (TraversalStats, Vec<Vec<u32>>) {
+    let n = shared.graph.num_vertices();
+    let bfs = state.get_or_insert_with(|| ShardedMsBfs::new(n, part.num_nodes()));
+    let visitor: MsDistanceVisitor<W> = MsDistanceVisitor::new(n, sources.len());
+    let stats = bfs.run(part, pool, sources, opts, &visitor);
     let results = (0..sources.len())
         .map(|i| visitor.distances_of(i))
         .collect();
@@ -1242,6 +1408,119 @@ mod tests {
         let s = e.stats();
         assert_eq!(s.queries, 900);
         assert!(s.batches >= 900 / 64, "backlog split into batches: {s:?}");
+    }
+
+    fn shard_counter(name: &str, shard: usize) -> u64 {
+        let labels = format!("shard=\"{shard}\"");
+        match pbfs_telemetry::registry()
+            .snapshot()
+            .find(name, &labels)
+            .map(|s| s.value.clone())
+        {
+            Some(pbfs_telemetry::SampleValue::Counter(v)) => v,
+            _ => 0,
+        }
+    }
+
+    #[test]
+    fn shards_config_clamps_to_at_least_one() {
+        assert_eq!(EngineConfig::default().shards, 1);
+        assert_eq!(EngineConfig::default().with_shards(0).shards, 1);
+        assert_eq!(EngineConfig::default().with_shards(4).shards, 4);
+    }
+
+    #[test]
+    fn sharded_singleton_flush_matches_oracle() {
+        let g = gen::Kronecker::graph500(7).seed(9).generate();
+        let oracle = crate::textbook::bfs(&g, 3).distances;
+        let cfg = EngineConfig::default().with_workers(2).with_shards(2);
+        let e = QueryEngine::from_graph(g, cfg);
+        assert_eq!(e.submit(3).unwrap().wait().unwrap(), oracle);
+    }
+
+    #[test]
+    fn sharded_engine_answers_every_query_exactly() {
+        // Enough queries that both shards flush real multi-source batches;
+        // every result must equal the textbook oracle for its source.
+        let g = gen::uniform(400, 1600, 7);
+        let n = g.num_vertices() as u32;
+        let cfg = EngineConfig::default()
+            .with_workers(2)
+            .with_shards(3)
+            .with_max_batch(64)
+            .with_max_latency(Duration::from_micros(200));
+        let mut e = QueryEngine::from_graph(g, cfg);
+        let q0 = shard_counter("pbfs_engine_shard_queries_total", 0);
+        let q1 = shard_counter("pbfs_engine_shard_queries_total", 1);
+        let q2 = shard_counter("pbfs_engine_shard_queries_total", 2);
+        let handles: Vec<QueryHandle> = (0..120).map(|i| e.submit(i % n).unwrap()).collect();
+        let mut oracle: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+        for h in handles {
+            let src = h.source();
+            let want = oracle
+                .entry(src)
+                .or_insert_with(|| crate::textbook::bfs(e.graph(), src).distances);
+            assert_eq!(&h.wait().unwrap(), want, "source {src}");
+        }
+        e.shutdown();
+        assert_eq!(e.stats().queries, 120);
+        // Round-robin scatter attributed 40 queries to each shard's
+        // labeled counter family.
+        assert_eq!(shard_counter("pbfs_engine_shard_queries_total", 0) - q0, 40);
+        assert_eq!(shard_counter("pbfs_engine_shard_queries_total", 1) - q1, 40);
+        assert_eq!(shard_counter("pbfs_engine_shard_queries_total", 2) - q2, 40);
+    }
+
+    fn poison_source_zero(_pool: &WorkerPool, sources: &[VertexId]) {
+        if sources.contains(&0) {
+            panic!("injected: poisoned shard");
+        }
+    }
+
+    #[test]
+    fn poisoned_shard_fails_only_its_own_batches() {
+        // Source 0 is submitted only at even submission indices, which
+        // round-robin lands on shard 0; the hook poisons every batch
+        // containing it. Shard 0's queries must all fail with BatchFailed
+        // while shard 1 keeps answering correctly — and only shard 0's
+        // failure counter moves.
+        let g = gen::uniform(300, 1200, 11);
+        let cfg = EngineConfig::default()
+            .with_workers(2)
+            .with_shards(2)
+            .with_max_latency(Duration::from_micros(200))
+            .with_fault_hook(poison_source_zero);
+        let f0 = shard_counter("pbfs_engine_shard_failed_total", 0);
+        let f1 = shard_counter("pbfs_engine_shard_failed_total", 1);
+        let mut e = QueryEngine::from_graph(g, cfg);
+        let mut poisoned = Vec::new();
+        let mut healthy = Vec::new();
+        for i in 0..40u32 {
+            if i % 2 == 0 {
+                poisoned.push(e.submit(0).unwrap());
+            } else {
+                healthy.push(e.submit(1 + i / 2).unwrap());
+            }
+        }
+        for h in poisoned {
+            match h.wait() {
+                Err(EngineError::BatchFailed { reason }) => {
+                    assert!(reason.contains("poisoned shard"), "reason: {reason}")
+                }
+                other => panic!("poisoned shard must fail its batch, got {other:?}"),
+            }
+        }
+        for h in healthy {
+            let src = h.source();
+            let want = crate::textbook::bfs(e.graph(), src).distances;
+            assert_eq!(h.wait().unwrap(), want, "healthy shard, source {src}");
+        }
+        e.shutdown();
+        assert_eq!(shard_counter("pbfs_engine_shard_failed_total", 0) - f0, 20);
+        assert_eq!(shard_counter("pbfs_engine_shard_failed_total", 1) - f1, 0);
+        let s = e.stats();
+        assert_eq!(s.failed, 20);
+        assert!(s.batch_failures >= 1);
     }
 
     #[test]

@@ -13,7 +13,8 @@
 //! | [`mspbfs`] | **MS-PBFS** — parallel multi-source BFS | §3.1 |
 //! | [`smspbfs`] | **SMS-PBFS** — parallel single-source BFS (bit & byte) | §3.2 |
 //! | [`batch`] | multi-batch drivers (per-core instances, one-per-socket) | §5.3 |
-//! | [`engine`] | online batched query engine (request coalescing) | — |
+//! | [`sharded`] | scatter/gather MS-BFS over the partitioned CSR | §4.4 |
+//! | [`engine`] | online batched query engine (request coalescing, sharding) | — |
 //! | [`analytics`] | closeness centrality, neighborhood function, reachability, connected components | §1 |
 //! | [`centrality`] | Brandes betweenness, harmonic centrality | §1 |
 //! | [`memory`] | BFS-state memory accounting (Figure 3) | §2.3 |
@@ -69,6 +70,7 @@ pub(crate) mod obs;
 pub mod options;
 pub mod policy;
 pub mod profile;
+pub mod sharded;
 pub mod smspbfs;
 pub mod stats;
 pub mod textbook;
@@ -87,6 +89,7 @@ pub mod prelude {
     pub use crate::mspbfs::MsPbfs;
     pub use crate::options::{AtomicKind, BfsOptions, DEFAULT_PREFETCH_DISTANCE};
     pub use crate::policy::{Direction, DirectionPolicy, FrontierMode};
+    pub use crate::sharded::ShardedMsBfs;
     pub use crate::smspbfs::{SmsPbfsBit, SmsPbfsByte};
     pub use crate::stats::{IterationStats, TraversalStats};
     pub use crate::visitor::{

@@ -69,6 +69,11 @@ impl<const W: usize> MsBfs<W> {
         assert!(!sources.is_empty(), "need at least one source");
         assert!(sources.len() <= W * 64, "batch exceeds bitset width");
         let start = std::time::Instant::now();
+        // Engine-driven runs carry a query-set id; emitting the Iteration
+        // spans with it keeps this baseline's traces causally linked to
+        // the batch lifecycle, exactly like the parallel kernels.
+        let qset = opts.query_set;
+        let rec = pbfs_telemetry::recorder();
 
         self.seen.fill(Bits::EMPTY);
         self.frontier.fill(Bits::EMPTY);
@@ -200,10 +205,20 @@ impl<const W: usize> MsBfs<W> {
             frontier_vertices = new_fv;
             frontier_degree = new_fd;
             stats.total_discovered += discovered_bits;
+            let iter_wall = iter_start.elapsed();
+            rec.span_at_ctx(
+                0,
+                pbfs_telemetry::EventKind::Iteration,
+                iter_start,
+                iter_wall,
+                depth as u64,
+                discovered_bits,
+                qset,
+            );
             stats.iterations.push(IterationStats {
                 iteration: depth,
                 direction,
-                wall_ns: iter_start.elapsed().as_nanos() as u64,
+                wall_ns: iter_wall.as_nanos() as u64,
                 expand_ns: 0,
                 settle_ns: 0,
                 frontier_vertices,

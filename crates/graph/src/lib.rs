@@ -43,6 +43,7 @@ pub mod transform;
 pub use csr::{BuildOptions, CsrGraph};
 pub use io::{GraphIoError, GraphMeta};
 pub use labeling::Permutation;
+pub use partitioned::{PartitionError, PartitionedCsr};
 pub use stats::{ChunkDegreeStats, ComponentInfo, GraphStats};
 
 /// Vertex identifier. 32 bits suffice for every graph in the evaluation and

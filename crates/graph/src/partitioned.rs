@@ -10,6 +10,44 @@
 
 use crate::{CsrGraph, VertexId};
 
+/// Why a partitioning request was rejected.
+///
+/// [`PartitionedCsr::partition`] divides by `split_size` and `workers`, so
+/// a zero in either (e.g. from untrusted CLI or config input) would panic
+/// deep inside the constructor; [`PartitionedCsr::try_partition`] surfaces
+/// these as values instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartitionError {
+    /// `nodes == 0`: there is no segment to place adjacency data in.
+    ZeroNodes,
+    /// `workers == 0`: the round-robin task deal is undefined.
+    ZeroWorkers,
+    /// `split_size == 0`: task ranges would be empty and the
+    /// vertex→task mapping divides by zero.
+    ZeroSplitSize,
+    /// `nodes > 255`: per-vertex node ids are stored as `u8`.
+    TooManyNodes {
+        /// The requested node count.
+        nodes: usize,
+    },
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ZeroNodes => write!(f, "partition requires at least one NUMA node"),
+            Self::ZeroWorkers => write!(f, "partition requires at least one worker"),
+            Self::ZeroSplitSize => write!(f, "partition requires a nonzero task split size"),
+            Self::TooManyNodes { nodes } => write!(
+                f,
+                "partition supports at most 255 NUMA nodes (node ids are u8), got {nodes}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
 /// A CSR graph whose adjacency data is split into one allocation per NUMA
 /// node, at task-range granularity.
 ///
@@ -41,10 +79,36 @@ impl PartitionedCsr {
     ///
     /// # Panics
     /// Panics if `nodes`, `workers` or `split_size` is zero, or if
-    /// `nodes > 255`.
+    /// `nodes > 255`. Use [`Self::try_partition`] when the parameters come
+    /// from untrusted input.
     pub fn partition(g: &CsrGraph, nodes: usize, workers: usize, split_size: usize) -> Self {
-        assert!(nodes > 0 && workers > 0 && split_size > 0);
-        assert!(nodes <= 255, "node ids are stored as u8");
+        match Self::try_partition(g, nodes, workers, split_size) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`Self::partition`]: validates the layout
+    /// parameters and returns a typed [`PartitionError`] instead of
+    /// panicking on degenerate input.
+    pub fn try_partition(
+        g: &CsrGraph,
+        nodes: usize,
+        workers: usize,
+        split_size: usize,
+    ) -> Result<Self, PartitionError> {
+        if nodes == 0 {
+            return Err(PartitionError::ZeroNodes);
+        }
+        if workers == 0 {
+            return Err(PartitionError::ZeroWorkers);
+        }
+        if split_size == 0 {
+            return Err(PartitionError::ZeroSplitSize);
+        }
+        if nodes > 255 {
+            return Err(PartitionError::TooManyNodes { nodes });
+        }
         let n = g.num_vertices();
 
         // Same block assignment as Topology::new: first `rem` nodes host
@@ -80,14 +144,14 @@ impl PartitionedCsr {
             segments[node].extend_from_slice(g.neighbors(v as VertexId));
         }
 
-        Self {
+        Ok(Self {
             offsets: g.offsets().to_vec().into_boxed_slice(),
             local_start: local_start.into_boxed_slice(),
             node_of_vertex: node_of_vertex.into_boxed_slice(),
             segments: segments.into_iter().map(Vec::into_boxed_slice).collect(),
             split_size,
             workers,
-        }
+        })
     }
 
     /// Number of vertices.
@@ -238,5 +302,48 @@ mod tests {
         let p = PartitionedCsr::partition(&g, 2, 2, 8);
         assert_eq!(p.num_vertices(), 0);
         assert_eq!(p.num_edges(), 0);
+    }
+
+    #[test]
+    fn try_partition_rejects_degenerate_layouts() {
+        let g = gen::path(8);
+        assert_eq!(
+            PartitionedCsr::try_partition(&g, 0, 2, 8).err(),
+            Some(PartitionError::ZeroNodes)
+        );
+        assert_eq!(
+            PartitionedCsr::try_partition(&g, 2, 0, 8).err(),
+            Some(PartitionError::ZeroWorkers)
+        );
+        assert_eq!(
+            PartitionedCsr::try_partition(&g, 2, 2, 0).err(),
+            Some(PartitionError::ZeroSplitSize)
+        );
+        assert_eq!(
+            PartitionedCsr::try_partition(&g, 256, 256, 8).err(),
+            Some(PartitionError::TooManyNodes { nodes: 256 })
+        );
+        // Boundary cases that must keep working.
+        assert!(PartitionedCsr::try_partition(&g, 1, 1, 1).is_ok());
+        assert!(PartitionedCsr::try_partition(&g, 255, 255, 1).is_ok());
+        // More nodes than workers leaves trailing nodes empty but is valid,
+        // mirroring Topology::new.
+        let p = PartitionedCsr::try_partition(&g, 4, 2, 2).unwrap();
+        assert_eq!(p.num_nodes(), 4);
+    }
+
+    #[test]
+    fn partition_errors_display_and_propagate() {
+        let msg = PartitionError::TooManyNodes { nodes: 300 }.to_string();
+        assert!(msg.contains("255") && msg.contains("300"), "{msg}");
+        let e: Box<dyn std::error::Error> = Box::new(PartitionError::ZeroSplitSize);
+        assert!(e.to_string().contains("split size"));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero task split size")]
+    fn partition_panic_message_is_the_typed_error() {
+        let g = gen::path(4);
+        let _ = PartitionedCsr::partition(&g, 1, 1, 0);
     }
 }

@@ -89,6 +89,24 @@ impl WorkerPool {
         Self::with_topology(Topology::single(num_workers))
     }
 
+    /// Creates the pool serving one shard of a sharded engine: `workers`
+    /// total workers are dealt over `shards` simulated sockets by the block
+    /// rule of [`Topology::new`], and this pool gets `shard`'s share
+    /// (clamped to ≥ 1 so every shard can make progress even when there are
+    /// more shards than workers).
+    ///
+    /// Each shard's dispatcher thread should call this itself so the pool's
+    /// worker threads — and the BFS state they first-touch — belong to that
+    /// shard, mirroring the per-socket placement of Section 4.4.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0` or `shard >= shards`.
+    pub fn for_shard(shards: usize, workers: usize, shard: usize) -> Self {
+        let topo = Topology::new(shards, workers.max(1));
+        assert!(shard < shards, "shard {shard} out of range for {shards}");
+        Self::new(topo.workers_on(shard).len().max(1))
+    }
+
     /// Creates a pool whose workers follow `topology`.
     pub fn with_topology(topology: Topology) -> Self {
         let num_workers = topology.num_workers();
@@ -492,6 +510,25 @@ fn worker_loop(shared: &Shared, worker_id: WorkerId, start_epoch: u64) {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn for_shard_deals_workers_by_topology_blocks() {
+        // 4 workers over 2 shards: 2 + 2.
+        assert_eq!(WorkerPool::for_shard(2, 4, 0).num_workers(), 2);
+        assert_eq!(WorkerPool::for_shard(2, 4, 1).num_workers(), 2);
+        // 5 over 2: the first shard hosts the remainder.
+        assert_eq!(WorkerPool::for_shard(2, 5, 0).num_workers(), 3);
+        assert_eq!(WorkerPool::for_shard(2, 5, 1).num_workers(), 2);
+        // More shards than workers: empty shares clamp to one worker so the
+        // shard still makes progress.
+        assert_eq!(WorkerPool::for_shard(4, 2, 3).num_workers(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn for_shard_rejects_out_of_range_shard() {
+        let _ = WorkerPool::for_shard(2, 4, 2);
+    }
 
     #[test]
     fn run_invokes_every_worker_once() {

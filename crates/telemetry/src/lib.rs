@@ -51,8 +51,8 @@ pub use metrics::{
 };
 pub use profile::{PhaseRow, TraversalProfile};
 pub use trace::{
-    EventKind, LaneDump, TraceDump, TraceEvent, TraceRecorder, CLIENT_LANE, DEFAULT_RING_CAPACITY,
-    ENGINE_LANE, LANES,
+    engine_lane, EventKind, LaneDump, TraceDump, TraceEvent, TraceRecorder, CLIENT_LANE,
+    DEFAULT_RING_CAPACITY, ENGINE_LANE, FIRST_SHARD_LANE, LANES,
 };
 
 use std::sync::OnceLock;

@@ -31,6 +31,28 @@ pub const ENGINE_LANE: usize = LANES - 1;
 /// Lane used by client threads submitting queries (submit marks).
 pub const CLIENT_LANE: usize = LANES - 2;
 
+/// Lowest lane reserved for the dispatchers of engine shards ≥ 1 (shard 0
+/// keeps [`ENGINE_LANE`]). Shards `1..=13` map downward from
+/// `CLIENT_LANE - 1`; higher shard ids wrap within the reserved band.
+/// Worker lanes below this bound are unaffected — the repo never runs
+/// pools wide enough to reach lane 48.
+pub const FIRST_SHARD_LANE: usize = LANES - 16;
+
+/// Timeline lane of the engine dispatcher serving `shard`.
+///
+/// Shard 0 is the classic single-dispatcher lane ([`ENGINE_LANE`]), so
+/// unsharded traces are byte-identical to before sharding existed; every
+/// further shard gets its own lane in the reserved band just below the
+/// client lane.
+pub fn engine_lane(shard: usize) -> usize {
+    if shard == 0 {
+        ENGINE_LANE
+    } else {
+        let band = CLIENT_LANE - FIRST_SHARD_LANE; // lanes 48..=61
+        CLIENT_LANE - 1 - ((shard - 1) % band)
+    }
+}
+
 /// Default ring capacity per lane.
 pub const DEFAULT_RING_CAPACITY: usize = 16 * 1024;
 
@@ -426,6 +448,9 @@ impl TraceDump {
         match lane {
             ENGINE_LANE => "engine".to_string(),
             CLIENT_LANE => "clients".to_string(),
+            l if (FIRST_SHARD_LANE..CLIENT_LANE).contains(&l) => {
+                format!("engine-shard-{}", CLIENT_LANE - l)
+            }
             w => format!("worker-{w}"),
         }
     }
@@ -519,5 +544,22 @@ mod tests {
         assert_eq!(TraceDump::lane_name(0), "worker-0");
         assert_eq!(TraceDump::lane_name(ENGINE_LANE), "engine");
         assert_eq!(TraceDump::lane_name(CLIENT_LANE), "clients");
+        assert_eq!(TraceDump::lane_name(CLIENT_LANE - 1), "engine-shard-1");
+        assert_eq!(TraceDump::lane_name(FIRST_SHARD_LANE), "engine-shard-14");
+    }
+
+    #[test]
+    fn shard_lanes_are_distinct_and_reserved() {
+        assert_eq!(engine_lane(0), ENGINE_LANE);
+        assert_eq!(engine_lane(1), CLIENT_LANE - 1);
+        assert_eq!(engine_lane(2), CLIENT_LANE - 2);
+        // Distinct per shard up to the reserved band, never colliding with
+        // the client or the shard-0 engine lane.
+        let lanes: std::collections::HashSet<usize> = (0..14).map(engine_lane).collect();
+        assert_eq!(lanes.len(), 14);
+        for s in 1..64 {
+            let l = engine_lane(s);
+            assert!((FIRST_SHARD_LANE..CLIENT_LANE).contains(&l), "shard {s}");
+        }
     }
 }

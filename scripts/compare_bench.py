@@ -30,6 +30,7 @@ measured run-to-run noise floor (see .github/workflows/ci.yml).
 Usage:
     compare_bench.py BASELINE.json CURRENT.json [--check]
                      [--threshold PCT] [--normalize]
+    compare_bench.py --self-test
 """
 
 import argparse
@@ -43,15 +44,43 @@ def key(row):
     return (row["graph"], row["algo"], row["width"], row["mode"])
 
 
+def metric(row, field, path):
+    """A row's timing metric, validated.
+
+    The normalized comparison divides by these values, so a missing,
+    non-numeric, zero or negative metric would crash mid-table with a
+    bare ZeroDivisionError/KeyError. Exit with a message naming the
+    offending row instead.
+    """
+    v = row.get(field)
+    if isinstance(v, bool) or not isinstance(v, (int, float)) \
+            or math.isnan(v) or v <= 0:
+        sys.exit(f"error: {path}: row {row.get('graph')}/{row.get('algo')}"
+                 f"/w{row.get('width')}/{row.get('mode')}: {field} is {v!r}; "
+                 "need a positive number (truncated or corrupt bench run?)")
+    return float(v)
+
+
 def load(path):
     try:
         with open(path) as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         sys.exit(f"error: cannot read {path}: {e}")
+    validate(doc, path)
+    return doc
+
+
+def validate(doc, path):
     if doc.get("bench") != "kernels" or "kernels" not in doc:
         sys.exit(f"error: {path} is not a kernels bench document")
-    return doc
+    if not doc["kernels"]:
+        sys.exit(f"error: {path} has no kernel rows (empty bench run?)")
+    # Validate every metric up front: a corrupt row should be a named
+    # error before any table output, not a traceback halfway through.
+    for r in doc["kernels"]:
+        for field in ("median_ns_per_edge", "min_ns_per_edge"):
+            metric(r, field, path)
 
 
 def configs_match(a, b):
@@ -67,26 +96,13 @@ def geomean(values):
     return math.exp(sum(math.log(v) for v in vals) / len(vals))
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("baseline", help="committed baseline BENCH_*.json")
-    ap.add_argument("current", help="freshly produced kernels bench JSON")
-    ap.add_argument("--check", action="store_true",
-                    help="exit 1 on any regression beyond the threshold")
-    ap.add_argument("--threshold", type=float, default=10.0,
-                    help="regression tolerance in percent (default 10)")
-    ap.add_argument("--normalize", action="store_true",
-                    help="normalize by each run's geomean ns/edge even when "
-                         "configs match (cancels machine-speed drift)")
-    args = ap.parse_args()
-
-    base = load(args.baseline)
-    cur = load(args.current)
+def compare_runs(base, cur, args, base_name="baseline", cur_name="current"):
+    """Prints the delta table; returns the list of regression strings."""
     base_rows = {key(r): r for r in base["kernels"]}
     cur_rows = {key(r): r for r in cur["kernels"]}
 
     normalize = args.normalize or not configs_match(base, cur)
-    print(f"comparing {args.current} against {args.baseline}")
+    print(f"comparing {cur_name} against {base_name}")
     if normalize:
         base_med = geomean(r["median_ns_per_edge"] for r in base["kernels"])
         cur_med = geomean(r["median_ns_per_edge"] for r in cur["kernels"])
@@ -122,10 +138,12 @@ def main():
             regressions.append(f"{graph}/{algo}/w{width}/{mode}: "
                                "missing from current run")
             continue
-        d_med = ((c["median_ns_per_edge"] / cur_med)
-                 / (b["median_ns_per_edge"] / base_med) - 1.0) * 100.0
-        d_min = ((c["min_ns_per_edge"] / cur_min)
-                 / (b["min_ns_per_edge"] / base_min) - 1.0) * 100.0
+        d_med = ((metric(c, "median_ns_per_edge", cur_name) / cur_med)
+                 / (metric(b, "median_ns_per_edge", base_name) / base_med)
+                 - 1.0) * 100.0
+        d_min = ((metric(c, "min_ns_per_edge", cur_name) / cur_min)
+                 / (metric(b, "min_ns_per_edge", base_name) / base_min)
+                 - 1.0) * 100.0
         # Joint rule: a real regression moves the whole distribution.
         joint = min(d_med, d_min)
         if joint > args.threshold:
@@ -162,9 +180,112 @@ def main():
     print()
     print(f"{len(base_rows)} baseline kernels, {len(regressions)} "
           f"regression(s), {improvements} improvement(s), {len(new)} new")
+    for r in regressions:
+        print(f"  regression: {r}")
+    return regressions
+
+
+def make_doc(medians, factor=1.0, config=None):
+    """Synthetic kernels document for the self-test. ``medians`` maps a
+    row key tuple to its median ns/edge; min is 90% of median; ``factor``
+    scales everything (simulated machine-speed drift)."""
+    return {
+        "bench": "kernels",
+        "config": config or {"scale": 8, "workers": 2, "trials": 3},
+        "kernels": [
+            {"graph": g, "algo": a, "width": w, "mode": m,
+             "median_ns_per_edge": v * factor,
+             "min_ns_per_edge": v * factor * 0.9}
+            for (g, a, w, m), v in medians.items()
+        ],
+        "atomics": [],
+    }
+
+
+def expect_exit(fn, needle):
+    """Runs ``fn``, asserting it exits cleanly with ``needle`` in the
+    message — never a bare ZeroDivisionError/KeyError traceback."""
+    try:
+        fn()
+    except SystemExit as e:
+        msg = str(e.code)
+        assert needle in msg, f"exit message {msg!r} lacks {needle!r}"
+        return
+    raise AssertionError(f"expected a clean exit mentioning {needle!r}")
+
+
+def self_test():
+    """Exercises the comparison and its guard rails on synthetic docs."""
+    args = argparse.Namespace(threshold=10.0, normalize=False, check=False)
+    rows = {("kron", "ms", 64, "flat"): 2.0, ("kron", "sms", 1, "flat"): 4.0}
+
+    # Identical runs: clean table, no regressions.
+    assert compare_runs(make_doc(rows), make_doc(rows), args) == []
+
+    # A genuine regression (median and min both move) is flagged.
+    slow = dict(rows)
+    slow[("kron", "ms", 64, "flat")] = 3.0
+    bad = compare_runs(make_doc(rows), make_doc(slow), args)
+    assert len(bad) == 1 and "kron/ms/w64/flat" in bad[0], bad
+
+    # Uniform 2x machine drift under --normalize: no false regression.
+    norm = argparse.Namespace(threshold=10.0, normalize=True, check=False)
+    assert compare_runs(make_doc(rows), make_doc(rows, factor=2.0),
+                        norm) == []
+
+    # A zero baseline median must exit with a named row, not divide by
+    # zero mid-table.
+    zeroed = make_doc(rows)
+    zeroed["kernels"][0]["median_ns_per_edge"] = 0.0
+    expect_exit(lambda: validate(zeroed, "zeroed.json"), "median_ns_per_edge")
+    expect_exit(
+        lambda: compare_runs(zeroed, make_doc(rows), norm,
+                             base_name="zeroed.json"),
+        "median_ns_per_edge")
+
+    # A missing min metric is a named error, not a KeyError.
+    missing = make_doc(rows)
+    del missing["kernels"][1]["min_ns_per_edge"]
+    expect_exit(lambda: validate(missing, "missing.json"), "min_ns_per_edge")
+
+    # An empty document is rejected up front.
+    expect_exit(lambda: validate({"bench": "kernels", "kernels": []},
+                                 "empty.json"), "no kernel rows")
+    expect_exit(lambda: validate({"bench": "other"}, "other.json"),
+                "not a kernels bench document")
+
+    print("self-test ok: 7 scenarios passed")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", nargs="?",
+                    help="committed baseline BENCH_*.json")
+    ap.add_argument("current", nargs="?",
+                    help="freshly produced kernels bench JSON")
+    ap.add_argument("--check", action="store_true",
+                    help="exit 1 on any regression beyond the threshold")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="regression tolerance in percent (default 10)")
+    ap.add_argument("--normalize", action="store_true",
+                    help="normalize by each run's geomean ns/edge even when "
+                         "configs match (cancels machine-speed drift)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the built-in scenario checks and exit")
+    args = ap.parse_args()
+
+    if args.self_test:
+        self_test()
+        return
+    if not args.baseline or not args.current:
+        ap.error("baseline and current are required (or pass --self-test)")
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    regressions = compare_runs(base, cur, args,
+                               base_name=args.baseline,
+                               cur_name=args.current)
     if regressions:
-        for r in regressions:
-            print(f"  regression: {r}")
         if args.check:
             sys.exit(1)
     elif args.check:

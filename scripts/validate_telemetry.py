@@ -12,7 +12,9 @@ metadata ("M") records covering the span kinds the tracer is expected to
 emit during a query replay.  ``prometheus`` checks text exposition
 format 0.0.4: HELP/TYPE headers, sample lines that match their family,
 histogram bucket/sum/count shape, and the metric families every layer
-registers.  ``--require-nonzero`` (repeatable) additionally demands that
+registers — including the per-shard engine counters
+(``pbfs_engine_shard_*_total``), whose every sample must carry a
+``shard="..."`` label.  ``--require-nonzero`` (repeatable) additionally demands that
 at least one sample of the named family has a value > 0 — used by the
 fault-injection smoke to prove rejections actually happened.
 ``--failpoints`` declares that the export came from a build with live
@@ -61,6 +63,17 @@ REQUIRED_PROM_FAMILIES = [
     "pbfs_build_info",
     "pbfs_graph_vertices",
     "pbfs_graph_edges",
+]
+
+# Per-shard engine counters. Shard 0's family is registered by every
+# engine (unsharded engines are one-shard engines), so these are always
+# required, and every sample must carry its shard label — an unlabeled
+# sample would silently aggregate the shards a scrape is supposed to
+# tell apart.
+SHARD_PROM_FAMILIES = [
+    "pbfs_engine_shard_queries_total",
+    "pbfs_engine_shard_batches_total",
+    "pbfs_engine_shard_failed_total",
 ]
 
 # Additionally required when the export came from a failpoints build
@@ -183,6 +196,14 @@ def validate_prometheus(path, require_nonzero=(), failpoints=False):
     for family in REQUIRED_PROM_FAMILIES:
         if family not in types:
             fail(f"required family {family!r} absent")
+    for family in SHARD_PROM_FAMILIES:
+        if family not in types:
+            fail(f"required family {family!r} absent")
+        if types[family] != "counter":
+            fail(f"{family!r} must be a counter, is {types[family]!r}")
+        for labels, _ in samples[family]:
+            if 'shard="' not in labels:
+                fail(f"{family!r} sample without a shard label: {labels!r}")
     if failpoints:
         for family in FAILPOINT_PROM_FAMILIES:
             if family not in types:

@@ -49,6 +49,7 @@ fn chaos_soak_holds_engine_invariants_across_25_schedules() {
             scale: 7,
             queries: 32,
             workers: 3,
+            shards: 1,
             schedule_timeout: Duration::from_secs(30),
         })
     });
@@ -68,6 +69,34 @@ fn chaos_soak_holds_engine_invariants_across_25_schedules() {
     );
 }
 
+/// The soak invariants hold with the engine sharded across two simulated
+/// sockets too: faults (including the `core.sharded.phase` site, which
+/// only sharded schedules reach) stay contained to the shard they hit,
+/// and every Ok answer remains oracle-exact.
+#[test]
+fn chaos_soak_holds_invariants_with_two_shards() {
+    let _g = guard();
+    let report = with_watchdog(Duration::from_secs(180), || {
+        chaos::run(&ChaosConfig {
+            schedules: 8,
+            seed: 43,
+            scale: 7,
+            queries: 24,
+            workers: 2,
+            shards: 2,
+            schedule_timeout: Duration::from_secs(30),
+        })
+    });
+    assert!(
+        report.passed(),
+        "sharded chaos violations:\n{}",
+        report.violations().join("\n")
+    );
+    assert_eq!(report.outcomes.len(), 8);
+    assert!(report.triggered_total > 0);
+    assert!(report.ok_total() > 0);
+}
+
 /// The same master seed arms the same sites with the same specs in every
 /// schedule — a failing soak can be replayed exactly.
 #[test]
@@ -79,6 +108,7 @@ fn chaos_schedules_are_deterministic_per_seed() {
         scale: 6,
         queries: 8,
         workers: 2,
+        shards: 1,
         schedule_timeout: Duration::from_secs(30),
     };
     let a = with_watchdog(Duration::from_secs(120), move || chaos::run(&cfg));

@@ -191,6 +191,57 @@ fn concurrent_replay_trace_is_causally_linked() {
     );
 }
 
+/// The legacy sequential baselines (MS-BFS and the Beamer variants) must
+/// carry `BfsOptions::query_set` into their Iteration trace spans like
+/// every other kernel — previously the option was silently dropped and
+/// their traces could not be causally linked to a batch.
+#[test]
+fn legacy_kernels_propagate_query_set_to_iteration_spans() {
+    use pbfs::core::beamer::{DirectionOptBfs, QueueKind};
+    use pbfs::core::msbfs::MsBfs;
+    use pbfs::core::prelude::*;
+
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let g = pbfs::graph::gen::uniform(200, 800, 5);
+    let rec = telemetry::recorder();
+    rec.drain();
+    rec.set_enabled(true);
+
+    let mut ms: MsBfs<1> = MsBfs::new(g.num_vertices());
+    let v: MsDistanceVisitor<1> = MsDistanceVisitor::new(g.num_vertices(), 2);
+    ms.run(&g, &[0, 1], &BfsOptions::default().with_query_set(4242), &v);
+
+    let beamer = DirectionOptBfs::new(QueueKind::Sparse);
+    let (dist, stats) = beamer.run_with_opts(
+        &g,
+        0,
+        &BfsOptions::default().with_query_set(4343),
+        &NoopVisitor,
+    );
+    assert_eq!(dist, pbfs::core::textbook::distances(&g, 0));
+    assert!(stats.num_iterations() > 0);
+
+    rec.set_enabled(false);
+    let dump = rec.drain();
+    let chrome = telemetry::export::chrome_trace(&dump);
+    let parsed = pbfs_json::parse(&chrome.to_string_pretty()).unwrap();
+    let iter_qsets: std::collections::HashSet<u64> = parsed["traceEvents"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter(|e| e["name"].as_str() == Some("iteration"))
+        .filter_map(|e| e["args"]["qset"].as_u64())
+        .collect();
+    assert!(
+        iter_qsets.contains(&4242),
+        "MsBfs dropped its query-set id: {iter_qsets:?}"
+    );
+    assert!(
+        iter_qsets.contains(&4343),
+        "DirectionOptBfs dropped its query-set id: {iter_qsets:?}"
+    );
+}
+
 /// The adaptive controller is a pure function of its sample stream: the
 /// same stream replayed through a fresh controller yields the identical
 /// decision log, and that log matches this golden trace exactly. A policy
