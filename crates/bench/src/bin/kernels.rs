@@ -15,6 +15,9 @@
 //!   --trials N     timed repetitions per config (default 5)
 //!   --out FILE     JSON output path             (default BENCH_4.json)
 //!   --decisions-out FILE  write the adaptive controller's decision log
+//!   --simd LEVEL   pin the bitset-kernel dispatch level
+//!                  (auto|scalar|sse2|avx2|avx512; default auto — the
+//!                  strongest the CPU supports, clamped if unavailable)
 //! ```
 
 use std::process::ExitCode;
@@ -27,7 +30,7 @@ use pbfs_bench::kernels::{
 fn usage() -> ExitCode {
     eprintln!(
         "usage: kernels [--quick] [--check] [--scale N] [--workers N] [--seed N] \
-         [--trials N] [--out FILE] [--decisions-out FILE]"
+         [--trials N] [--out FILE] [--decisions-out FILE] [--simd LEVEL]"
     );
     ExitCode::FAILURE
 }
@@ -74,6 +77,28 @@ fn main() -> ExitCode {
                 Some(v) => decisions_out = Some(v),
                 None => return usage(),
             },
+            "--simd" => match take("--simd") {
+                Some(v) if v == "auto" => {
+                    pbfs_bitset::simd::set_level(None);
+                }
+                Some(v) => match pbfs_bitset::SimdLevel::parse(&v) {
+                    Some(wanted) => {
+                        let effective = pbfs_bitset::simd::set_level(Some(wanted));
+                        if effective != wanted {
+                            eprintln!(
+                                "warning: --simd {} not supported by this CPU; clamped to {}",
+                                wanted.name(),
+                                effective.name()
+                            );
+                        }
+                    }
+                    None => {
+                        eprintln!("invalid value for --simd: {v}");
+                        return usage();
+                    }
+                },
+                None => return usage(),
+            },
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -113,14 +138,17 @@ fn main() -> ExitCode {
     }
 
     if check {
-        match check_summary_regression(&kernels) {
+        // The gates judge only the native-level rows; the scalar-forced
+        // comparison axis is informational.
+        let native = pbfs_bitset::simd::current().name();
+        match check_summary_regression(&kernels, native) {
             Ok(msg) => println!("check ok: {msg}"),
             Err(msg) => {
                 eprintln!("check FAILED: {msg}");
                 return ExitCode::FAILURE;
             }
         }
-        match check_auto_regression(&kernels) {
+        match check_auto_regression(&kernels, native) {
             Ok(msg) => println!("check ok: {msg}"),
             Err(msg) => {
                 eprintln!("check FAILED: {msg}");

@@ -82,6 +82,9 @@ pub struct KernelRow {
     pub width: usize,
     /// Frontier mode (`Flat`, `Summary` or `Auto`).
     pub mode: String,
+    /// Bitset-kernel dispatch level the row ran at (`scalar`, `sse2`,
+    /// `avx2` or `avx512`).
+    pub simd: String,
     /// Median wall nanoseconds per directed edge over the trials.
     pub median_ns_per_edge: f64,
     /// Minimum wall nanoseconds per directed edge over the trials.
@@ -128,18 +131,46 @@ fn minimum(samples: &[f64]) -> f64 {
     samples.iter().copied().fold(f64::INFINITY, f64::min)
 }
 
+/// Median/min ns-per-edge and skip ratio of one timed series.
+struct Timing {
+    median: f64,
+    min: f64,
+    skip: f64,
+}
+
+impl Timing {
+    fn from_samples(samples: &mut [f64], skip: f64) -> Self {
+        Self {
+            median: median(samples),
+            min: minimum(samples),
+            skip,
+        }
+    }
+}
+
 /// Times MS-PBFS at width `64 * W` in the given mode.
+///
+/// With `scalar_compare`, every trial is immediately followed by the same
+/// traversal forced to the scalar kernels, and the second return value
+/// carries that series' [`Timing`]. Interleaving trial-by-trial — instead
+/// of running a scalar sweep after the whole matrix — means both series
+/// see the same machine state (frequency, co-tenants, cache), so their
+/// delta measures the kernels, not clock drift between bench phases.
 fn bench_ms<const W: usize>(
     g: &CsrGraph,
     pool: &WorkerPool,
     sources: &[u32],
     opts: &BfsOptions,
     trials: usize,
-) -> (f64, f64, f64, Vec<AdaptDecision>) {
+    scalar_compare: bool,
+) -> (Timing, Vec<AdaptDecision>, Option<Timing>) {
     let edges = g.num_directed_edges().max(1) as f64;
+    let native = pbfs_bitset::simd::current();
     let mut bfs: MsPbfs<W> = MsPbfs::new(g.num_vertices());
     let mut samples = Vec::with_capacity(trials);
+    let mut scalar_samples = Vec::with_capacity(trials);
     let mut skip = 0.0;
+    let mut scalar_skip = 0.0;
     let mut decisions = Vec::new();
     for _ in 0..trials {
         let t0 = Instant::now();
@@ -147,8 +178,18 @@ fn bench_ms<const W: usize>(
         samples.push(t0.elapsed().as_nanos() as f64 / edges);
         skip = stats.summary_skip_ratio();
         decisions = stats.adapt_decisions;
+        if scalar_compare {
+            pbfs_bitset::simd::set_level(Some(pbfs_bitset::SimdLevel::Scalar));
+            let t0 = Instant::now();
+            let stats = bfs.run(g, pool, sources, opts, &NoopMsVisitor);
+            scalar_samples.push(t0.elapsed().as_nanos() as f64 / edges);
+            scalar_skip = stats.summary_skip_ratio();
+            pbfs_bitset::simd::set_level(Some(native));
+        }
     }
-    (median(&mut samples), minimum(&samples), skip, decisions)
+    let main = Timing::from_samples(&mut samples, skip);
+    let scalar = scalar_compare.then(|| Timing::from_samples(&mut scalar_samples, scalar_skip));
+    (main, decisions, scalar)
 }
 
 /// Times one SMS-PBFS representation in the given mode.
@@ -218,6 +259,15 @@ pub struct KernelOutput {
 }
 
 /// Runs every kernel configuration and returns rows + decision log.
+///
+/// The full matrix runs at the session's effective SIMD dispatch level
+/// (every row carries its name). When that level is above scalar, each
+/// Summary-mode MS-PBFS trial is immediately followed by a scalar-forced
+/// trial of the same configuration (see [`bench_ms`]), producing a paired
+/// `simd: "scalar"` row per (graph, width) — the wide-bitset rows are
+/// where the vector kernels matter, and trial-level interleaving keeps
+/// the comparison immune to machine drift across the run. The dispatch
+/// level is restored after each forced trial.
 pub fn run_kernels(cfg: &KernelConfig) -> KernelOutput {
     let dense = gen::Kronecker::graph500(cfg.scale)
         .seed(cfg.seed)
@@ -225,6 +275,7 @@ pub fn run_kernels(cfg: &KernelConfig) -> KernelOutput {
     let sparse_n = 4usize << cfg.scale;
     let sparse = gen::uniform_connected(sparse_n, sparse_n, cfg.seed + 1);
     let pool = WorkerPool::new(cfg.workers);
+    let native = pbfs_bitset::simd::current();
     let mut rows = Vec::new();
     let mut all_decisions = Vec::new();
 
@@ -235,13 +286,15 @@ pub fn run_kernels(cfg: &KernelConfig) -> KernelOutput {
             FrontierMode::Auto,
         ] {
             let opts = opts_for(mode);
+            let scalar_compare =
+                mode == FrontierMode::Summary && native != pbfs_bitset::SimdLevel::Scalar;
             for width in WIDTHS {
                 let sources = pick_sources(g, width, cfg.seed + width as u64);
-                let (med, min, skip, decisions) = match width {
-                    64 => bench_ms::<1>(g, &pool, &sources, &opts, cfg.trials),
-                    128 => bench_ms::<2>(g, &pool, &sources, &opts, cfg.trials),
-                    256 => bench_ms::<4>(g, &pool, &sources, &opts, cfg.trials),
-                    512 => bench_ms::<8>(g, &pool, &sources, &opts, cfg.trials),
+                let (timing, decisions, scalar) = match width {
+                    64 => bench_ms::<1>(g, &pool, &sources, &opts, cfg.trials, scalar_compare),
+                    128 => bench_ms::<2>(g, &pool, &sources, &opts, cfg.trials, scalar_compare),
+                    256 => bench_ms::<4>(g, &pool, &sources, &opts, cfg.trials, scalar_compare),
+                    512 => bench_ms::<8>(g, &pool, &sources, &opts, cfg.trials, scalar_compare),
                     other => unreachable!("unsupported width {other}"),
                 };
                 all_decisions.extend(decision_rows(gname, "ms-pbfs", width, &decisions));
@@ -250,11 +303,25 @@ pub fn run_kernels(cfg: &KernelConfig) -> KernelOutput {
                     algo: "ms-pbfs".to_string(),
                     width,
                     mode: format!("{mode:?}"),
-                    median_ns_per_edge: med,
-                    min_ns_per_edge: min,
-                    skip_ratio: skip,
+                    simd: native.name().to_string(),
+                    median_ns_per_edge: timing.median,
+                    min_ns_per_edge: timing.min,
+                    skip_ratio: timing.skip,
                     trials: cfg.trials,
                 });
+                if let Some(s) = scalar {
+                    rows.push(KernelRow {
+                        graph: gname.to_string(),
+                        algo: "ms-pbfs".to_string(),
+                        width,
+                        mode: format!("{mode:?}"),
+                        simd: "scalar".to_string(),
+                        median_ns_per_edge: s.median,
+                        min_ns_per_edge: s.min,
+                        skip_ratio: s.skip,
+                        trials: cfg.trials,
+                    });
+                }
             }
             let source = pick_sources(g, 1, cfg.seed)[0];
             for (algo, byte_repr) in [("sms-bit", false), ("sms-byte", true)] {
@@ -266,6 +333,7 @@ pub fn run_kernels(cfg: &KernelConfig) -> KernelOutput {
                     algo: algo.to_string(),
                     width: 1,
                     mode: format!("{mode:?}"),
+                    simd: native.name().to_string(),
                     median_ns_per_edge: med,
                     min_ns_per_edge: min,
                     skip_ratio: skip,
@@ -274,6 +342,7 @@ pub fn run_kernels(cfg: &KernelConfig) -> KernelOutput {
             }
         }
     }
+
     KernelOutput {
         rows,
         decisions: all_decisions,
@@ -327,11 +396,15 @@ pub fn run_atomics(cfg: &KernelConfig) -> Vec<AtomicRow> {
 /// The CI regression gate: on the dense graph, the summed MS-PBFS medians
 /// under `Summary` must not exceed the `Flat` sum by more than 10 %.
 /// Aggregating over the four widths keeps the gate robust against
-/// single-width timer noise on shared runners.
-pub fn check_summary_regression(rows: &[KernelRow]) -> Result<String, String> {
+/// single-width timer noise on shared runners. Only rows from the `native`
+/// dispatch level participate — the scalar-forced comparison axis must not
+/// leak into the Flat-vs-Summary ratio.
+pub fn check_summary_regression(rows: &[KernelRow], native: &str) -> Result<String, String> {
     let sum = |mode: &str| -> f64 {
         rows.iter()
-            .filter(|r| r.graph == "kron-dense" && r.algo == "ms-pbfs" && r.mode == mode)
+            .filter(|r| {
+                r.graph == "kron-dense" && r.algo == "ms-pbfs" && r.mode == mode && r.simd == native
+            })
             .map(|r| r.median_ns_per_edge)
             .sum()
     };
@@ -355,12 +428,12 @@ pub fn check_summary_regression(rows: &[KernelRow]) -> Result<String, String> {
 /// (`min(Flat, Summary)` for each algo × width) by more than 10 %.
 /// Aggregating over all configurations of a graph keeps the gate robust
 /// against single-configuration timer noise on shared runners.
-pub fn check_auto_regression(rows: &[KernelRow]) -> Result<String, String> {
+pub fn check_auto_regression(rows: &[KernelRow], native: &str) -> Result<String, String> {
     let mut msgs = Vec::new();
     for graph in ["kron-dense", "uniform-sparse"] {
         let mut keys: Vec<(&str, usize)> = rows
             .iter()
-            .filter(|r| r.graph == graph)
+            .filter(|r| r.graph == graph && r.simd == native)
             .map(|r| (r.algo.as_str(), r.width))
             .collect();
         keys.sort_unstable();
@@ -370,7 +443,11 @@ pub fn check_auto_regression(rows: &[KernelRow]) -> Result<String, String> {
             let med = |mode: &str| {
                 rows.iter()
                     .find(|r| {
-                        r.graph == graph && r.algo == algo && r.width == width && r.mode == mode
+                        r.graph == graph
+                            && r.algo == algo
+                            && r.width == width
+                            && r.mode == mode
+                            && r.simd == native
                     })
                     .map(|r| r.median_ns_per_edge)
             };
@@ -423,6 +500,7 @@ pub fn kernels_report(cfg: &KernelConfig, rows: &[KernelRow]) -> Report {
                 r.algo.clone(),
                 r.width.to_string(),
                 r.mode.clone(),
+                r.simd.clone(),
                 format!("{:.2}", r.median_ns_per_edge),
                 format!("{:.2}", r.min_ns_per_edge),
                 format!("{:.3}", r.skip_ratio),
@@ -440,6 +518,7 @@ pub fn kernels_report(cfg: &KernelConfig, rows: &[KernelRow]) -> Report {
             "algo",
             "width",
             "mode",
+            "simd",
             "med ns/edge",
             "min ns/edge",
             "skip",
@@ -477,6 +556,7 @@ pub fn bench4_json(
             "workers": cfg.workers,
             "seed": cfg.seed,
             "trials": cfg.trials,
+            "simd": pbfs_bitset::simd::current().name(),
         },
         "kernels": kernels,
         "atomics": atomics,
@@ -488,6 +568,7 @@ pbfs_json::to_json_struct!(KernelRow {
     algo,
     width,
     mode,
+    simd,
     median_ns_per_edge,
     min_ns_per_edge,
     skip_ratio,

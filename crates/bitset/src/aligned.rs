@@ -1,0 +1,135 @@
+//! Cache-line-aligned zeroed heap buffers for the dense state types.
+//!
+//! A `Box<[AtomicU64]>` built from a `Vec` only guarantees the element
+//! alignment (8 bytes), so a `Bits<8>` entry can straddle two cache lines
+//! and a vector kernel over the words can never assume split-free loads.
+//! [`CacheAligned`] allocates through [`std::alloc::Layout`] with a fixed
+//! 64-byte alignment instead: every `Bits<W>` entry (W ≤ 8) then lives in
+//! one cache line and the span kernels in [`crate::simd`] stream over the
+//! buffer without line-crossing accesses. Alignment is asserted in debug
+//! builds.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::marker::PhantomData;
+use std::mem;
+use std::ops::Deref;
+use std::ptr::NonNull;
+
+/// One x86 cache line in bytes — the guaranteed buffer alignment.
+pub const CACHE_LINE_BYTES: usize = 64;
+
+/// A fixed-length, zero-initialized heap buffer of `T` whose base address is
+/// 64-byte aligned.
+///
+/// The buffer derefs to `&[T]`; interior mutability (the only mutation the
+/// state types need) goes through the atomic element types themselves.
+///
+/// # Invariant
+/// Only instantiated for types whose all-zero bit pattern is a valid value
+/// (`AtomicU64`, `AtomicU8`): the constructor hands out `alloc_zeroed`
+/// memory without running any element constructor, and `Drop` frees the
+/// allocation without dropping elements (the atomics have no `Drop`).
+pub(crate) struct CacheAligned<T> {
+    ptr: NonNull<T>,
+    len: usize,
+    _own: PhantomData<T>,
+}
+
+// SAFETY: the buffer is an owned heap allocation; sharing follows the
+// element type exactly as it would for a `Box<[T]>`.
+unsafe impl<T: Send> Send for CacheAligned<T> {}
+unsafe impl<T: Sync> Sync for CacheAligned<T> {}
+
+impl<T> CacheAligned<T> {
+    /// Allocates `len` zeroed elements at 64-byte alignment.
+    pub(crate) fn zeroed(len: usize) -> Self {
+        const {
+            assert!(mem::size_of::<T>() > 0, "zero-sized elements unsupported");
+            assert!(mem::align_of::<T>() <= CACHE_LINE_BYTES);
+        }
+        if len == 0 {
+            return Self {
+                ptr: NonNull::dangling(),
+                len: 0,
+                _own: PhantomData,
+            };
+        }
+        let layout = Self::layout(len);
+        // SAFETY: `layout` has non-zero size (`len > 0`, `T` non-zero-sized).
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw.cast::<T>()) else {
+            handle_alloc_error(layout);
+        };
+        debug_assert_eq!(
+            ptr.as_ptr() as usize % CACHE_LINE_BYTES,
+            0,
+            "allocator violated the requested 64-byte alignment"
+        );
+        Self {
+            ptr,
+            len,
+            _own: PhantomData,
+        }
+    }
+
+    fn layout(len: usize) -> Layout {
+        let bytes = len
+            .checked_mul(mem::size_of::<T>())
+            .expect("buffer size overflows usize");
+        Layout::from_size_align(bytes, CACHE_LINE_BYTES).expect("buffer size overflows layout")
+    }
+}
+
+impl<T> Deref for CacheAligned<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        // SAFETY: `ptr` points at `len` initialized (zeroed, valid per the
+        // type invariant) elements owned by `self`.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl<T> Drop for CacheAligned<T> {
+    fn drop(&mut self) {
+        if self.len > 0 {
+            // SAFETY: allocated in `zeroed` with this exact layout; elements
+            // need no drop per the type invariant.
+            unsafe { dealloc(self.ptr.as_ptr().cast(), Self::layout(self.len)) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+    #[test]
+    fn zeroed_aligned_and_readable() {
+        for len in [1usize, 2, 7, 64, 1000] {
+            let buf: CacheAligned<AtomicU64> = CacheAligned::zeroed(len);
+            assert_eq!(buf.len(), len);
+            assert_eq!(buf.as_ptr() as usize % CACHE_LINE_BYTES, 0);
+            assert!(buf.iter().all(|w| w.load(Ordering::Relaxed) == 0));
+            buf[len - 1].store(7, Ordering::Relaxed);
+            assert_eq!(buf[len - 1].load(Ordering::Relaxed), 7);
+        }
+    }
+
+    #[test]
+    fn empty_buffer_is_fine() {
+        let buf: CacheAligned<AtomicU8> = CacheAligned::zeroed(0);
+        assert!(buf.is_empty());
+        assert_eq!(buf.iter().count(), 0);
+    }
+
+    #[test]
+    fn bytes_are_aligned_too() {
+        let buf: CacheAligned<AtomicU8> = CacheAligned::zeroed(3);
+        assert_eq!(buf.as_ptr() as usize % CACHE_LINE_BYTES, 0);
+        buf[2].store(9, Ordering::Relaxed);
+        assert_eq!(buf[2].load(Ordering::Relaxed), 9);
+    }
+}

@@ -151,6 +151,32 @@ impl<const W: usize> Bits<W> {
         (0..W).any(|w| self.words[w] & other.words[w] != 0)
     }
 
+    /// Fused settle — the per-vertex visit step of the paper's Listing 2:
+    /// returns `(new, merged, flags)` where `new = self & !seen` (the
+    /// traversals discovering this vertex now) and `merged = self | seen`,
+    /// computed in one pass at the current [`crate::simd`] dispatch level.
+    ///
+    /// Replaces the separate `and_not` / `!= ` / `is_empty` / `|` passes the
+    /// settle loops used to chain; hot loops that settle many vertices
+    /// should hoist [`crate::simd::current`] and call [`Self::settle_at`].
+    #[inline]
+    pub fn settle(&self, seen: &Self) -> (Self, Self, crate::simd::SettleFlags) {
+        self.settle_at(crate::simd::current(), seen)
+    }
+
+    /// [`Self::settle`] at a pre-resolved dispatch level.
+    #[inline]
+    pub fn settle_at(
+        &self,
+        level: crate::simd::SimdLevel,
+        seen: &Self,
+    ) -> (Self, Self, crate::simd::SettleFlags) {
+        let mut new = [0u64; W];
+        let mut merged = [0u64; W];
+        let flags = crate::simd::settle_at(level, &self.words, &seen.words, &mut new, &mut merged);
+        (Self { words: new }, Self { words: merged }, flags)
+    }
+
     /// Iterates over the indices of set bits in ascending order.
     #[inline]
     pub fn ones(&self) -> Ones<W> {
@@ -347,6 +373,21 @@ mod tests {
     fn ones_empty() {
         assert_eq!(B64::EMPTY.ones().count(), 0);
         assert_eq!(B64::ALL.ones().count(), 64);
+    }
+
+    #[test]
+    fn settle_matches_separate_ops() {
+        let next = B256::single(3) | B256::single(100) | B256::single(255);
+        let seen = B256::single(100) | B256::single(9);
+        let (new, merged, flags) = next.settle(&seen);
+        assert_eq!(new, next.and_not(&seen));
+        assert_eq!(merged, next | seen);
+        assert!(flags.new_any && flags.trimmed);
+        let (new2, merged2, f2) = seen.settle(&seen);
+        assert!(new2.is_empty() && !f2.new_any && f2.trimmed);
+        assert_eq!(merged2, seen);
+        let (_, _, f3) = B64::EMPTY.settle(&B64::ALL);
+        assert!(!f3.new_any && !f3.trimmed);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::aligned::CacheAligned;
 use crate::summary::{FrontierSummary, ScanStats};
 use crate::{words_for_bits, WORD_BITS};
 
@@ -110,18 +111,19 @@ impl BitVec {
 /// inactive words without loading them. Word-granular clears also clear the
 /// covered summary bits.
 pub struct AtomicBitVec {
-    words: Box<[AtomicU64]>,
+    words: CacheAligned<AtomicU64>,
     summary: FrontierSummary,
     len: usize,
 }
 
 impl AtomicBitVec {
     /// Creates a vector of `len` zero bits.
+    ///
+    /// The backing words are allocated 64-byte cache-line-aligned so bulk
+    /// word scans never issue cache-line-splitting accesses.
     pub fn new(len: usize) -> Self {
-        let mut v = Vec::with_capacity(words_for_bits(len));
-        v.resize_with(words_for_bits(len), || AtomicU64::new(0));
         Self {
-            words: v.into_boxed_slice(),
+            words: CacheAligned::zeroed(words_for_bits(len)),
             summary: FrontierSummary::new(len),
             len,
         }
@@ -310,6 +312,63 @@ impl AtomicBitVec {
     #[inline(always)]
     pub fn prefetch_entry(&self, i: usize) {
         crate::prefetch::prefetch_index(&self.words, i / WORD_BITS);
+    }
+
+    /// Fused SMS settle over `start..end`: treats `self` as the `next`
+    /// frontier and, one whole word at a time, trims the bits already set in
+    /// `seen` out of `self`, merges the remainder into `seen`, and calls
+    /// `found` for each newly-discovered index — the single-pass equivalent
+    /// of a per-bit `if seen.get(i) { self.clear(i) } else { seen.set(i) }`
+    /// loop, which re-loaded both words for every bit.
+    ///
+    /// Requires the same ownership as [`Self::set_unsync`]: no other thread
+    /// may touch the words overlapping `start..end` of either vector during
+    /// the call. All-zero `next` words are skipped with one load.
+    pub fn settle_filter(
+        &self,
+        seen: &AtomicBitVec,
+        start: usize,
+        end: usize,
+        mut found: impl FnMut(usize),
+    ) {
+        let end = end.min(self.len).min(seen.len);
+        if start >= end {
+            return;
+        }
+        let first_wi = start / WORD_BITS;
+        let last_wi = (end - 1) / WORD_BITS;
+        for wi in first_wi..=last_wi {
+            let mut mask = u64::MAX;
+            if wi == first_wi {
+                mask &= u64::MAX << (start % WORD_BITS);
+            }
+            if (wi + 1) * WORD_BITS > end {
+                mask &= (1u64 << (end - wi * WORD_BITS)) - 1;
+            }
+            let word = self.words[wi].load(Ordering::Relaxed);
+            let nx = word & mask;
+            if nx == 0 {
+                continue;
+            }
+            let sn = seen.words[wi].load(Ordering::Relaxed);
+            let new = nx & !sn;
+            if new != nx {
+                // Trim already-seen bits; bits outside the range keep.
+                self.words[wi].store((word & !mask) | new, Ordering::Relaxed);
+            }
+            if new != 0 {
+                if sn == 0 {
+                    // Empty→non-empty word transition, as in `set_unsync`.
+                    seen.summary.mark(wi * WORD_BITS);
+                }
+                seen.words[wi].store(sn | new, Ordering::Relaxed);
+                let mut b = new;
+                while b != 0 {
+                    found(wi * WORD_BITS + b.trailing_zeros() as usize);
+                    b &= b - 1;
+                }
+            }
+        }
     }
 
     /// Shared word-at-a-time scan: iterates bits of value `!invert`.
@@ -587,6 +646,51 @@ mod tests {
         v.for_each_clear(0, 70, true, |i| clear.push(i));
         assert_eq!(clear.len(), 70);
         assert_eq!(*clear.last().unwrap(), 69);
+    }
+
+    #[test]
+    fn settle_filter_matches_per_bit_reference() {
+        for (start, end) in [(0usize, 300usize), (3, 297), (64, 128), (65, 66), (10, 10)] {
+            let next = AtomicBitVec::new(300);
+            let seen = AtomicBitVec::new(300);
+            let rnext = AtomicBitVec::new(300);
+            let rseen = AtomicBitVec::new(300);
+            for i in (0..300).step_by(3) {
+                next.set(i);
+                rnext.set(i);
+            }
+            for i in (0..300).step_by(5) {
+                seen.set(i);
+                rseen.set(i);
+            }
+            let mut got = Vec::new();
+            next.settle_filter(&seen, start, end, |i| got.push(i));
+            // Per-bit reference of the same settle.
+            let mut want = Vec::new();
+            for i in start..end.min(300) {
+                if rnext.get(i) {
+                    if rseen.get(i) {
+                        rnext.clear_unsync(i);
+                    } else {
+                        rseen.set_unsync(i);
+                        want.push(i);
+                    }
+                }
+            }
+            assert_eq!(got, want, "range {start}..{end}");
+            for i in 0..300 {
+                assert_eq!(
+                    next.get(i),
+                    rnext.get(i),
+                    "next bit {i} range {start}..{end}"
+                );
+                assert_eq!(
+                    seen.get(i),
+                    rseen.get(i),
+                    "seen bit {i} range {start}..{end}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
+use crate::aligned::CacheAligned;
 use crate::summary::{FrontierSummary, ScanStats};
 
 /// A dense vector of boolean bytes supporting concurrent mutation.
@@ -16,17 +17,16 @@ use crate::summary::{FrontierSummary, ScanStats};
 /// line): setters mark it on activation, so summary-guided scans
 /// ([`Self::for_each_active_chunk`]) skip untouched cache lines entirely.
 pub struct AtomicByteVec {
-    bytes: Box<[AtomicU8]>,
+    bytes: CacheAligned<AtomicU8>,
     summary: FrontierSummary,
 }
 
 impl AtomicByteVec {
-    /// Creates a vector of `len` zero bytes.
+    /// Creates a vector of `len` zero bytes (64-byte aligned: one summary
+    /// chunk is exactly one cache line, starting on a line boundary).
     pub fn new(len: usize) -> Self {
-        let mut v = Vec::with_capacity(len);
-        v.resize_with(len, || AtomicU8::new(0));
         Self {
-            bytes: v.into_boxed_slice(),
+            bytes: CacheAligned::zeroed(len),
             summary: FrontierSummary::new(len),
         }
     }

@@ -67,6 +67,12 @@ pub fn scatter_bytes(list: &[u32], dst: &AtomicByteVec) {
 /// Collects the non-empty entries of a multi-source state array into a
 /// sorted sparse queue of `(vertex, bits)` pairs, or `None` if more than
 /// `cap` entries are active.
+///
+/// Each active chunk is scanned with one vectorized
+/// [`StateArray::nonempty_mask`] pass instead of `W` word loads per entry,
+/// so the per-entry `is_empty` test costs one bit probe. Like every
+/// conversion kernel, this must not race with writers to `src` (all call
+/// sites run between the traversal's phase barriers).
 pub fn gather_state<const W: usize>(
     src: &StateArray<W>,
     cap: usize,
@@ -74,14 +80,16 @@ pub fn gather_state<const W: usize>(
     let mut out = Vec::new();
     let mut overflow = false;
     src.for_each_active_chunk(0, src.len(), |cs, ce| {
-        for v in cs..ce {
-            let b = src.get(v);
-            if !b.is_empty() {
-                if out.len() < cap {
-                    out.push((v as u32, b));
-                } else {
-                    overflow = true;
-                }
+        // SAFETY: conversions run between phase barriers with no concurrent
+        // writers to the source array (see the doc contract above).
+        let mut mask = unsafe { src.nonempty_mask(cs, ce) };
+        while mask != 0 {
+            let v = cs + mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            if out.len() < cap {
+                out.push((v as u32, src.get(v)));
+            } else {
+                overflow = true;
             }
         }
     });

@@ -28,6 +28,10 @@
 //! * [`prefetch`] — a safe software-prefetch shim (no-op off x86-64) used
 //!   by the traversal kernels to hide the CSR offset → adjacency →
 //!   destination-state pointer-chase latency.
+//! * [`simd`] — runtime-dispatched (AVX-512 → AVX2 → SSE2 → scalar) vector
+//!   kernels for the hot bitset operations, bit-identical to the scalar
+//!   reference at every level, backed by the 64-byte cache-line-aligned
+//!   allocations of the atomic state types.
 //!
 //! All atomic accessors use `Relaxed` ordering: the BFS algorithms only ever
 //! *add* information within an iteration and separate iterations (and the
@@ -48,17 +52,21 @@ macro_rules! fail_point {
 #[cfg(not(feature = "failpoints"))]
 pub(crate) use fail_point;
 
+mod aligned;
 pub mod bits;
 pub mod bitvec;
 pub mod bytevec;
 pub mod convert;
 pub mod prefetch;
+pub mod simd;
 pub mod state;
 pub mod summary;
 
+pub use aligned::CACHE_LINE_BYTES;
 pub use bits::{Bits, B128, B256, B512, B64};
 pub use bitvec::{AtomicBitVec, BitVec};
 pub use bytevec::AtomicByteVec;
+pub use simd::{SettleFlags, SimdLevel};
 pub use state::StateArray;
 pub use summary::{FrontierSummary, ScanStats, SUMMARY_CHUNK, SUMMARY_SPAN};
 

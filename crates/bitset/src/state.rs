@@ -2,6 +2,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::aligned::CacheAligned;
 use crate::summary::{FrontierSummary, ScanStats};
 use crate::Bits;
 
@@ -21,18 +22,20 @@ use crate::Bits;
 /// assert!(next.get(3).bit(5));
 /// ```
 pub struct StateArray<const W: usize> {
-    words: Box<[AtomicU64]>,
+    words: CacheAligned<AtomicU64>,
     len: usize,
     summary: FrontierSummary,
 }
 
 impl<const W: usize> StateArray<W> {
     /// Creates an array of `len` empty bitsets.
+    ///
+    /// The backing words are allocated 64-byte cache-line-aligned, so every
+    /// `Bits<W>` entry (W ≤ 8) occupies a single cache line and the
+    /// [`crate::simd`] span kernels never issue line-splitting accesses.
     pub fn new(len: usize) -> Self {
-        let mut v = Vec::with_capacity(len * W);
-        v.resize_with(len * W, || AtomicU64::new(0));
         Self {
-            words: v.into_boxed_slice(),
+            words: CacheAligned::zeroed(len * W),
             len,
             summary: FrontierSummary::new(len),
         }
@@ -193,6 +196,97 @@ impl<const W: usize> StateArray<W> {
         self.summary.clear_entry_range(start, end);
     }
 
+    /// Clears entries `start..end` with one vectorized bulk store — the
+    /// summary-guided variant the hot kernels use after consuming a range.
+    ///
+    /// # Safety
+    /// The caller must have exclusive access to entries `start..end`: no
+    /// other thread may read or write them during the call (the kernels'
+    /// bijective range partitioning between phase barriers guarantees this).
+    pub unsafe fn clear_range_owned(&self, start: usize, end: usize) {
+        let end = end.min(self.len);
+        if start >= end {
+            return;
+        }
+        // SAFETY: exclusivity forwarded from the caller contract.
+        crate::simd::clear_span_unsync(&self.words[start * W..end * W]);
+        self.summary.clear_entry_range(start, end);
+    }
+
+    /// OR-merges entries `start..end` of `src` into the same entries of
+    /// `self` in one vectorized span pass — the sharded kernel's
+    /// gather-union primitive. Summary bits are propagated conservatively
+    /// from `src`'s summary over the range.
+    ///
+    /// # Safety
+    /// The caller must have exclusive access to entries `start..end` of
+    /// *both* arrays for the duration of the call, and the two arrays must
+    /// be distinct.
+    pub unsafe fn or_from(&self, src: &StateArray<W>, start: usize, end: usize) {
+        // SAFETY: forwarded from the caller contract.
+        self.or_from_at(crate::simd::current(), src, start, end)
+    }
+
+    /// [`Self::or_from`] at an explicit dispatch level — for hot loops that
+    /// resolve the level once per phase.
+    ///
+    /// # Safety
+    /// Same contract as [`Self::or_from`].
+    pub unsafe fn or_from_at(
+        &self,
+        level: crate::simd::SimdLevel,
+        src: &StateArray<W>,
+        start: usize,
+        end: usize,
+    ) {
+        let end = end.min(self.len).min(src.len);
+        if start >= end {
+            return;
+        }
+        // SAFETY: exclusivity and distinctness forwarded from the caller.
+        crate::simd::or_span_unsync_at(
+            level,
+            &self.words[start * W..end * W],
+            &src.words[start * W..end * W],
+        );
+        let _ = src
+            .summary
+            .for_each_active_chunk(start, end, |cs, _| self.summary.mark(cs));
+    }
+
+    /// Bitmask of non-empty entries in `start..end` (at most 64 entries):
+    /// bit `i` of the result corresponds to entry `start + i`. This is the
+    /// vectorized per-chunk activity scan of the gather kernels.
+    ///
+    /// # Safety
+    /// No other thread may *write* entries `start..end` during the call
+    /// (concurrent readers are fine): the scan reads non-atomically. The
+    /// kernels call this only on arrays that are read-only within a phase
+    /// or ranges they own outright.
+    pub unsafe fn nonempty_mask(&self, start: usize, end: usize) -> u64 {
+        // SAFETY: forwarded from the caller contract.
+        self.nonempty_mask_at(crate::simd::current(), start, end)
+    }
+
+    /// [`Self::nonempty_mask`] at an explicit dispatch level.
+    ///
+    /// # Safety
+    /// Same contract as [`Self::nonempty_mask`].
+    pub unsafe fn nonempty_mask_at(
+        &self,
+        level: crate::simd::SimdLevel,
+        start: usize,
+        end: usize,
+    ) -> u64 {
+        let end = end.min(self.len);
+        if start >= end {
+            return 0;
+        }
+        debug_assert!(end - start <= 64, "mask covers at most 64 entries");
+        // SAFETY: no concurrent writers per the caller contract.
+        crate::simd::nonempty_mask_unsync_at(level, &self.words[start * W..end * W], W)
+    }
+
     /// Number of entries whose bitset is non-empty (relaxed snapshot).
     pub fn count_nonempty(&self) -> usize {
         (0..self.len).filter(|&v| !self.get(v).is_empty()).count()
@@ -324,6 +418,61 @@ mod tests {
         for v in 0..64 {
             assert_eq!(a.get(v), B64::ALL);
         }
+    }
+
+    #[test]
+    fn or_from_and_owned_clear_match_entrywise() {
+        let a: StateArray<2> = StateArray::new(200);
+        let b: StateArray<2> = StateArray::new(200);
+        for v in (0..200).step_by(3) {
+            a.set(v, B128::single(v % 128));
+        }
+        for v in (0..200).step_by(5) {
+            b.set(v, B128::single((v + 1) % 128));
+        }
+        // SAFETY: both arrays are exclusively owned by this test.
+        unsafe { a.or_from(&b, 10, 150) };
+        for v in 0..200 {
+            let mut want = if v % 3 == 0 {
+                B128::single(v % 128)
+            } else {
+                B128::EMPTY
+            };
+            if (10..150).contains(&v) && v % 5 == 0 {
+                want |= B128::single((v + 1) % 128);
+            }
+            assert_eq!(a.get(v), want, "v={v}");
+        }
+        // Summary marks propagated: a summary-guided scan sees b's chunks.
+        let mut saw135 = false;
+        a.for_each_active_chunk(0, 200, |s, e| saw135 |= (s..e).contains(&135));
+        assert!(saw135);
+        // SAFETY: as above.
+        unsafe { a.clear_range_owned(0, 200) };
+        assert_eq!(a.count_nonempty(), 0);
+        let stats = a.for_each_active_chunk(0, 200, |_, _| panic!("all clear"));
+        assert_eq!(stats.chunks_scanned, 0);
+    }
+
+    #[test]
+    fn nonempty_mask_matches_gets() {
+        let a: StateArray<4> = StateArray::new(130);
+        a.set(64, crate::B256::single(200));
+        a.set(70, crate::B256::single(0));
+        a.set(127, crate::B256::single(63));
+        // SAFETY: exclusively owned by this test.
+        let mask = unsafe { a.nonempty_mask(64, 128) };
+        assert_eq!(mask, 1 | (1 << 6) | (1 << 63));
+        // Partial trailing range.
+        assert_eq!(unsafe { a.nonempty_mask(128, 130) }, 0);
+        a.set(129, crate::B256::single(1));
+        assert_eq!(unsafe { a.nonempty_mask(128, 130) }, 1 << 1);
+    }
+
+    #[test]
+    fn words_are_cache_line_aligned() {
+        let a: StateArray<8> = StateArray::new(33);
+        assert_eq!(a.words.as_ptr() as usize % crate::CACHE_LINE_BYTES, 0);
     }
 
     #[test]

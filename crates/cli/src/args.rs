@@ -5,6 +5,10 @@ use std::collections::HashMap;
 /// Usage text shared by `--help` and error paths.
 pub const USAGE: &str = "\
 usage:
+  every command accepts --simd auto|scalar|sse2|avx2|avx512 to pin the
+  bitset-kernel dispatch level (default auto: the strongest level the CPU
+  supports; requests beyond hardware support are clamped with a warning;
+  the PBFS_SIMD environment variable sets the same default)
   pbfs generate <kind> [--scale N | --vertices N] [--degree N] [--seed N] [--text] -o FILE
         kinds: kronecker kg0 social web collab hub uniform watts-strogatz
   pbfs stats FILE [--text]

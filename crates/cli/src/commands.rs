@@ -3,6 +3,7 @@
 use std::time::{Duration, Instant};
 
 use pbfs_bench::report::Report;
+use pbfs_bitset::SimdLevel;
 use pbfs_core::analytics::closeness_centrality;
 use pbfs_core::batch::{gteps, total_traversed_edges};
 use pbfs_core::beamer::{DirectionOptBfs, QueueKind};
@@ -24,8 +25,28 @@ use crate::args::{Args, USAGE};
 
 /// Routes `argv` to a subcommand.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    // Pin the bitset-kernel dispatch level before anything traverses:
+    // `--simd` beats the PBFS_SIMD environment default, and requests the
+    // CPU cannot honor are clamped (loudly) rather than crashing.
+    let effective = match args.get("simd") {
+        Some(spec) => {
+            let wanted = SimdLevel::parse(spec)
+                .ok_or_else(|| format!("invalid value for --simd: {spec}"))?;
+            let effective = pbfs_bitset::simd::set_level(Some(wanted));
+            if effective != wanted {
+                eprintln!(
+                    "warning: --simd {} not supported by this CPU; clamped to {}",
+                    wanted.name(),
+                    effective.name()
+                );
+            }
+            effective
+        }
+        None => pbfs_bitset::simd::current(),
+    };
     // Every scrape or trace any subcommand produces is attributable to
-    // this binary.
+    // this binary — including which kernel ISA produced its numbers.
     pbfs_telemetry::register_build_info(
         env!("CARGO_PKG_VERSION"),
         option_env!("PBFS_GIT_SHA").unwrap_or("unknown"),
@@ -34,8 +55,8 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         } else {
             "default"
         },
+        effective.name(),
     );
-    let args = Args::parse(argv)?;
     if args.has("help") || args.positional.is_empty() {
         println!("{USAGE}");
         return Ok(());

@@ -53,6 +53,10 @@ pub const CHAOS_SITES: &[&str] = &[
     "core.adapt.switch",
     "bitset.summary.mark",
     "bitset.summary.clear",
+    // ReturnError here forces the SIMD dispatch to fall back to the scalar
+    // kernels mid-run; results must stay oracle-exact because every vector
+    // level is bit-identical to scalar.
+    "bitset.simd.dispatch",
 ];
 
 /// Parameters of a chaos soak run.

@@ -109,10 +109,13 @@ impl<const W: usize> MsPbfs<W> {
         // Section 4.4.
         {
             let (seen, frontier, next) = (&self.seen, &self.frontier, &self.next);
-            pool.parallel_for(n, split, |_, r| {
-                seen.clear_range(r.start, r.end);
-                frontier.clear_range(r.start, r.end);
-                next.clear_range(r.start, r.end);
+            // SAFETY: the init ranges are disjoint per worker and nothing
+            // reads the arrays until the pool joins, so the bulk memset
+            // clear is exclusive.
+            pool.parallel_for(n, split, |_, r| unsafe {
+                seen.clear_range_owned(r.start, r.end);
+                frontier.clear_range_owned(r.start, r.end);
+                next.clear_range_owned(r.start, r.end);
             });
         }
 
@@ -193,6 +196,12 @@ impl<const W: usize> MsPbfs<W> {
                 cur_scan = scan;
             }
             let iter_start = std::time::Instant::now();
+            // Resolve the SIMD dispatch level once per iteration and thread
+            // it into the hot loops: `#[target_feature]` kernels cannot
+            // inline through the per-call dispatch, so the lookup (and the
+            // chaos failpoint inside it) is hoisted out of the per-vertex
+            // path.
+            let lvl = pbfs_bitset::simd::current();
 
             let discovered = AtomicU64::new(0);
             let new_fv = AtomicU64::new(0);
@@ -293,17 +302,24 @@ impl<const W: usize> MsPbfs<W> {
                                     |cs, ce| {
                                         // Gather the chunk's active vertices
                                         // so the CSR pointer chase can be
-                                        // pipelined `pd` vertices deep.
+                                        // pipelined `pd` vertices deep. One
+                                        // vectorized mask pass finds them
+                                        // instead of W word loads per entry.
+                                        // SAFETY: phase 1 only reads
+                                        // `frontier` (all writes go to
+                                        // `next`), so no writer races the
+                                        // non-atomic scan.
+                                        let mut mask =
+                                            unsafe { frontier.nonempty_mask_at(lvl, cs, ce) };
                                         let mut vbuf = [0u32; SUMMARY_CHUNK];
                                         let mut fbuf = [Bits::<W>::EMPTY; SUMMARY_CHUNK];
                                         let mut cnt = 0usize;
-                                        for v in cs..ce {
-                                            let f = frontier.get(v);
-                                            if !f.is_empty() {
-                                                vbuf[cnt] = v as u32;
-                                                fbuf[cnt] = f;
-                                                cnt += 1;
-                                            }
+                                        while mask != 0 {
+                                            let v = cs + mask.trailing_zeros() as usize;
+                                            mask &= mask - 1;
+                                            vbuf[cnt] = v as u32;
+                                            fbuf[cnt] = frontier.get(v);
+                                            cnt += 1;
                                         }
                                         if pd > 0 {
                                             for &v in &vbuf[..cnt] {
@@ -332,13 +348,17 @@ impl<const W: usize> MsPbfs<W> {
                             if nx.is_empty() {
                                 return;
                             }
+                            // Fused kernel: one pass computes `new`, the
+                            // merged seen set and the emptiness/trim flags,
+                            // replacing the separate and_not / compare /
+                            // is_empty walks. The popcount runs only for
+                            // entries that actually discovered something.
                             let seen_v = seen.get(v);
-                            let new = nx.and_not(&seen_v);
-                            if new != nx {
+                            let (new, merged, flags) = nx.settle_at(lvl, &seen_v);
+                            if flags.trimmed {
                                 next.set(v, new);
                             }
-                            if !new.is_empty() {
-                                let merged = seen_v | new;
+                            if flags.new_any {
                                 seen.set(v, merged);
                                 visitor.on_found(v as VertexId, depth, new);
                                 let bits = new.count_ones() as u64;
@@ -355,9 +375,16 @@ impl<const W: usize> MsPbfs<W> {
                             ScanStrategy::Sparse => {
                                 // The gathered frontier entries were already
                                 // cleared after phase 1; only `next` needs
-                                // settling, guided by its summary.
+                                // settling, guided by its summary. One mask
+                                // pass per chunk finds the non-empty entries.
+                                // SAFETY: phase-2 ranges are bijectively
+                                // owned — no other thread touches this chunk
+                                // of `next` until the barrier.
                                 note_scan(next.for_each_active_chunk(r.start, r.end, |cs, ce| {
-                                    for v in cs..ce {
+                                    let mut mask = unsafe { next.nonempty_mask_at(lvl, cs, ce) };
+                                    while mask != 0 {
+                                        let v = cs + mask.trailing_zeros() as usize;
+                                        mask &= mask - 1;
                                         settle(v);
                                     }
                                 }));
@@ -372,13 +399,19 @@ impl<const W: usize> MsPbfs<W> {
                                 // Nothing reads `frontier` this phase: clear
                                 // only its active chunks (ranges are chunk-
                                 // aligned, so summary bits clear exactly).
+                                // SAFETY (both): phase-2 ranges are
+                                // bijectively owned, so this worker has the
+                                // chunk to itself until the barrier.
                                 note_scan(frontier.for_each_active_chunk(
                                     r.start,
                                     r.end,
-                                    |cs, ce| frontier.clear_range(cs, ce),
+                                    |cs, ce| unsafe { frontier.clear_range_owned(cs, ce) },
                                 ));
                                 note_scan(next.for_each_active_chunk(r.start, r.end, |cs, ce| {
-                                    for v in cs..ce {
+                                    let mut mask = unsafe { next.nonempty_mask_at(lvl, cs, ce) };
+                                    while mask != 0 {
+                                        let v = cs + mask.trailing_zeros() as usize;
+                                        mask &= mask - 1;
                                         settle(v);
                                     }
                                 }));
@@ -476,10 +509,11 @@ impl<const W: usize> MsPbfs<W> {
                                     break;
                                 }
                             }
-                            let new = acc.and_not(&seen_u);
-                            if !new.is_empty() {
+                            // Same fused kernel as the top-down settle:
+                            // and_not + emptiness + merge in one pass.
+                            let (new, merged, flags) = acc.settle_at(lvl, &seen_u);
+                            if flags.new_any {
                                 next.set(u, new);
-                                let merged = seen_u | new;
                                 seen.set(u, merged);
                                 visitor.on_found(u as VertexId, depth, new);
                                 let bits = new.count_ones() as u64;
@@ -530,10 +564,15 @@ impl<const W: usize> MsPbfs<W> {
                     }
                     ScanStrategy::Summary | ScanStrategy::Sparse => {
                         // Only active chunks can hold stale bits.
+                        // SAFETY: the parallel_for ranges are disjoint and
+                        // nothing else touches `next` here, so each worker
+                        // owns its chunks outright.
                         pool.parallel_for(n, split, |_, r| {
-                            note_scan(next.for_each_active_chunk(r.start, r.end, |cs, ce| {
-                                next.clear_range(cs, ce)
-                            }));
+                            note_scan(next.for_each_active_chunk(
+                                r.start,
+                                r.end,
+                                |cs, ce| unsafe { next.clear_range_owned(cs, ce) },
+                            ));
                         });
                     }
                 }

@@ -140,11 +140,13 @@ impl<const W: usize> ShardedMsBfs<W> {
         // ranges it will later process (Section 4.4 placement).
         {
             let (seen, frontier, contrib) = (&self.seen, &self.frontier, &self.contrib);
-            pool.parallel_for(n, split, |_, r| {
-                seen.clear_range(r.start, r.end);
-                frontier.clear_range(r.start, r.end);
+            // SAFETY: init ranges are disjoint per worker and nothing reads
+            // the arrays until the pool joins.
+            pool.parallel_for(n, split, |_, r| unsafe {
+                seen.clear_range_owned(r.start, r.end);
+                frontier.clear_range_owned(r.start, r.end);
                 for c in contrib {
-                    c.clear_range(r.start, r.end);
+                    c.clear_range_owned(r.start, r.end);
                 }
             });
         }
@@ -186,6 +188,9 @@ impl<const W: usize> ShardedMsBfs<W> {
             depth += 1;
             crate::obs::note_iteration(depth, Direction::TopDown, false);
             let iter_start = std::time::Instant::now();
+            // Dispatch level hoisted out of the per-vertex loops (the
+            // `#[target_feature]` kernels cannot inline through it).
+            let lvl = pbfs_bitset::simd::current();
 
             let discovered = AtomicU64::new(0);
             let new_fv = AtomicU64::new(0);
@@ -196,11 +201,14 @@ impl<const W: usize> ShardedMsBfs<W> {
             let scatter = |_worker: usize, r: std::ops::Range<usize>| {
                 let dst = &contrib[part.node_of(r.start as VertexId)];
                 note_scan(frontier.for_each_active_chunk(r.start, r.end, |cs, ce| {
-                    for v in cs..ce {
+                    // SAFETY: the scatter phase only reads `frontier` (all
+                    // writes go to the contribution arrays), so the
+                    // non-atomic mask scan cannot race a writer.
+                    let mut mask = unsafe { frontier.nonempty_mask_at(lvl, cs, ce) };
+                    while mask != 0 {
+                        let v = cs + mask.trailing_zeros() as usize;
+                        mask &= mask - 1;
                         let f = frontier.get(v);
-                        if f.is_empty() {
-                            continue;
-                        }
                         let nbrs = part.neighbors(v as VertexId);
                         if pd > 0 {
                             for &nbr in &nbrs[..pd.min(nbrs.len())] {
@@ -234,53 +242,72 @@ impl<const W: usize> ShardedMsBfs<W> {
             // Gather: conflict-free per-vertex merge of all partitions'
             // contributions, settling against `seen` and recycling the
             // contribution buffers.
-            let gather =
-                |_worker: usize, r: std::ops::Range<usize>| {
-                    // The old frontier is dead after the scatter barrier; clear
-                    // it before the new one is published below.
-                    note_scan(frontier.for_each_active_chunk(r.start, r.end, |cs, ce| {
-                        frontier.clear_range(cs, ce)
+            let gather = |_worker: usize, r: std::ops::Range<usize>| {
+                // The old frontier is dead after the scatter barrier;
+                // clear it before the new one is published below.
+                // SAFETY (this and every unsafe call below): gather
+                // ranges partition the vertex space bijectively, so this
+                // worker has exclusive access to entries `r` of every
+                // array until the phase barrier.
+                note_scan(
+                    frontier.for_each_active_chunk(r.start, r.end, |cs, ce| unsafe {
+                        frontier.clear_range_owned(cs, ce)
+                    }),
+                );
+                let chunk0 = r.start / SUMMARY_CHUNK;
+                let nchunks = (r.end - 1) / SUMMARY_CHUNK - chunk0 + 1;
+                let mut active = vec![false; nchunks];
+                for c in contrib {
+                    note_scan(c.for_each_active_chunk(r.start, r.end, |cs, _| {
+                        active[cs / SUMMARY_CHUNK - chunk0] = true;
                     }));
-                    let chunk0 = r.start / SUMMARY_CHUNK;
-                    let nchunks = (r.end - 1) / SUMMARY_CHUNK - chunk0 + 1;
-                    let mut active = vec![false; nchunks];
-                    for c in contrib {
-                        note_scan(c.for_each_active_chunk(r.start, r.end, |cs, _| {
-                            active[cs / SUMMARY_CHUNK - chunk0] = true;
-                        }));
+                }
+                // The first contribution array doubles as the union
+                // accumulator: the remaining partitions' chunks are
+                // OR-merged into it with one vectorized span pass each,
+                // and a mask scan then finds the non-empty entries —
+                // instead of `partitions × W` word loads per vertex.
+                let (acc, rest) = contrib.split_first().expect("at least one partition");
+                let (mut disc, mut fv) = (0u64, 0u64);
+                for (i, act) in active.iter().enumerate() {
+                    if !act {
+                        continue;
                     }
-                    let (mut disc, mut fv) = (0u64, 0u64);
-                    for (i, act) in active.iter().enumerate() {
-                        if !act {
-                            continue;
+                    let cs = ((chunk0 + i) * SUMMARY_CHUNK).max(r.start);
+                    let ce = ((chunk0 + i + 1) * SUMMARY_CHUNK).min(r.end);
+                    let mask = unsafe {
+                        for c in rest {
+                            acc.or_from_at(lvl, c, cs, ce);
                         }
-                        let cs = ((chunk0 + i) * SUMMARY_CHUNK).max(r.start);
-                        let ce = ((chunk0 + i + 1) * SUMMARY_CHUNK).min(r.end);
-                        for v in cs..ce {
-                            let mut nx = Bits::<W>::EMPTY;
-                            for c in contrib {
-                                nx |= c.get(v);
-                            }
-                            if nx.is_empty() {
-                                continue;
-                            }
-                            let seen_v = seen.get(v);
-                            let new = nx.and_not(&seen_v);
-                            if !new.is_empty() {
-                                seen.set(v, seen_v | new);
-                                visitor.on_found(v as VertexId, depth, new);
-                                frontier.set(v, new);
-                                disc += new.count_ones() as u64;
-                                fv += 1;
-                            }
-                        }
-                        for c in contrib {
-                            c.clear_range(cs, ce);
+                        acc.nonempty_mask_at(lvl, cs, ce)
+                    };
+                    let mut mask = mask;
+                    while mask != 0 {
+                        let v = cs + mask.trailing_zeros() as usize;
+                        mask &= mask - 1;
+                        let nx = acc.get(v);
+                        // Fused settle: and_not + emptiness + merge in
+                        // one pass; popcount only on discovery.
+                        let seen_v = seen.get(v);
+                        let (new, merged, flags) = nx.settle_at(lvl, &seen_v);
+                        if flags.new_any {
+                            seen.set(v, merged);
+                            visitor.on_found(v as VertexId, depth, new);
+                            frontier.set(v, new);
+                            disc += new.count_ones() as u64;
+                            fv += 1;
                         }
                     }
-                    discovered.fetch_add(disc, Ordering::Relaxed);
-                    new_fv.fetch_add(fv, Ordering::Relaxed);
-                };
+                    unsafe {
+                        acc.clear_range_owned(cs, ce);
+                        for c in rest {
+                            c.clear_range_owned(cs, ce);
+                        }
+                    }
+                }
+                discovered.fetch_add(disc, Ordering::Relaxed);
+                new_fv.fetch_add(fv, Ordering::Relaxed);
+            };
             let t2 = std::time::Instant::now();
             pool.parallel_for(n, split, gather);
             let d2 = t2.elapsed();

@@ -59,6 +59,29 @@ pub trait SsState: Sync {
     fn clear_range(&self, start: usize, end: usize);
     /// Calls `f` for every set entry in `start..end`.
     fn for_each_set(&self, start: usize, end: usize, chunk_skip: bool, f: impl FnMut(usize));
+    /// Settles `self` (the `next` frontier) against `seen` over
+    /// `start..end`: entries already in `seen` are cleared from `self`;
+    /// the rest are marked in `seen` and reported through `found`. The
+    /// caller must own the range in both states. The default walks entries
+    /// one by one; representations with denser storage override it with a
+    /// fused storage-unit-at-a-time kernel.
+    fn settle_into(
+        &self,
+        seen: &Self,
+        start: usize,
+        end: usize,
+        chunk_skip: bool,
+        mut found: impl FnMut(usize),
+    ) {
+        self.for_each_set(start, end, chunk_skip, |v| {
+            if seen.get(v) {
+                self.clear_owned(v);
+            } else {
+                seen.set_owned(v);
+                found(v);
+            }
+        });
+    }
     /// Calls `f` for every clear entry in `start..end`.
     fn for_each_clear(&self, start: usize, end: usize, chunk_skip: bool, f: impl FnMut(usize));
     /// Calls `f(chunk_start, chunk_end)` for every summary chunk in
@@ -116,6 +139,19 @@ impl SsState for BitState {
     }
     fn for_each_set(&self, start: usize, end: usize, chunk_skip: bool, f: impl FnMut(usize)) {
         self.0.for_each_set(start, end, chunk_skip, f);
+    }
+    fn settle_into(
+        &self,
+        seen: &Self,
+        start: usize,
+        end: usize,
+        _chunk_skip: bool,
+        found: impl FnMut(usize),
+    ) {
+        // Word-fused kernel: one load tests 64 vertices at once, so the
+        // per-bit get/clear round trips (and their redundant emptiness
+        // re-checks) collapse into a single masked pass per word.
+        self.0.settle_filter(&seen.0, start, end, found);
     }
     fn for_each_clear(&self, start: usize, end: usize, chunk_skip: bool, f: impl FnMut(usize)) {
         self.0.for_each_clear(start, end, chunk_skip, f);
@@ -464,23 +500,18 @@ impl<S: SsState> SmsPbfs<S> {
                     let phase2 = |_worker: usize, r: std::ops::Range<usize>| {
                         let owner = (r.start / split) % workers;
                         let (mut disc, mut fd) = (0u64, 0u64);
-                        let mut settle = |v: usize| {
-                            if seen.get(v) {
-                                next.clear_owned(v);
-                            } else {
-                                seen.set_owned(v);
-                                visitor.on_found(v as VertexId, depth);
-                                disc += 1;
-                                fd += g.degree(v as VertexId) as u64;
-                            }
+                        let mut found = |v: usize| {
+                            visitor.on_found(v as VertexId, depth);
+                            disc += 1;
+                            fd += g.degree(v as VertexId) as u64;
                         };
                         match scan {
                             ScanStrategy::Flat => {
-                                next.for_each_set(r.start, r.end, chunk, &mut settle);
+                                next.settle_into(seen, r.start, r.end, chunk, &mut found);
                             }
                             ScanStrategy::Summary | ScanStrategy::Sparse => {
                                 note_scan(next.for_each_active_chunk(r.start, r.end, |cs, ce| {
-                                    next.for_each_set(cs, ce, chunk, &mut settle);
+                                    next.settle_into(seen, cs, ce, chunk, &mut found);
                                 }));
                             }
                         }

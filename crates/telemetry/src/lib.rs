@@ -85,9 +85,13 @@ pub fn recorder() -> &'static TraceRecorder {
 }
 
 /// Registers the `pbfs_build_info` gauge: constant 1 with the build's
-/// identity as labels, so every scrape is attributable to a binary.
-pub fn register_build_info(version: &str, git_sha: &str, features: &str) {
-    let labels = format!("version=\"{version}\",git_sha=\"{git_sha}\",features=\"{features}\"");
+/// identity as labels, so every scrape is attributable to a binary. `simd`
+/// is the effective bitset-kernel dispatch level (e.g. `avx2`, `scalar`) —
+/// bench results from different ISAs must not be compared silently.
+pub fn register_build_info(version: &str, git_sha: &str, features: &str, simd: &str) {
+    let labels = format!(
+        "version=\"{version}\",git_sha=\"{git_sha}\",features=\"{features}\",simd=\"{simd}\""
+    );
     registry()
         .gauge_with(
             "pbfs_build_info",

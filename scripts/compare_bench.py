@@ -27,9 +27,17 @@ The default 10% threshold suits a quiet machine doing a deliberate A/B
 comparison. CI on shared runners should pass a threshold above its
 measured run-to-run noise floor (see .github/workflows/ci.yml).
 
+Rows are keyed on (graph, algo, width, mode, simd), so the kernels
+bench's scalar-forced comparison rows form their own series and never
+join against native-level rows. Runs whose configs record *different*
+SIMD dispatch levels are refused outright unless --allow-isa-mismatch
+is passed (the comparison is then normalized): absolute ns/edge across
+ISAs measures the vector kernels, not a code regression.
+
 Usage:
     compare_bench.py BASELINE.json CURRENT.json [--check]
                      [--threshold PCT] [--normalize]
+                     [--allow-isa-mismatch]
     compare_bench.py --self-test
 """
 
@@ -40,8 +48,13 @@ import sys
 
 
 def key(row):
-    """Identity of a kernel row: what we join baseline and current on."""
-    return (row["graph"], row["algo"], row["width"], row["mode"])
+    """Identity of a kernel row: what we join baseline and current on.
+
+    ``simd`` defaults to "auto" for documents predating the dispatch-level
+    axis, so old baselines keep joining against new runs.
+    """
+    return (row["graph"], row["algo"], row["width"], row["mode"],
+            row.get("simd", "auto"))
 
 
 def metric(row, field, path):
@@ -86,7 +99,33 @@ def validate(doc, path):
 def configs_match(a, b):
     """Same benchmark shape → absolute ns/edge is directly comparable."""
     ca, cb = a.get("config", {}), b.get("config", {})
-    return all(ca.get(k) == cb.get(k) for k in ("scale", "workers", "trials"))
+    return all(
+        ca.get(k) == cb.get(k)
+        for k in ("scale", "workers", "trials", "simd")
+    )
+
+
+def check_isa(base, cur, args, base_name, cur_name):
+    """Refuses a cross-ISA comparison unless explicitly allowed.
+
+    A run at avx512 vs a run at scalar is an apples-to-oranges diff:
+    every delta would mostly measure the vector kernels, not a code
+    regression. Both configs must record the same dispatch level, or
+    the caller must pass --allow-isa-mismatch (the comparison is then
+    normalized, so only relative standing within each run is judged).
+    Documents predating the ``simd`` config field are left alone.
+    """
+    sa = base.get("config", {}).get("simd")
+    sb = cur.get("config", {}).get("simd")
+    if sa is None or sb is None or sa == sb:
+        return False
+    if not getattr(args, "allow_isa_mismatch", False):
+        sys.exit(f"error: SIMD dispatch levels differ ({base_name} ran at "
+                 f"{sa!r}, {cur_name} at {sb!r}); absolute ns/edge is not "
+                 "comparable across ISAs — rerun at a matching --simd "
+                 "level, or pass --allow-isa-mismatch for a normalized "
+                 "relative comparison")
+    return True
 
 
 def geomean(values):
@@ -98,8 +137,17 @@ def geomean(values):
 
 def compare_runs(base, cur, args, base_name="baseline", cur_name="current"):
     """Prints the delta table; returns the list of regression strings."""
-    base_rows = {key(r): r for r in base["kernels"]}
-    cur_rows = {key(r): r for r in cur["kernels"]}
+    cross_isa = check_isa(base, cur, args, base_name, cur_name)
+    if cross_isa:
+        # Allowed cross-ISA diff: the per-row simd labels differ by
+        # construction, so join on (graph, algo, width, mode) alone and
+        # show "*" in the simd column.
+        def keyfn(r):
+            return key(r)[:4] + ("*",)
+    else:
+        keyfn = key
+    base_rows = {keyfn(r): r for r in base["kernels"]}
+    cur_rows = {keyfn(r): r for r in cur["kernels"]}
 
     normalize = args.normalize or not configs_match(base, cur)
     print(f"comparing {cur_name} against {base_name}")
@@ -119,6 +167,7 @@ def compare_runs(base, cur, args, base_name="baseline", cur_name="current"):
         print("matching configs: direct ns/edge comparison")
 
     header = (f"{'graph':<15} {'algo':<9} {'width':>5} {'mode':<8} "
+              f"{'simd':<7} "
               f"{'base ns/e':>10} {'cur ns/e':>10} {'median':>8} {'min':>8}"
               "  verdict")
     print()
@@ -128,14 +177,14 @@ def compare_runs(base, cur, args, base_name="baseline", cur_name="current"):
     regressions = []
     improvements = 0
     for k in sorted(base_rows):
-        graph, algo, width, mode = k
+        graph, algo, width, mode, simd = k
         b = base_rows[k]
         c = cur_rows.get(k)
         if c is None:
-            print(f"{graph:<15} {algo:<9} {width:>5} {mode:<8} "
+            print(f"{graph:<15} {algo:<9} {width:>5} {mode:<8} {simd:<7} "
                   f"{b['median_ns_per_edge']:>10.3f} {'—':>10} {'—':>8} "
                   f"{'—':>8}  MISSING in current run")
-            regressions.append(f"{graph}/{algo}/w{width}/{mode}: "
+            regressions.append(f"{graph}/{algo}/w{width}/{mode}/{simd}: "
                                "missing from current run")
             continue
         d_med = ((metric(c, "median_ns_per_edge", cur_name) / cur_med)
@@ -148,22 +197,24 @@ def compare_runs(base, cur, args, base_name="baseline", cur_name="current"):
         joint = min(d_med, d_min)
         if joint > args.threshold:
             verdict = f"REGRESSION (> {args.threshold:.0f}%)"
-            regressions.append(f"{graph}/{algo}/w{width}/{mode}: "
+            regressions.append(f"{graph}/{algo}/w{width}/{mode}/{simd}: "
                                f"median {d_med:+.1f}%, min {d_min:+.1f}%")
         elif max(d_med, d_min) < -args.threshold:
             verdict = "improved"
             improvements += 1
         else:
             verdict = "ok"
-        print(f"{graph:<15} {algo:<9} {width:>5} {mode:<8} "
+        print(f"{graph:<15} {algo:<9} {width:>5} {mode:<8} {simd:<7} "
               f"{b['median_ns_per_edge']:>10.3f} "
               f"{c['median_ns_per_edge']:>10.3f} {d_med:>+7.1f}% "
               f"{d_min:>+7.1f}%  {verdict}")
 
     new = sorted(set(cur_rows) - set(base_rows))
-    for graph, algo, width, mode in new:
-        c = cur_rows[(graph, algo, width, mode)]
-        print(f"{graph:<15} {algo:<9} {width:>5} {mode:<8} {'—':>10} "
+    for k in new:
+        graph, algo, width, mode, simd = k
+        c = cur_rows[k]
+        print(f"{graph:<15} {algo:<9} {width:>5} {mode:<8} {simd:<7} "
+              f"{'—':>10} "
               f"{c['median_ns_per_edge']:>10.3f} {'—':>8} {'—':>8}  "
               "new (no baseline)")
 
@@ -172,7 +223,7 @@ def compare_runs(base, cur, args, base_name="baseline", cur_name="current"):
     for r in cur.get("atomics", []):
         b = base_atomics.get(r["kind"])
         if b:
-            print(f"{'atomics':<15} {r['kind']:<9} {'':>5} {'':<8} "
+            print(f"{'atomics':<15} {r['kind']:<9} {'':>5} {'':<8} {'':<7} "
                   f"{b:>10.3f} {r['ns_per_op']:>10.3f} "
                   f"{(r['ns_per_op'] / b - 1) * 100:>+7.1f}% {'':>8}  "
                   "informational")
@@ -185,19 +236,23 @@ def compare_runs(base, cur, args, base_name="baseline", cur_name="current"):
     return regressions
 
 
-def make_doc(medians, factor=1.0, config=None):
+def make_doc(medians, factor=1.0, config=None, simd="auto"):
     """Synthetic kernels document for the self-test. ``medians`` maps a
-    row key tuple to its median ns/edge; min is 90% of median; ``factor``
-    scales everything (simulated machine-speed drift)."""
+    row key tuple (with or without a trailing simd component) to its
+    median ns/edge; min is 90% of median; ``factor`` scales everything
+    (simulated machine-speed drift); ``simd`` labels rows lacking one."""
+    rows = []
+    for k, v in medians.items():
+        g, a, w, m = k[:4]
+        rows.append({"graph": g, "algo": a, "width": w, "mode": m,
+                     "simd": k[4] if len(k) > 4 else simd,
+                     "median_ns_per_edge": v * factor,
+                     "min_ns_per_edge": v * factor * 0.9})
     return {
         "bench": "kernels",
-        "config": config or {"scale": 8, "workers": 2, "trials": 3},
-        "kernels": [
-            {"graph": g, "algo": a, "width": w, "mode": m,
-             "median_ns_per_edge": v * factor,
-             "min_ns_per_edge": v * factor * 0.9}
-            for (g, a, w, m), v in medians.items()
-        ],
+        "config": config or {"scale": 8, "workers": 2, "trials": 3,
+                             "simd": simd},
+        "kernels": rows,
         "atomics": [],
     }
 
@@ -216,7 +271,8 @@ def expect_exit(fn, needle):
 
 def self_test():
     """Exercises the comparison and its guard rails on synthetic docs."""
-    args = argparse.Namespace(threshold=10.0, normalize=False, check=False)
+    args = argparse.Namespace(threshold=10.0, normalize=False, check=False,
+                              allow_isa_mismatch=False)
     rows = {("kron", "ms", 64, "flat"): 2.0, ("kron", "sms", 1, "flat"): 4.0}
 
     # Identical runs: clean table, no regressions.
@@ -229,9 +285,34 @@ def self_test():
     assert len(bad) == 1 and "kron/ms/w64/flat" in bad[0], bad
 
     # Uniform 2x machine drift under --normalize: no false regression.
-    norm = argparse.Namespace(threshold=10.0, normalize=True, check=False)
+    norm = argparse.Namespace(threshold=10.0, normalize=True, check=False,
+                              allow_isa_mismatch=False)
     assert compare_runs(make_doc(rows), make_doc(rows, factor=2.0),
                         norm) == []
+
+    # Runs at different dispatch levels are refused by default: the
+    # absolute delta would measure the vector kernels, not a regression.
+    expect_exit(
+        lambda: compare_runs(make_doc(rows, simd="avx2"),
+                             make_doc(rows, factor=0.5, simd="scalar"),
+                             args, "avx.json", "scalar.json"),
+        "--allow-isa-mismatch")
+
+    # --allow-isa-mismatch permits the comparison (normalized, since the
+    # configs differ on simd).
+    allow = argparse.Namespace(threshold=10.0, normalize=False, check=False,
+                               allow_isa_mismatch=True)
+    assert compare_runs(make_doc(rows, simd="avx2"),
+                        make_doc(rows, factor=0.5, simd="scalar"),
+                        allow) == []
+
+    # Rows carrying distinct simd labels within one run are distinct
+    # series: a scalar-forced comparison row never joins against (or
+    # shadows) the native-level row with the same graph/algo/width/mode.
+    both = dict(rows)
+    both[("kron", "ms", 64, "flat", "scalar")] = 6.0
+    assert compare_runs(make_doc(rows, simd="avx2"),
+                        make_doc(both, simd="avx2"), args) == []
 
     # A zero baseline median must exit with a named row, not divide by
     # zero mid-table.
@@ -254,7 +335,7 @@ def self_test():
     expect_exit(lambda: validate({"bench": "other"}, "other.json"),
                 "not a kernels bench document")
 
-    print("self-test ok: 7 scenarios passed")
+    print("self-test ok: 10 scenarios passed")
 
 
 def main():
@@ -270,6 +351,10 @@ def main():
     ap.add_argument("--normalize", action="store_true",
                     help="normalize by each run's geomean ns/edge even when "
                          "configs match (cancels machine-speed drift)")
+    ap.add_argument("--allow-isa-mismatch", action="store_true",
+                    help="permit comparing runs recorded at different SIMD "
+                         "dispatch levels (comparison is normalized; deltas "
+                         "are relative standing, not absolute time)")
     ap.add_argument("--self-test", action="store_true",
                     help="run the built-in scenario checks and exit")
     args = ap.parse_args()

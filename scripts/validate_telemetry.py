@@ -196,6 +196,12 @@ def validate_prometheus(path, require_nonzero=(), failpoints=False):
     for family in REQUIRED_PROM_FAMILIES:
         if family not in types:
             fail(f"required family {family!r} absent")
+    # The build-info sample must say which SIMD dispatch level produced
+    # the run: bench/telemetry numbers are not comparable across ISAs, so
+    # an export that lost the label would silently mix them.
+    for labels, _ in samples.get("pbfs_build_info", []):
+        if 'simd="' not in labels:
+            fail(f"pbfs_build_info sample without a simd label: {labels!r}")
     for family in SHARD_PROM_FAMILIES:
         if family not in types:
             fail(f"required family {family!r} absent")

@@ -275,6 +275,89 @@ fn query_engine_matches_oracle_across_widths_and_workers() {
 }
 
 #[test]
+fn simd_dispatch_levels_are_bit_identical_end_to_end() {
+    use pbfs::bitset::simd::set_level;
+    use pbfs::bitset::SimdLevel;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    // One MS-PBFS batch at the current dispatch level, all distances out.
+    fn run_batch<const W: usize>(
+        g: &CsrGraph,
+        pool: &WorkerPool,
+        sources: &[u32],
+    ) -> Vec<Vec<u32>> {
+        let mut bfs: MsPbfs<W> = MsPbfs::new(g.num_vertices());
+        let v: MsDistanceVisitor<W> = MsDistanceVisitor::new(g.num_vertices(), sources.len());
+        bfs.run(g, pool, sources, &BfsOptions::default(), &v);
+        (0..sources.len()).map(|i| v.distances_of(i)).collect()
+    }
+
+    fn run_widths(g: &CsrGraph, pool: &WorkerPool, sources: &[u32]) -> Vec<Vec<Vec<u32>>> {
+        vec![
+            run_batch::<1>(g, pool, &sources[..64]),
+            run_batch::<2>(g, pool, &sources[..128]),
+            run_batch::<4>(g, pool, &sources[..256]),
+            run_batch::<8>(g, pool, sources),
+        ]
+    }
+
+    let graphs: Vec<(&str, CsrGraph)> = vec![
+        ("kronecker", gen::Kronecker::graph500(9).seed(29).generate()),
+        ("uniform", gen::uniform(1500, 9000, 31)),
+    ];
+    let pool = WorkerPool::new(4);
+    let mut total = 0usize;
+    for (name, g) in &graphs {
+        let n = g.num_vertices() as u32;
+        let sources: Vec<u32> = (0..512u32).map(|i| (i * 7) % n).collect();
+        // The scalar kernels are the semantic reference; every vector level
+        // (clamped to hardware, so this also passes on a scalar-only CPU)
+        // must reproduce their traversals bit-for-bit, at widths 64–512.
+        set_level(Some(SimdLevel::Scalar));
+        let reference = run_widths(g, &pool, &sources);
+        for level in SimdLevel::ALL {
+            if level == SimdLevel::Scalar {
+                continue;
+            }
+            let effective = set_level(Some(level));
+            let got = run_widths(g, &pool, &sources);
+            total += 64 + 128 + 256 + 512;
+            assert_eq!(
+                got, reference,
+                "{name}: {level:?} (effective {effective:?}) diverged from scalar"
+            );
+        }
+    }
+
+    // Same property through the batched query engine: a scalar run and an
+    // auto (strongest-available) run answer identical distances.
+    let g = Arc::new(gen::Kronecker::graph500(9).seed(37).generate());
+    let n = g.num_vertices() as u32;
+    let config = EngineConfig::default()
+        .with_workers(2)
+        .with_max_batch(128)
+        .with_max_latency(Duration::from_micros(500));
+    let mut by_level = Vec::new();
+    for forced in [Some(SimdLevel::Scalar), None] {
+        set_level(forced);
+        let engine = QueryEngine::new(Arc::clone(&g), config);
+        let handles: Vec<QueryHandle> = (0..128).map(|i| engine.submit(i % n).unwrap()).collect();
+        let answers: Vec<Vec<u32>> = handles.into_iter().map(|h| h.wait().unwrap()).collect();
+        total += answers.len();
+        by_level.push(answers);
+    }
+    assert_eq!(
+        by_level[0], by_level[1],
+        "query engine diverged between --simd scalar and --simd auto"
+    );
+
+    // Leave the process-wide dispatch on automatic for the other tests.
+    set_level(None);
+    assert!(total >= 1000, "compared only {total} traversals");
+}
+
+#[test]
 fn empty_and_tiny_graphs() {
     // Single vertex.
     let g = CsrGraph::from_edges(1, &[]);
