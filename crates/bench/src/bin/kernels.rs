@@ -7,7 +7,7 @@
 //! OPTIONS:
 //!   --quick        CI sizes (scale 10, 3 trials)
 //!   --check        fail (exit 1) if Summary > 10% slower than Flat on
-//!                  the dense graph, or Auto > 10% slower than the best
+//!                  the dense graph, or Auto > 8% slower than the best
 //!                  static mode on any graph
 //!   --scale N      dense Kronecker scale        (default 12)
 //!   --workers N    worker pool size             (default 4)

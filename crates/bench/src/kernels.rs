@@ -425,7 +425,7 @@ pub fn check_summary_regression(rows: &[KernelRow], native: &str) -> Result<Stri
 
 /// The auto-tuning CI gate: on every graph, the summed `Auto` medians must
 /// not exceed the sum of the per-configuration best static mode
-/// (`min(Flat, Summary)` for each algo × width) by more than 10 %.
+/// (`min(Flat, Summary)` for each algo × width) by more than 8 %.
 /// Aggregating over all configurations of a graph keeps the gate robust
 /// against single-configuration timer noise on shared runners.
 pub fn check_auto_regression(rows: &[KernelRow], native: &str) -> Result<String, String> {
@@ -468,8 +468,8 @@ pub fn check_auto_regression(rows: &[KernelRow], native: &str) -> Result<String,
             "{graph}: Auto/best-static = {ratio:.3} over {configs} configs \
              ({auto_sum:.2} vs {best_sum:.2} ns/edge)"
         );
-        if ratio > 1.10 {
-            return Err(format!("{msg} — exceeds the 10% auto-tuning budget"));
+        if ratio > 1.08 {
+            return Err(format!("{msg} — exceeds the 8% auto-tuning budget"));
         }
         msgs.push(msg);
     }

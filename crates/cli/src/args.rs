@@ -31,7 +31,7 @@ usage:
         [--max-queue N] [--query-timeout MS] [--drain-timeout MS]
         [--frontier flat|summary|auto] [--prefetch-distance N]
         [--adapt-hysteresis N] [--adapt-sample-interval N]
-        [--trace-out FILE]
+        [--trace-out FILE] [--mutations FILE]
         replays a query trace through the batched engine; without FILE a
         Kronecker graph of --scale is generated; --trace-out records a
         per-worker timeline and writes Chrome trace-event JSON;
@@ -40,7 +40,12 @@ usage:
         --drain-timeout bounds the shutdown drain (0 = unbounded);
         --shards runs one dispatcher + queue + pool stack per simulated
         socket over a partitioned CSR (results are bit-identical to
-        --shards 1)
+        --shards 1); --mutations replays a streaming-mutation script
+        interleaved with the query traffic: one op per line — `add U V`,
+        `del U V`, `commit` (publish the batch as a new epoch), `compact`
+        (fold the overlay into a fresh CSR) — with `#` comments; batches
+        are spread evenly across the replay and every query is answered
+        from exactly one published epoch (snapshot isolation)
   pbfs metrics [FILE] [--scale N] [--queries N] [--threads N] [--shards N]
         [--seed N] [--max-queue N] [--json] [--text]
         runs a small replay and prints the telemetry registry as
@@ -65,7 +70,7 @@ usage:
         from the telemetry registry; exits after --ticks ticks
   pbfs chaos [--schedules N] [--seed N] [--scale N] [--queries N]
         [--workers N] [--shards N] [--schedule-timeout SECS]
-        [--metrics-out FILE]
+        [--metrics-out FILE] [--mutate]
         runs seeded randomized failpoint schedules against the batched
         query engine with a textbook-BFS oracle and checks the engine's
         failure-model invariants (exactly-once resolution, oracle-exact
@@ -73,7 +78,12 @@ usage:
         with --features failpoints to actually inject faults, and exits
         nonzero on any violation; --metrics-out dumps the telemetry
         registry (including pbfs_fault_triggered_total) as Prometheus
-        text";
+        text; --mutate runs the streaming-mutation soak instead: a
+        mutator thread applies edge batches and compactions (with
+        storage.* faults armed) while clients query, and a per-epoch
+        oracle asserts every result matches exactly one published epoch
+        live during its batch — never a torn mix — and that epochs are
+        reclaimed without leaks once snapshots drop";
 
 /// Parsed command line: positionals plus `--flag value` / `--flag` pairs.
 pub struct Args {
@@ -86,7 +96,7 @@ impl Args {
     /// Splits `argv` into positionals and flags. Boolean flags (`--text`,
     /// `--validate`) store an empty value.
     pub fn parse(argv: &[String]) -> Result<Self, String> {
-        const BOOL_FLAGS: &[&str] = &["text", "validate", "help", "json"];
+        const BOOL_FLAGS: &[&str] = &["text", "validate", "help", "json", "mutate"];
         let mut positional = Vec::new();
         let mut flags = HashMap::new();
         let mut i = 0;

@@ -12,6 +12,7 @@ use pbfs_core::engine::{EngineConfig, EngineError, QueryEngine};
 use pbfs_core::options::{BfsOptions, DEFAULT_PREFETCH_DISTANCE};
 use pbfs_core::policy::FrontierMode;
 use pbfs_core::smspbfs::{SmsPbfsBit, SmsPbfsByte};
+use pbfs_core::storage::{EdgeMutation, GraphStore};
 use pbfs_core::textbook;
 use pbfs_core::validate::validate_tree;
 use pbfs_core::visitor::{DistanceVisitor, MsDistanceVisitor, PairVisitor, ParentVisitor};
@@ -302,6 +303,67 @@ fn centrality(args: &Args) -> Result<(), String> {
 
 /// Replays a synthetic query-arrival trace through the batched query
 /// engine and prints a JSON throughput report.
+/// One step of a `--mutations` script: a coalesced batch to publish as a
+/// new epoch, or a compaction folding the overlay into a fresh CSR.
+enum MutationOp {
+    Apply(Vec<EdgeMutation>),
+    Compact,
+}
+
+/// Parses a streaming-mutation script: one op per line — `add U V`,
+/// `del U V` (accumulate into the pending batch), `commit` (publish the
+/// batch as one epoch), `compact` (publish any pending batch, then fold
+/// the overlay) — with `#` comments and blank lines ignored. Mutations
+/// after the last `commit` form a final implicit batch.
+fn parse_mutation_script(path: &str) -> Result<Vec<MutationOp>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut ops = Vec::new();
+    let mut batch: Vec<EdgeMutation> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let op = words.next().expect("non-empty line has a first token");
+        let fail = |msg: &str| Err(format!("{path}:{}: {msg}: {raw:?}", idx + 1));
+        match op {
+            "add" | "del" => {
+                let (Some(u), Some(v)) = (words.next(), words.next()) else {
+                    return fail("expected two vertex ids");
+                };
+                let (Ok(u), Ok(v)) = (u.parse(), v.parse()) else {
+                    return fail("vertex ids must be u32");
+                };
+                if words.next().is_some() {
+                    return fail("trailing tokens");
+                }
+                batch.push(if op == "add" {
+                    EdgeMutation::Insert(u, v)
+                } else {
+                    EdgeMutation::Delete(u, v)
+                });
+            }
+            "commit" | "compact" => {
+                if words.next().is_some() {
+                    return fail("trailing tokens");
+                }
+                if !batch.is_empty() {
+                    ops.push(MutationOp::Apply(std::mem::take(&mut batch)));
+                }
+                if op == "compact" {
+                    ops.push(MutationOp::Compact);
+                }
+            }
+            _ => return fail("expected add/del/commit/compact"),
+        }
+    }
+    if !batch.is_empty() {
+        ops.push(MutationOp::Apply(batch));
+    }
+    Ok(ops)
+}
+
 fn queries(args: &Args) -> Result<(), String> {
     use pbfs_json::ToJson;
     use rand::rngs::StdRng;
@@ -353,7 +415,34 @@ fn queries(args: &Args) -> Result<(), String> {
         .with_query_timeout(nonzero_ms(query_timeout_ms))
         .with_drain_timeout(nonzero_ms(drain_timeout_ms))
         .with_bfs(bfs_options(args)?);
-    let mut engine = QueryEngine::from_graph(g, cfg);
+    let mutations_file = args.get("mutations").map(str::to_owned);
+    let mutation_ops = match &mutations_file {
+        Some(path) => parse_mutation_script(path)?,
+        None => Vec::new(),
+    };
+    // The engine always rides a versioned store; without --mutations it
+    // simply never leaves its first epoch and serves the clean-graph path.
+    let store = GraphStore::new(std::sync::Arc::new(g));
+    let mut engine = QueryEngine::with_store(std::sync::Arc::clone(&store), cfg);
+    let (mut mutations_applied, mut batches_applied, mut compactions) = (0u64, 0u64, 0u64);
+    let mut run_op = |op: MutationOp| -> Result<(), String> {
+        match op {
+            MutationOp::Apply(batch) => {
+                store
+                    .apply_batch(&batch)
+                    .map_err(|e| format!("--mutations: {e}"))?;
+                mutations_applied += batch.len() as u64;
+                batches_applied += 1;
+            }
+            MutationOp::Compact => {
+                store.compact().map_err(|e| format!("--mutations: {e}"))?;
+                compactions += 1;
+            }
+        }
+        Ok(())
+    };
+    let total_ops = mutation_ops.len();
+    let mut op_iter = mutation_ops.into_iter().enumerate().peekable();
 
     // Synthetic arrival trace: uniformly random sources; with --rate,
     // exponential interarrival gaps (Poisson arrivals), else back-to-back.
@@ -362,7 +451,16 @@ fn queries(args: &Args) -> Result<(), String> {
     let mut next_arrival = 0.0f64;
     let mut handles = Vec::with_capacity(num_queries);
     let (mut rejected_submits, mut dropped) = (0u64, 0u64);
-    for _ in 0..num_queries {
+    for i in 0..num_queries {
+        // Mutation script ops are spread evenly across the replay, each
+        // applied (and published) before the query that makes it due.
+        while let Some((k, _)) = op_iter.peek() {
+            if i < ((k + 1) * num_queries) / (total_ops + 1) {
+                break;
+            }
+            let (_, op) = op_iter.next().expect("peeked");
+            run_op(op)?;
+        }
         if rate > 0.0 {
             let u: f64 = rng.random();
             next_arrival += -(1.0 - u).ln() / rate;
@@ -388,6 +486,11 @@ fn queries(args: &Args) -> Result<(), String> {
             }
             Err(e) => return Err(e.to_string()),
         }
+    }
+    // Ops the integer stride left over (e.g. more ops than queries) run
+    // after the traffic so every script line is always applied.
+    for (_, op) in op_iter {
+        run_op(op)?;
     }
     let mut reached_total = 0u64;
     let (mut failed, mut expired) = (0u64, 0u64);
@@ -445,6 +548,18 @@ fn queries(args: &Args) -> Result<(), String> {
         "queries/sec".into(),
         format!("{:.0}", stats.queries_per_sec),
     ]);
+    if mutations_file.is_some() {
+        rows.push(vec![
+            "mutations applied".into(),
+            mutations_applied.to_string(),
+        ]);
+        rows.push(vec!["mutation batches".into(), batches_applied.to_string()]);
+        rows.push(vec!["compactions".into(), compactions.to_string()]);
+        rows.push(vec![
+            "final epoch".into(),
+            store.current_epoch().to_string(),
+        ]);
+    }
     if rejected_submits + dropped + expired + failed + stats.expired + stats.failed > 0 {
         rows.push(vec![
             "rejected submits".into(),
@@ -477,6 +592,13 @@ fn queries(args: &Args) -> Result<(), String> {
             "edges": num_edges
         },
         "replay_wall_ns": (wall.as_nanos() as u64),
+        "mutations": {
+            "file": (mutations_file.clone().unwrap_or_default()),
+            "applied": mutations_applied,
+            "batches": batches_applied,
+            "compactions": compactions,
+            "final_epoch": (store.current_epoch())
+        },
         "reached_total": reached_total,
         "rejected_submits": rejected_submits,
         "dropped": dropped,
@@ -809,11 +931,21 @@ fn chaos(args: &Args) -> Result<(), String> {
         );
     }
 
-    let report: ChaosReport = pbfs_core::chaos::run(&cfg);
+    let mutate = args.has("mutate");
+    let report: ChaosReport = if mutate {
+        pbfs_core::chaos::run_mutating(&cfg)
+    } else {
+        pbfs_core::chaos::run(&cfg)
+    };
     for o in &report.outcomes {
+        let storage = if mutate {
+            format!(" mut {:>3} epochs {:>3}", o.mutations, o.epochs)
+        } else {
+            String::new()
+        };
         eprintln!(
             "schedule {:>3} seed {:>20} ok {:>3} typed-err {:>3} rejected {:>3} \
-             fired {:>3} {} [{}]",
+             fired {:>3}{storage} {} [{}]",
             o.schedule,
             o.seed,
             o.ok,

@@ -92,6 +92,7 @@ use crate::options::BfsOptions;
 use crate::sharded::ShardedMsBfs;
 use crate::smspbfs::SmsPbfsBit;
 use crate::stats::TraversalStats;
+use crate::storage::{Adjacency, GraphStore, ShardedAdjacency};
 use crate::visitor::{DistanceVisitor, MsDistanceVisitor};
 
 /// Batch widths the dispatcher may choose from, in preference order.
@@ -606,10 +607,14 @@ impl StatsAccum {
 
 /// State shared between the submission front-end and the dispatchers.
 struct Shared {
-    graph: Arc<CsrGraph>,
-    /// The partitioned adjacency mirror, built once when `shards > 1`; the
-    /// sharded scatter/gather kernel traverses this instead of `graph`.
-    part: Option<Arc<PartitionedCsr>>,
+    /// The versioned graph handle. Dispatchers pin one epoch snapshot per
+    /// coalesced batch, so a batch never observes a half-applied mutation;
+    /// under sharding the store also carries the partitioned mirror the
+    /// scatter/gather kernel traverses.
+    store: Arc<GraphStore>,
+    /// Vertex count — fixed for the store's lifetime (mutations are
+    /// edge-level), so admission validation never needs a snapshot.
+    num_vertices: usize,
     config: EngineConfig,
     /// One queue + dispatcher signaling stack per shard.
     shards: Vec<ShardQueue>,
@@ -656,13 +661,22 @@ pub struct QueryEngine {
 }
 
 impl QueryEngine {
-    /// Spawns one dispatcher (and its worker pool) per configured shard.
+    /// Spawns one dispatcher (and its worker pool) per configured shard
+    /// over an immutable graph (wrapped in a single-epoch [`GraphStore`]).
     pub fn new(graph: Arc<CsrGraph>, config: EngineConfig) -> Self {
+        Self::with_store(GraphStore::new(graph), config)
+    }
+
+    /// Spawns the engine over a live [`GraphStore`]: mutation batches
+    /// applied to `store` while the engine runs become visible to later
+    /// query batches, each of which pins exactly one published epoch.
+    pub fn with_store(store: Arc<GraphStore>, config: EngineConfig) -> Self {
         // Adapt counter families exist (at 0) from engine construction, so
         // a metrics scrape never races their first increment.
         let _ = crate::adapt::metrics();
+        let base = Arc::clone(store.snapshot().base());
         // Scrapes of this process are attributable to the dataset served.
-        pbfs_telemetry::set_graph_info(graph.num_vertices() as u64, graph.num_edges() as u64);
+        pbfs_telemetry::set_graph_info(base.num_vertices() as u64, base.num_edges() as u64);
         // Clamped to the partition layer's 255-node ceiling (node ids are
         // u8) so a huge `shards` value degrades instead of panicking.
         let nshards = config.shards.clamp(1, 255);
@@ -670,18 +684,18 @@ impl QueryEngine {
         // single-shard engine keeps traversing the plain CSR byte-for-byte
         // as before. Workers and split size are clamped exactly as the
         // kernels clamp them, so the partition's task ownership matches
-        // the pools that scan it.
-        let part = (nshards > 1 && graph.num_vertices() > 0).then(|| {
-            Arc::new(PartitionedCsr::partition(
-                &graph,
+        // the pools that scan it. Once enabled, the store mirrors every
+        // future epoch (mutation or compaction) the same way.
+        if nshards > 1 && base.num_vertices() > 0 && !store.is_partitioned() {
+            store.enable_partition(
                 nshards,
                 config.workers.max(1),
                 pbfs_sched::aligned_split(config.bfs.split_size.max(1), SUMMARY_CHUNK),
-            ))
-        });
+            );
+        }
         let shared = Arc::new(Shared {
-            graph,
-            part,
+            num_vertices: base.num_vertices(),
+            store,
             config,
             shards: (0..nshards).map(ShardQueue::new).collect(),
             next_shard: AtomicUsize::new(0),
@@ -707,9 +721,15 @@ impl QueryEngine {
         Self::new(Arc::new(graph), config)
     }
 
-    /// The graph this engine answers queries over.
-    pub fn graph(&self) -> &Arc<CsrGraph> {
-        &self.shared.graph
+    /// The base CSR of the epoch currently being published. With a mutating
+    /// store this is a point-in-time view; use [`Self::store`] to pin one.
+    pub fn graph(&self) -> Arc<CsrGraph> {
+        Arc::clone(self.shared.store.snapshot().base())
+    }
+
+    /// The versioned store this engine answers queries over.
+    pub fn store(&self) -> &Arc<GraphStore> {
+        &self.shared.store
     }
 
     /// Enqueues a BFS from `source`. Validation is synchronous — an invalid
@@ -734,7 +754,7 @@ impl QueryEngine {
         source: VertexId,
         wait_for_room: Option<Duration>,
     ) -> Result<QueryHandle, EngineError> {
-        let n = self.shared.graph.num_vertices();
+        let n = self.shared.num_vertices;
         if n == 0 {
             return Err(EngineError::EmptyGraph);
         }
@@ -746,7 +766,7 @@ impl QueryEngine {
         }
         let m = engine_metrics();
         let max_queue = self.shared.config.max_queue;
-        let room_deadline = wait_for_room.map(|d| Instant::now() + d);
+        let room_deadline = wait_for_room.map(|d| deadline_after(Instant::now(), d));
         let (tx, rx) = mpsc::channel();
         // Scatter: round-robin over the shard queues. Admission is
         // per-shard — each shard's queue is bounded by `max_queue` on its
@@ -923,6 +943,15 @@ fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// `start + d`, saturating: a duration too large to represent as an
+/// [`Instant`] (e.g. a raw `Duration::MAX` timeout) becomes a deadline
+/// decades out — indistinguishable from "never" for an engine — instead
+/// of panicking the dispatcher on `Instant` overflow.
+fn deadline_after(start: Instant, d: Duration) -> Instant {
+    const FOREVER: Duration = Duration::from_secs(60 * 60 * 24 * 365 * 30);
+    start.checked_add(d).unwrap_or_else(|| start + FOREVER)
+}
+
 fn dispatcher_loop(shared: &Shared, shard: usize) {
     let config = &shared.config;
     let sq = &shared.shards[shard];
@@ -938,19 +967,13 @@ fn dispatcher_loop(shared: &Shared, shard: usize) {
     // the tuner when observed ns/query says a wide batch is hurting.
     let mut cap = config_cap;
     let mut tuner = WidthTuner::new();
-    let n = shared.graph.num_vertices();
+    let n = shared.num_vertices;
     // Algorithm states are graph-sized and reused across batches. The
     // plain-CSR states serve the single-shard engine; the scatter/gather
     // states serve the sharded one. Only one family is ever populated.
-    let mut sms: Option<SmsPbfsBit> = None;
-    let mut ms1: Option<MsPbfs<1>> = None;
-    let mut ms2: Option<MsPbfs<2>> = None;
-    let mut ms4: Option<MsPbfs<4>> = None;
-    let mut ms8: Option<MsPbfs<8>> = None;
-    let mut sh1: Option<ShardedMsBfs<1>> = None;
-    let mut sh2: Option<ShardedMsBfs<2>> = None;
-    let mut sh4: Option<ShardedMsBfs<4>> = None;
-    let mut sh8: Option<ShardedMsBfs<8>> = None;
+    // (States are sized by vertex count only, so they carry over across
+    // epochs of a mutating store unchanged.)
+    let mut states = KernelStates::default();
     // Fixed when shutdown is first observed with a drain bound configured.
     let mut drain_deadline: Option<Instant> = None;
 
@@ -974,8 +997,8 @@ fn dispatcher_loop(shared: &Shared, shard: usize) {
                     }
                     if q.shutting_down {
                         if let Some(bound) = config.drain_timeout {
-                            let deadline =
-                                *drain_deadline.get_or_insert_with(|| Instant::now() + bound);
+                            let deadline = *drain_deadline
+                                .get_or_insert_with(|| deadline_after(Instant::now(), bound));
                             if Instant::now() >= deadline {
                                 fail_remaining(&mut q, shared, sq, &EngineError::ShutDown);
                             }
@@ -995,9 +1018,9 @@ fn dispatcher_loop(shared: &Shared, shard: usize) {
                     }
                     // Items are in submit order, so [0] is both the next to
                     // flush and the next to expire.
-                    let flush_at = q.items[0].submitted + config.max_latency;
+                    let flush_at = deadline_after(q.items[0].submitted, config.max_latency);
                     let wake_at = match config.query_timeout {
-                        Some(t) => flush_at.min(q.items[0].submitted + t),
+                        Some(t) => flush_at.min(deadline_after(q.items[0].submitted, t)),
                         None => flush_at,
                     };
                     let now = Instant::now();
@@ -1070,6 +1093,13 @@ fn dispatcher_loop(shared: &Shared, shard: usize) {
             qset,
         );
         let opts = config.bfs.with_query_set(qset);
+        // Pin this batch's graph version: one snapshot, taken once, serves
+        // the whole traversal. A mutation published mid-batch lands in a
+        // later epoch this batch never sees, and the pinned epoch's arrays
+        // cannot be reclaimed until `snap` drops at the end of the
+        // iteration — the torn-graph freedom the chaos oracle checks.
+        let snap = shared.store.snapshot();
+        rec.mark_ctx(lane, EventKind::EpochPin, snap.epoch(), width as u64, qset);
         // Panic isolation: a panic anywhere in the traversal or a user
         // visitor (surfaced by the pool from any worker) fails only this
         // batch — and under sharding only this shard's batch: the other
@@ -1083,29 +1113,33 @@ fn dispatcher_loop(shared: &Shared, shard: usize) {
             if let Some(hook) = config.fault_hook {
                 hook(&pool, &sources);
             }
-            if let Some(part) = shared.part.as_deref() {
+            // Every arm is dispatched twice: clean epochs run the plain
+            // CSR/partition monomorphization (byte-for-byte the
+            // pre-storage hot path), dirty epochs the delta-overlay one.
+            if let Some(sv) = snap.sharded_view() {
                 // Sharded engine: every width — including the singleton —
                 // runs the scatter/gather kernel over the partitioned CSR,
                 // so results are bit-identical across shard counts by one
                 // determinism argument (see `crate::sharded`).
-                match width {
-                    1 | 64 => run_sharded(&mut sh1, shared, part, &pool, &sources, &opts),
-                    128 => run_sharded(&mut sh2, shared, part, &pool, &sources, &opts),
-                    256 => run_sharded(&mut sh4, shared, part, &pool, &sources, &opts),
-                    _ => run_sharded(&mut sh8, shared, part, &pool, &sources, &opts),
+                if snap.has_deltas() {
+                    states.run_sharded(n, &sv, width, &pool, &sources, &opts)
+                } else {
+                    let part: &PartitionedCsr = snap.part().expect("sharded view implies mirror");
+                    states.run_sharded(n, part, width, &pool, &sources, &opts)
                 }
             } else if width == 1 {
-                let bfs = sms.get_or_insert_with(|| SmsPbfsBit::new(n));
+                let bfs = states.sms.get_or_insert_with(|| SmsPbfsBit::new(n));
                 let visitor = DistanceVisitor::new(n);
-                let stats = bfs.run(&shared.graph, &pool, sources[0], &opts, &visitor);
+                let stats = if snap.has_deltas() {
+                    bfs.run(&snap, &pool, sources[0], &opts, &visitor)
+                } else {
+                    bfs.run(&**snap.base(), &pool, sources[0], &opts, &visitor)
+                };
                 (stats, vec![visitor.into_distances()])
+            } else if snap.has_deltas() {
+                states.run_ms(n, &snap, width, &pool, &sources, &opts)
             } else {
-                match width {
-                    64 => run_ms(&mut ms1, shared, &pool, &sources, &opts),
-                    128 => run_ms(&mut ms2, shared, &pool, &sources, &opts),
-                    256 => run_ms(&mut ms4, shared, &pool, &sources, &opts),
-                    _ => run_ms(&mut ms8, shared, &pool, &sources, &opts),
-                }
+                states.run_ms(n, &**snap.base(), width, &pool, &sources, &opts)
             }
         }));
         let (stats, results) = match outcome {
@@ -1114,15 +1148,7 @@ fn dispatcher_loop(shared: &Shared, shard: usize) {
                 let reason = panic_reason(payload.as_ref());
                 // The interrupted traversal may have left graph-sized
                 // state half-updated: rebuild lazily on the next batch.
-                sms = None;
-                ms1 = None;
-                ms2 = None;
-                ms4 = None;
-                ms8 = None;
-                sh1 = None;
-                sh2 = None;
-                sh4 = None;
-                sh8 = None;
+                states = KernelStates::default();
                 // `recover` hosts the `sched.pool.respawn` failpoint: a
                 // panic there must not kill the dispatcher — the respawn
                 // sweep simply runs again before the next batch.
@@ -1220,18 +1246,74 @@ fn dispatcher_loop(shared: &Shared, shard: usize) {
     }
 }
 
+/// The dispatcher's reusable graph-sized algorithm states, one slot per
+/// batch width. Dropped wholesale after a batch panic (the interrupted
+/// traversal may have left them half-updated) and rebuilt lazily.
+#[derive(Default)]
+struct KernelStates {
+    sms: Option<SmsPbfsBit>,
+    ms1: Option<MsPbfs<1>>,
+    ms2: Option<MsPbfs<2>>,
+    ms4: Option<MsPbfs<4>>,
+    ms8: Option<MsPbfs<8>>,
+    sh1: Option<ShardedMsBfs<1>>,
+    sh2: Option<ShardedMsBfs<2>>,
+    sh4: Option<ShardedMsBfs<4>>,
+    sh8: Option<ShardedMsBfs<8>>,
+}
+
+impl KernelStates {
+    /// Runs one multi-source batch, selecting the compile-time width slot
+    /// covering `width`.
+    fn run_ms<G: Adjacency + ?Sized>(
+        &mut self,
+        n: usize,
+        g: &G,
+        width: usize,
+        pool: &WorkerPool,
+        sources: &[VertexId],
+        opts: &BfsOptions,
+    ) -> (TraversalStats, Vec<Vec<u32>>) {
+        match width {
+            64 => run_ms(&mut self.ms1, n, g, pool, sources, opts),
+            128 => run_ms(&mut self.ms2, n, g, pool, sources, opts),
+            256 => run_ms(&mut self.ms4, n, g, pool, sources, opts),
+            _ => run_ms(&mut self.ms8, n, g, pool, sources, opts),
+        }
+    }
+
+    /// Runs one batch through the scatter/gather kernel; also serves
+    /// singleton flushes (`W = 1`, one source).
+    fn run_sharded<P: ShardedAdjacency + ?Sized>(
+        &mut self,
+        n: usize,
+        part: &P,
+        width: usize,
+        pool: &WorkerPool,
+        sources: &[VertexId],
+        opts: &BfsOptions,
+    ) -> (TraversalStats, Vec<Vec<u32>>) {
+        match width {
+            1 | 64 => run_sharded(&mut self.sh1, n, part, pool, sources, opts),
+            128 => run_sharded(&mut self.sh2, n, part, pool, sources, opts),
+            256 => run_sharded(&mut self.sh4, n, part, pool, sources, opts),
+            _ => run_sharded(&mut self.sh8, n, part, pool, sources, opts),
+        }
+    }
+}
+
 /// Runs one multi-source batch at compile-time width `W`, reusing `state`.
-fn run_ms<const W: usize>(
+fn run_ms<const W: usize, G: Adjacency + ?Sized>(
     state: &mut Option<MsPbfs<W>>,
-    shared: &Shared,
+    n: usize,
+    g: &G,
     pool: &WorkerPool,
     sources: &[VertexId],
     opts: &BfsOptions,
 ) -> (TraversalStats, Vec<Vec<u32>>) {
-    let n = shared.graph.num_vertices();
     let bfs = state.get_or_insert_with(|| MsPbfs::new(n));
     let visitor: MsDistanceVisitor<W> = MsDistanceVisitor::new(n, sources.len());
-    let stats = bfs.run(&shared.graph, pool, sources, opts, &visitor);
+    let stats = bfs.run(g, pool, sources, opts, &visitor);
     let results = (0..sources.len())
         .map(|i| visitor.distances_of(i))
         .collect();
@@ -1239,17 +1321,15 @@ fn run_ms<const W: usize>(
 }
 
 /// Runs one batch through the scatter/gather kernel at compile-time width
-/// `W`, reusing `state`. The sharded engine's counterpart of [`run_ms`];
-/// also serves singleton flushes (`W = 1`, one source).
-fn run_sharded<const W: usize>(
+/// `W`, reusing `state`. The sharded engine's counterpart of [`run_ms`].
+fn run_sharded<const W: usize, P: ShardedAdjacency + ?Sized>(
     state: &mut Option<ShardedMsBfs<W>>,
-    shared: &Shared,
-    part: &PartitionedCsr,
+    n: usize,
+    part: &P,
     pool: &WorkerPool,
     sources: &[VertexId],
     opts: &BfsOptions,
 ) -> (TraversalStats, Vec<Vec<u32>>) {
-    let n = shared.graph.num_vertices();
     let bfs = state.get_or_insert_with(|| ShardedMsBfs::new(n, part.num_nodes()));
     let visitor: MsDistanceVisitor<W> = MsDistanceVisitor::new(n, sources.len());
     let stats = bfs.run(part, pool, sources, opts, &visitor);
@@ -1401,7 +1481,7 @@ mod tests {
             let src = h.source();
             let want = oracle
                 .entry(src)
-                .or_insert_with(|| crate::textbook::bfs(e.graph(), src).distances);
+                .or_insert_with(|| crate::textbook::bfs(&e.graph(), src).distances);
             assert_eq!(&h.wait().unwrap(), want, "source {src}");
         }
         e.shutdown();
@@ -1459,7 +1539,7 @@ mod tests {
             let src = h.source();
             let want = oracle
                 .entry(src)
-                .or_insert_with(|| crate::textbook::bfs(e.graph(), src).distances);
+                .or_insert_with(|| crate::textbook::bfs(&e.graph(), src).distances);
             assert_eq!(&h.wait().unwrap(), want, "source {src}");
         }
         e.shutdown();
@@ -1512,7 +1592,7 @@ mod tests {
         }
         for h in healthy {
             let src = h.source();
-            let want = crate::textbook::bfs(e.graph(), src).distances;
+            let want = crate::textbook::bfs(&e.graph(), src).distances;
             assert_eq!(h.wait().unwrap(), want, "healthy shard, source {src}");
         }
         e.shutdown();

@@ -73,6 +73,7 @@ pub mod profile;
 pub mod sharded;
 pub mod smspbfs;
 pub mod stats;
+pub mod storage;
 pub mod textbook;
 pub mod validate;
 pub mod visitor;
@@ -92,6 +93,9 @@ pub mod prelude {
     pub use crate::sharded::ShardedMsBfs;
     pub use crate::smspbfs::{SmsPbfsBit, SmsPbfsByte};
     pub use crate::stats::{IterationStats, TraversalStats};
+    pub use crate::storage::{
+        Adjacency, EdgeMutation, GraphSnapshot, GraphStore, ShardedAdjacency, StoreConfig,
+    };
     pub use crate::visitor::{
         DistanceVisitor, MsDistanceVisitor, MsVisitor, NoopMsVisitor, NoopVisitor, ParentVisitor,
         SsVisitor,

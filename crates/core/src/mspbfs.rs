@@ -14,8 +14,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::storage::Adjacency;
 use pbfs_bitset::{Bits, ScanStats, StateArray, SUMMARY_CHUNK};
-use pbfs_graph::{CsrGraph, VertexId};
+use pbfs_graph::VertexId;
 use pbfs_sched::WorkerPool;
 use pbfs_telemetry::{EventKind, PerWorkerU64};
 
@@ -65,12 +66,16 @@ impl<const W: usize> MsPbfs<W> {
 
     /// Runs one batch of concurrent BFSs from `sources` on `pool`.
     ///
+    /// Generic over [`Adjacency`], so the same state traverses a plain
+    /// [`pbfs_graph::CsrGraph`] or a [`crate::storage::GraphSnapshot`]
+    /// overlay; the CSR monomorphization is the unchanged hot path.
+    ///
     /// # Panics
     /// Panics if `sources` is empty, exceeds `W * 64`, contains an
     /// out-of-range vertex, or the state was sized for a different graph.
-    pub fn run(
+    pub fn run<G: Adjacency + ?Sized>(
         &mut self,
-        g: &CsrGraph,
+        g: &G,
         pool: &WorkerPool,
         sources: &[VertexId],
         opts: &BfsOptions,
@@ -659,6 +664,7 @@ mod tests {
     use crate::textbook;
     use crate::visitor::MsDistanceVisitor;
     use pbfs_graph::gen;
+    use pbfs_graph::CsrGraph;
 
     fn check_batch<const W: usize>(
         g: &CsrGraph,

@@ -36,8 +36,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::storage::ShardedAdjacency;
 use pbfs_bitset::{Bits, ScanStats, StateArray, SUMMARY_CHUNK};
-use pbfs_graph::{PartitionedCsr, VertexId};
+use pbfs_graph::VertexId;
 use pbfs_sched::WorkerPool;
 use pbfs_telemetry::EventKind;
 
@@ -105,13 +106,18 @@ impl<const W: usize> ShardedMsBfs<W> {
 
     /// Runs one batch of concurrent BFSs from `sources` on `pool`.
     ///
+    /// Generic over [`ShardedAdjacency`], so the same state traverses a
+    /// plain [`PartitionedCsr`] or a mutation-overlaid
+    /// [`crate::storage::ShardedSnapshot`]; the plain-partition
+    /// monomorphization is the unchanged hot path.
+    ///
     /// # Panics
     /// Panics if `sources` is empty, exceeds `W * 64`, contains an
     /// out-of-range vertex, or the state was sized for a different graph or
     /// partition count.
-    pub fn run(
+    pub fn run<P: ShardedAdjacency + ?Sized>(
         &mut self,
-        part: &PartitionedCsr,
+        part: &P,
         pool: &WorkerPool,
         sources: &[VertexId],
         opts: &BfsOptions,
@@ -209,7 +215,7 @@ impl<const W: usize> ShardedMsBfs<W> {
                         let v = cs + mask.trailing_zeros() as usize;
                         mask &= mask - 1;
                         let f = frontier.get(v);
-                        let nbrs = part.neighbors(v as VertexId);
+                        let nbrs = part.neighbors_fast(v as VertexId);
                         if pd > 0 {
                             for &nbr in &nbrs[..pd.min(nbrs.len())] {
                                 dst.prefetch_entry(nbr as usize);
@@ -366,6 +372,7 @@ mod tests {
     use super::*;
     use crate::visitor::MsDistanceVisitor;
     use pbfs_graph::gen;
+    use pbfs_graph::PartitionedCsr;
 
     fn run_sharded<const W: usize>(
         g: &pbfs_graph::CsrGraph,

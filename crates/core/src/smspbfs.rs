@@ -17,8 +17,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::storage::Adjacency;
 use pbfs_bitset::{AtomicBitVec, AtomicByteVec, ScanStats, SUMMARY_CHUNK};
-use pbfs_graph::{CsrGraph, VertexId};
+use pbfs_graph::VertexId;
 use pbfs_sched::WorkerPool;
 use pbfs_telemetry::{EventKind, PerWorkerU64};
 
@@ -276,12 +277,16 @@ impl<S: SsState> SmsPbfs<S> {
 
     /// Runs a BFS from `source` on `pool`.
     ///
+    /// Generic over [`Adjacency`], so the same state traverses a plain
+    /// [`pbfs_graph::CsrGraph`] or a [`crate::storage::GraphSnapshot`]
+    /// overlay; the CSR monomorphization is the unchanged hot path.
+    ///
     /// # Panics
     /// Panics if `source` is out of range or the state was sized for a
     /// different graph.
-    pub fn run(
+    pub fn run<G: Adjacency + ?Sized>(
         &mut self,
-        g: &CsrGraph,
+        g: &G,
         pool: &WorkerPool,
         source: VertexId,
         opts: &BfsOptions,
@@ -721,6 +726,7 @@ mod tests {
     use crate::textbook;
     use crate::visitor::{DistanceVisitor, NoopVisitor, PairVisitor, ParentVisitor};
     use pbfs_graph::gen;
+    use pbfs_graph::CsrGraph;
 
     fn check_bit(g: &CsrGraph, source: VertexId, workers: usize, opts: &BfsOptions) {
         let pool = WorkerPool::new(workers);

@@ -99,6 +99,12 @@ pub enum EventKind {
     /// The adaptive frontier controller switched scan strategy or
     /// direction (`a` = depth, `b` = encoded from/to strategy pair). Mark.
     AdaptSwitch,
+    /// The graph store published a new epoch (`a` = epoch, `b` = cause:
+    /// 0 = mutation batch, 1 = compaction, 2 = partition attach). Mark.
+    EpochPublish,
+    /// A batch pinned a storage epoch for its traversal (`a` = epoch,
+    /// `b` = batch width); the ctx links it to the batch's query set. Mark.
+    EpochPin,
 }
 
 impl EventKind {
@@ -119,6 +125,8 @@ impl EventKind {
             EventKind::BatchFailed => "batch_failed",
             EventKind::WorkerPanic => "worker_panic",
             EventKind::AdaptSwitch => "adapt_switch",
+            EventKind::EpochPublish => "epoch_publish",
+            EventKind::EpochPin => "epoch_pin",
         }
     }
 
@@ -137,6 +145,7 @@ impl EventKind {
             | EventKind::BatchFlush
             | EventKind::BatchComplete
             | EventKind::BatchFailed => "engine",
+            EventKind::EpochPublish | EventKind::EpochPin => "storage",
         }
     }
 
@@ -170,6 +179,8 @@ impl EventKind {
             EventKind::BatchFailed => ("width", "batch"),
             EventKind::WorkerPanic => ("worker", "epoch"),
             EventKind::AdaptSwitch => ("depth", "strategy"),
+            EventKind::EpochPublish => ("epoch", "cause"),
+            EventKind::EpochPin => ("epoch", "width"),
         }
     }
 }

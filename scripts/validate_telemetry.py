@@ -63,6 +63,14 @@ REQUIRED_PROM_FAMILIES = [
     "pbfs_build_info",
     "pbfs_graph_vertices",
     "pbfs_graph_edges",
+    # Versioned storage: the engine always rides a GraphStore (a static
+    # graph is just a store that never leaves its first epoch), so these
+    # register in every engine-driven export. The live-epochs gauge is the
+    # reclamation leak detector — chaos asserts it returns to baseline.
+    "pbfs_storage_mutations_total",
+    "pbfs_storage_compactions_total",
+    "pbfs_storage_epochs_total",
+    "pbfs_storage_epochs_live",
 ]
 
 # Per-shard engine counters. Shard 0's family is registered by every

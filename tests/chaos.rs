@@ -123,6 +123,110 @@ fn chaos_schedules_are_deterministic_per_seed() {
     assert_eq!(seeds(&a), seeds(&b));
 }
 
+/// Determinism is pinned across the newer execution axes too, not just
+/// the default stack: the same master seed replays the same armed sites
+/// on the two-shard scatter/gather engine and under the forced-scalar
+/// SIMD kernels.
+#[test]
+fn chaos_schedules_are_deterministic_with_shards_and_scalar_simd() {
+    use pbfs::bitset::simd::{set_level, SimdLevel};
+
+    let _g = guard();
+    let sites = |r: &pbfs::core::chaos::ChaosReport| -> Vec<Vec<String>> {
+        r.outcomes.iter().map(|o| o.sites.clone()).collect()
+    };
+    let seeds = |r: &pbfs::core::chaos::ChaosReport| -> Vec<u64> {
+        r.outcomes.iter().map(|o| o.seed).collect()
+    };
+
+    // Axis 1: two shards.
+    let cfg = ChaosConfig {
+        schedules: 4,
+        seed: 11,
+        scale: 6,
+        queries: 8,
+        workers: 2,
+        shards: 2,
+        schedule_timeout: Duration::from_secs(30),
+    };
+    let a = with_watchdog(Duration::from_secs(120), move || chaos::run(&cfg));
+    let b = with_watchdog(Duration::from_secs(120), move || chaos::run(&cfg));
+    assert!(a.passed(), "sharded replay run A violated invariants");
+    assert!(b.passed(), "sharded replay run B violated invariants");
+    assert_eq!(
+        sites(&a),
+        sites(&b),
+        "sharded schedules must replay exactly"
+    );
+    assert_eq!(seeds(&a), seeds(&b));
+
+    // Axis 2: forced-scalar SIMD kernels (as `PBFS_SIMD=scalar` would
+    // select). Restored before the assertion so a failure cannot leak the
+    // override into other tests.
+    let prev = set_level(Some(SimdLevel::Scalar));
+    let cfg = ChaosConfig {
+        schedules: 4,
+        seed: 13,
+        scale: 6,
+        queries: 8,
+        workers: 2,
+        shards: 1,
+        schedule_timeout: Duration::from_secs(30),
+    };
+    let a = with_watchdog(Duration::from_secs(120), move || chaos::run(&cfg));
+    let b = with_watchdog(Duration::from_secs(120), move || chaos::run(&cfg));
+    set_level(Some(prev));
+    assert!(a.passed(), "scalar replay run A violated invariants");
+    assert!(b.passed(), "scalar replay run B violated invariants");
+    assert_eq!(sites(&a), sites(&b), "scalar schedules must replay exactly");
+    assert_eq!(seeds(&a), seeds(&b));
+}
+
+/// The mutating soak acceptance bar: 25+ seeded schedules on the sharded
+/// engine, each racing edge-mutation batches and compactions against
+/// query traffic under storage faults (apply, publish, compact and
+/// reclaim are each armed deterministically across the soak). Every query
+/// must match exactly one epoch live during its window — a torn result or
+/// a leaked/prematurely-freed epoch is a violation the report carries.
+#[test]
+fn mutating_chaos_soak_holds_per_epoch_oracle_across_25_schedules() {
+    let _g = guard();
+    let report = with_watchdog(Duration::from_secs(300), || {
+        chaos::run_mutating(&ChaosConfig {
+            schedules: 25,
+            seed: 42,
+            scale: 7,
+            queries: 24,
+            workers: 3,
+            shards: 2,
+            schedule_timeout: Duration::from_secs(30),
+        })
+    });
+    assert!(
+        report.passed(),
+        "mutating chaos violations:\n{}",
+        report.violations().join("\n")
+    );
+    assert_eq!(report.outcomes.len(), 25);
+    assert!(
+        report.triggered_total > 0,
+        "each schedule arms a p=1 storage site; something must fire"
+    );
+    assert!(
+        report.ok_total() > 0,
+        "the engine should answer queries while the graph mutates"
+    );
+    let mutations: u64 = report.outcomes.iter().map(|o| o.mutations).sum();
+    assert!(
+        mutations > 0,
+        "mutation batches must land between injected faults"
+    );
+    assert!(
+        report.outcomes.iter().any(|o| o.epochs > 1),
+        "schedules must publish epochs beyond the initial one"
+    );
+}
+
 /// The reader failpoints inject a typed `GraphIoError::Injected` through
 /// the return-form macro, honoring the fire-count limit.
 #[test]
